@@ -1,0 +1,247 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one group per paper artifact, timing
+   the analysis/simulation kernel that regenerates it, plus the §II-F data
+   structures. Part 2 — printed ablation studies for the design choices
+   DESIGN.md calls out (affinity w-range, trace pruning, TRG window scale).
+   Part 3 — the full experiment suite: every table and figure of the paper,
+   regenerated at full scale (this is the output EXPERIMENTS.md quotes).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Colayout
+module W = Colayout_workloads
+module E = Colayout_exec
+module C = Colayout_cache
+module U = Colayout_util
+module H = Colayout_harness
+
+let params = C.Params.default_l1i
+
+(* Shared inputs, prepared once: a mid-size workload and its traces. *)
+let program = W.Spec.build "445.gobmk"
+
+let test_run = E.Interp.run program (E.Interp.test_input ~max_blocks:30_000 ())
+
+let test_trace_full = test_run.E.Interp.bb_trace
+
+let fn_trace = test_run.E.Interp.fn_trace
+
+let analysis = Optimizer.analysis_of_traces ~bb:test_trace_full ~fn:fn_trace ()
+
+let bb_trace = analysis.Optimizer.bb
+
+let fn_trimmed = analysis.Optimizer.fn
+
+let ref_trace = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks:60_000 ())
+
+let original = Layout.original program
+
+let optimized = Optimizer.layout_for Optimizer.Bb_affinity program analysis
+
+let smt_cfg = E.Smt.default_config ()
+
+let tiny_trace = Colayout_trace.Trace.of_list ~num_symbols:5 [ 0; 3; 1; 3; 1; 2; 4; 0; 3 ]
+
+(* ------------------------------------------------------------- Part 1 *)
+
+let tests =
+  [
+    (* Figure 1 / Figures 5-6 core: the w-window affinity analyses. *)
+    Test.make ~name:"fig1/affinity-hierarchy (paper w-range)"
+      (Staged.stage (fun () ->
+           ignore
+             (Affinity_hierarchy.build ~ws:Optimizer.default_config.Optimizer.ws bb_trace)));
+    Test.make ~name:"fig1/affinity-single-window w=8"
+      (Staged.stage (fun () -> ignore (Affinity.affine_pairs bb_trace ~w:8)));
+    Test.make ~name:"fig1/affinity-exact-oracle (9-event trace)"
+      (Staged.stage (fun () -> ignore (Affinity.affine_pairs_naive tiny_trace ~w:3)));
+    (* Figure 2 / Table II TRG path. *)
+    Test.make ~name:"fig2/trg-build (fn trace)"
+      (Staged.stage (fun () -> ignore (Trg.build ~window:256 fn_trimmed)));
+    Test.make ~name:"fig2/trg-reduce (fn trace, 256 slots)"
+      (let trg = Trg.build ~window:256 fn_trimmed in
+       Staged.stage (fun () -> ignore (Trg_reduce.reduce trg ~slots:256)));
+    (* Table I / Figure 4: trace-driven cache simulation. *)
+    Test.make ~name:"fig4/icache-solo-replay"
+      (Staged.stage (fun () ->
+           ignore (Pipeline.miss_ratio_solo ~params ~layout:original ref_trace)));
+    Test.make ~name:"fig4/icache-shared-replay"
+      (Staged.stage (fun () ->
+           ignore
+             (Pipeline.miss_ratio_corun ~params ~self:(original, ref_trace)
+                ~peer:(optimized, ref_trace) ())));
+    (* Figures 5-7: the SMT timing model. *)
+    Test.make ~name:"fig5/smt-solo"
+      (Staged.stage (fun () ->
+           ignore
+             (E.Smt.solo smt_cfg (Layout.to_smt_code original)
+                (Colayout_trace.Trace.events ref_trace))));
+    Test.make ~name:"fig6-7/smt-corun"
+      (Staged.stage (fun () ->
+           ignore
+             (E.Smt.corun smt_cfg ~mode:E.Smt.Finish_both
+                (Layout.to_smt_code original, Colayout_trace.Trace.events ref_trace)
+                (Layout.to_smt_code optimized, Colayout_trace.Trace.events ref_trace))));
+    (* Eq 1/2: the footprint-theory model. *)
+    Test.make ~name:"eq1/footprint-curve (line trace)"
+      (Staged.stage (fun () ->
+           ignore (Pipeline.footprint_curve ~params ~layout:original ref_trace)));
+    (* §II-F stack structures: hash+linked-list stack vs order-statistic
+       red-black tree. *)
+    Test.make ~name:"stack/lru-list walk"
+      (Staged.stage (fun () ->
+           let s = Colayout_trace.Lru_stack.create () in
+           Colayout_trace.Trace.iter
+             (fun x -> ignore (Colayout_trace.Lru_stack.access s x))
+             bb_trace));
+    Test.make ~name:"stack/rb-tree distances"
+      (Staged.stage (fun () -> ignore (Colayout_trace.Stack_dist.run bb_trace)));
+    (* The transformation itself. *)
+    Test.make ~name:"transform/bb-layout assignment"
+      (let order = Optimizer.block_order_for Optimizer.Bb_affinity program analysis in
+       Staged.stage (fun () ->
+           ignore (Layout.of_block_order ~function_stubs:true program order)));
+  ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false () in
+  Printf.printf "== Bechamel micro-benchmarks (one per paper artifact) ==\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+            if ns > 1e6 then Printf.printf "  %-48s %10.2f ms/run\n%!" name (ns /. 1e6)
+            else if ns > 1e3 then Printf.printf "  %-48s %10.2f us/run\n%!" name (ns /. 1e3)
+            else Printf.printf "  %-48s %10.2f ns/run\n%!" name ns
+          | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+        analyzed)
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------- Part 2 *)
+
+let miss_with_config config kind =
+  let a = Optimizer.analysis_of_traces ~config ~bb:test_trace_full ~fn:fn_trace () in
+  let layout = Optimizer.layout_for ~config kind program a in
+  C.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout ref_trace)
+
+let ablations () =
+  let base_config = Optimizer.default_config in
+  let t =
+    U.Table.create ~title:"Ablation: affinity window range (bb-affinity on 445.gobmk)"
+      ~columns:[ ("w range", U.Table.Left); ("solo miss ratio", U.Table.Right) ]
+  in
+  List.iter
+    (fun (label, ws) ->
+      let mr = miss_with_config { base_config with Optimizer.ws } Optimizer.Bb_affinity in
+      U.Table.add_row t [ label; U.Table.fmt_pct (100.0 *. mr) ])
+    [
+      ("2..20 (paper)", base_config.Optimizer.ws);
+      ("small only [2;3;4]", [ 2; 3; 4 ]);
+      ("single [8] (TRG-like)", [ 8 ]);
+      ("large only [16;20]", [ 16; 20 ]);
+    ];
+  U.Table.print t;
+  let t2 =
+    U.Table.create ~title:"Ablation: trace pruning threshold (§II-F, top-N hottest blocks)"
+      ~columns:
+        [
+          ("top N", U.Table.Right);
+          ("coverage", U.Table.Right);
+          ("bb-affinity miss", U.Table.Right);
+        ]
+  in
+  List.iter
+    (fun top ->
+      let config = { base_config with Optimizer.prune_top = top } in
+      let a = Optimizer.analysis_of_traces ~config ~bb:test_trace_full ~fn:fn_trace () in
+      let layout = Optimizer.layout_for ~config Optimizer.Bb_affinity program a in
+      let mr = C.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout ref_trace) in
+      U.Table.add_row t2
+        [
+          string_of_int top;
+          U.Table.fmt_pct (100.0 *. a.Optimizer.prune.Colayout_trace.Prune.coverage);
+          U.Table.fmt_pct (100.0 *. mr);
+        ])
+    [ 10_000; 1_000; 300; 100 ];
+  U.Table.print t2;
+  let t3 =
+    U.Table.create
+      ~title:"Ablation: TRG analysis-cache scale (Gloy & Smith recommend 2x; bb-trg)"
+      ~columns:[ ("cache multiplier", U.Table.Right); ("solo miss ratio", U.Table.Right) ]
+  in
+  List.iter
+    (fun m ->
+      let mr =
+        miss_with_config
+          { base_config with Optimizer.cache_multiplier = m }
+          Optimizer.Bb_trg
+      in
+      U.Table.add_row t3 [ U.Table.fmt_float ~decimals:1 m; U.Table.fmt_pct (100.0 *. mr) ])
+    [ 0.5; 1.0; 2.0; 4.0 ];
+  U.Table.print t3;
+  (* The paper's §II-C modification vs the original Gloy-Smith scheme. *)
+  let t4 =
+    U.Table.create
+      ~title:
+        "Ablation: TRG as reordering (the paper) vs original padded TPCM placement \
+         (Gloy & Smith) on 445.gobmk"
+      ~columns:
+        [
+          ("scheme", U.Table.Left);
+          ("code bytes", U.Table.Right);
+          ("solo miss ratio", U.Table.Right);
+        ]
+  in
+  let add_scheme name layout =
+    let mr = C.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout ref_trace) in
+    U.Table.add_row t4
+      [ name; U.Table.fmt_int layout.Layout.total_bytes; U.Table.fmt_pct (100.0 *. mr) ]
+  in
+  add_scheme "original layout" original;
+  add_scheme "func-trg (reorder, no gaps)" (Optimizer.layout_for Optimizer.Func_trg program analysis);
+  add_scheme "padded TPCM (gaps)" (Trg_place.layout_for program analysis);
+  U.Table.print t4;
+  (* All comparators side by side: the paper's optimizers, the compiler
+     default (intra-procedural), and the classic call-graph baseline. *)
+  let t5 =
+    U.Table.create
+      ~title:"Comparators on 445.gobmk: the paper's optimizers vs classic baselines (solo)"
+      ~columns:[ ("layout", U.Table.Left); ("solo miss ratio", U.Table.Right) ]
+  in
+  let call_trace =
+    (E.Interp.run program (E.Interp.test_input ~max_blocks:30_000 ())).E.Interp.call_trace
+  in
+  let add_cmp name layout =
+    let mr = C.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout ref_trace) in
+    U.Table.add_row t5 [ name; U.Table.fmt_pct (100.0 *. mr) ]
+  in
+  add_cmp "original" original;
+  add_cmp "intra-procedural BB (compiler default)" (Intra_reorder.layout_for program analysis);
+  add_cmp "Pettis-Hansen call graph" (Pettis_hansen.layout_for program call_trace);
+  add_cmp "CMG reduction (function)" (Cmg.layout_for ~granularity:`Function program analysis);
+  add_cmp "CMG reduction (block)" (Cmg.layout_for ~granularity:`Block program analysis);
+  add_cmp "static (profile-free)" (Static_layout.layout_for program);
+  List.iter
+    (fun kind -> add_cmp (Optimizer.kind_name kind) (Optimizer.layout_for kind program analysis))
+    [ Optimizer.Func_affinity; Optimizer.Bb_affinity ];
+  U.Table.print t5
+
+(* ------------------------------------------------------------- Part 3 *)
+
+let () =
+  run_benchmarks ();
+  Printf.printf "== Ablation studies (DESIGN.md section 5) ==\n\n%!";
+  ablations ();
+  Printf.printf "== Full experiment suite: every table and figure of the paper ==\n\n%!";
+  let ctx = H.Ctx.create ~scale:H.Ctx.Full () in
+  let results = H.Registry.run_by_ids ctx H.Registry.ids in
+  List.iter (fun (_, tables) -> List.iter U.Table.print tables) results

@@ -1,0 +1,255 @@
+(* Command-line driver for the reproduction experiments.
+
+   `repro list` shows the experiment registry; `repro run all` regenerates
+   every table and figure of the paper. *)
+
+open Cmdliner
+module H = Colayout_harness
+module Table = Colayout_util.Table
+
+let scale_conv =
+  let parse = function
+    | "fast" -> Ok H.Ctx.Fast
+    | "full" -> Ok H.Ctx.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (fast|full)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf (match s with H.Ctx.Fast -> "fast" | H.Ctx.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun (e : H.Registry.experiment) ->
+        Printf.printf "%-8s %-16s %s\n" e.id e.paper_ref e.summary)
+      H.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let write_csv dir id tables =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iteri
+    (fun i t ->
+      let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" id i) in
+      let oc = open_out path in
+      output_string oc (Table.to_csv t);
+      output_char oc '\n';
+      close_out oc)
+    tables
+
+let run_cmd =
+  let doc = "Run experiments (ids or 'all') and print their tables." in
+  let ids =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv H.Ctx.Full
+      & info [ "scale" ] ~docv:"SCALE" ~doc:"Simulation scale: fast or full")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv)")
+  in
+  let run ids scale csv =
+    let requested =
+      if List.mem "all" ids then H.Registry.ids else ids
+    in
+    let ctx = H.Ctx.create ~scale () in
+    let results = H.Registry.run_by_ids ctx requested in
+    List.iter
+      (fun (id, tables) ->
+        List.iter Table.print tables;
+        Option.iter (fun dir -> write_csv dir id tables) csv)
+      results
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ scale $ csv)
+
+module W = Colayout_workloads
+module Core = Colayout
+module E = Colayout_exec
+
+let prog_arg =
+  let doc = "Analog program name (see `repro programs`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let build_program name =
+  try W.Spec.build name
+  with Not_found ->
+    Printf.eprintf "unknown program %S; run `repro programs` for the list\n" name;
+    exit 1
+
+let programs_cmd =
+  let doc = "List the 29 SPEC CPU2006 analog programs and their shapes." in
+  let run () =
+    let t =
+      Table.create ~title:"SPEC CPU2006 analog programs"
+        ~columns:
+          [
+            ("program", Table.Left);
+            ("style", Table.Left);
+            ("functions", Table.Right);
+            ("blocks", Table.Right);
+            ("static bytes", Table.Right);
+            ("hot bytes (est)", Table.Right);
+            ("fetch rate", Table.Right);
+          ]
+    in
+    List.iter
+      (fun name ->
+        let profile = W.Spec.profile name in
+        let p = W.Spec.build name in
+        let style =
+          match profile.W.Gen.style with
+          | W.Gen.Phased -> Printf.sprintf "phased x%d" profile.W.Gen.phases
+          | W.Gen.Dispatch { table; _ } -> Printf.sprintf "dispatch/%d" table
+        in
+        Table.add_row t
+          [
+            name;
+            style;
+            string_of_int (Colayout_ir.Program.num_funcs p);
+            string_of_int (Colayout_ir.Program.num_blocks p);
+            Table.fmt_int (Colayout_ir.Program.total_code_bytes p);
+            Table.fmt_int (W.Gen.hot_code_bytes profile);
+            Printf.sprintf "%.2f" profile.W.Gen.fetch_rate;
+          ])
+      W.Spec.names;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "programs" ~doc) Term.(const run $ const ())
+
+let kind_arg =
+  let doc = "Optimizer: original, func-affinity, bb-affinity, func-trg, bb-trg." in
+  Arg.(
+    value
+    & pos 1 string "bb-affinity"
+    & info [] ~docv:"OPTIMIZER" ~doc)
+
+let layout_cmd =
+  let doc = "Compute a layout for a program and summarize it." in
+  let limit =
+    Arg.(value & opt int 24 & info [ "limit" ] ~docv:"N" ~doc:"Blocks of the order to print")
+  in
+  let run name kind_name limit =
+    let kind =
+      match Core.Optimizer.kind_of_name kind_name with
+      | Some k -> k
+      | None ->
+        Printf.eprintf "unknown optimizer %S\n" kind_name;
+        exit 1
+    in
+    let program = build_program name in
+    let analysis = Core.Optimizer.analyze program (E.Interp.test_input ()) in
+    let layout = Core.Optimizer.layout_for kind program analysis in
+    Printf.printf "%s under %s: %s bytes, %d fixup jumps\n" name kind_name
+      (Table.fmt_int layout.Core.Layout.total_bytes)
+      layout.Core.Layout.added_jumps;
+    Printf.printf "first %d blocks of the order:\n" limit;
+    Array.iteri
+      (fun i bid ->
+        if i < limit then
+          let b = Colayout_ir.Program.block program bid in
+          Printf.printf "  %6d  %-28s %4dB  f%d\n" layout.Core.Layout.addr.(bid)
+            b.Colayout_ir.Program.name b.Colayout_ir.Program.size_bytes
+            b.Colayout_ir.Program.fn)
+      layout.Core.Layout.order
+  in
+  Cmd.v (Cmd.info "layout" ~doc) Term.(const run $ prog_arg $ kind_arg $ limit)
+
+let trace_cmd =
+  let doc = "Instrument a program and save its traces and mapping files (the §II-F artifacts)." in
+  let out =
+    Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc:"Output directory")
+  in
+  let fuel =
+    Arg.(value & opt int 200_000 & info [ "fuel" ] ~docv:"N" ~doc:"Block-execution budget")
+  in
+  let run name out fuel =
+    let program = build_program name in
+    let r = E.Interp.run program (E.Interp.test_input ~max_blocks:fuel ()) in
+    (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let short = W.Spec.short_name name in
+    let bb_path = Filename.concat out (short ^ ".bb.trc") in
+    let fn_path = Filename.concat out (short ^ ".fn.trc") in
+    let map_path = Filename.concat out (short ^ ".map") in
+    Colayout_trace.Trace_io.save ~path:bb_path r.E.Interp.bb_trace;
+    Colayout_trace.Trace_io.save ~path:fn_path r.E.Interp.fn_trace;
+    Colayout_trace.Trace_io.save_mapping ~path:map_path
+      ~names:
+        (Array.map
+           (fun (b : Colayout_ir.Program.block) -> b.Colayout_ir.Program.name)
+           (Colayout_ir.Program.blocks program));
+    Printf.printf "wrote %s (%d events), %s (%d events), %s (%d symbols)\n" bb_path
+      (Colayout_trace.Trace.length r.E.Interp.bb_trace)
+      fn_path
+      (Colayout_trace.Trace.length r.E.Interp.fn_trace)
+      map_path
+      (Colayout_ir.Program.num_blocks program)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ prog_arg $ out $ fuel)
+
+let dump_ir_cmd =
+  let doc = "Print a program's textual IR (parseable back with parse-ir)." in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write to file")
+  in
+  let run name out =
+    let program = build_program name in
+    let text = Colayout_ir.Ir_text.print program in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+  in
+  Cmd.v (Cmd.info "dump-ir" ~doc) Term.(const run $ prog_arg $ out)
+
+let parse_ir_cmd =
+  let doc = "Parse a textual-IR file, validate it, and report its shape." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Textual IR file")
+  in
+  let run path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Colayout_ir.Ir_text.parse text with
+    | p ->
+      Printf.printf "%s: OK — %d functions, %d blocks, %s bytes of code\n"
+        (Colayout_ir.Program.name p)
+        (Colayout_ir.Program.num_funcs p)
+        (Colayout_ir.Program.num_blocks p)
+        (Table.fmt_int (Colayout_ir.Program.total_code_bytes p))
+    | exception Colayout_ir.Ir_text.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "parse-ir" ~doc) Term.(const run $ file)
+
+let strip_cmd =
+  let doc = "Residual code elimination (§II-E post-processing) report for a program." in
+  let run name =
+    let program = build_program name in
+    let _, _, report = Core.Residual.eliminate program in
+    Printf.printf
+      "%s: removed %d of %d blocks (%s bytes) and %d never-called functions\n" name
+      report.Core.Residual.removed_blocks
+      (Colayout_ir.Program.num_blocks program)
+      (Table.fmt_int report.Core.Residual.removed_bytes)
+      report.Core.Residual.removed_funcs
+  in
+  Cmd.v (Cmd.info "strip" ~doc) Term.(const run $ prog_arg)
+
+let () =
+  let doc = "Reproduction of 'Code Layout Optimization for Defensiveness and Politeness in Shared Cache' (ICPP 2014)" in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd ]))

@@ -1,0 +1,1 @@
+examples/affinity_hierarchy.ml: Affinity Affinity_hierarchy Array Colayout Colayout_trace Format List String Trg Trg_reduce

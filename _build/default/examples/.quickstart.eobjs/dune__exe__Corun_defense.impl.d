@@ -1,0 +1,1 @@
+examples/corun_defense.ml: Colayout Colayout_cache Colayout_exec Colayout_util Colayout_workloads Format Layout List Miss_prob Optimizer Pipeline

@@ -1,0 +1,1 @@
+examples/corun_defense.mli:

@@ -1,0 +1,1 @@
+examples/optimizer_compare.ml: Array Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_util Colayout_workloads Format Layout List Optimizer Pipeline Printf String Sys

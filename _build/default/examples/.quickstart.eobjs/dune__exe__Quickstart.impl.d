@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace Format Fun Layout List Optimizer Pipeline Printf Program String Types

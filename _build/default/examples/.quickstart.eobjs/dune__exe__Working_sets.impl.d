@@ -1,0 +1,1 @@
+examples/working_sets.ml: Array Colayout Colayout_cache Colayout_exec Colayout_util Colayout_workloads Format Layout List Mrc Optimizer Pettis_hansen Printf Sys

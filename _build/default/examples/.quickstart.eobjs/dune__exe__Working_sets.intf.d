@@ -1,0 +1,1 @@
+examples/working_sets.mli:

@@ -1,0 +1,57 @@
+(* The paper's two worked examples, reproduced exactly:
+
+   - Figure 1: the hierarchical w-window affinity of the trace
+     B1 B4 B2 B4 B2 B3 B5 B1 B4, and the layout order its bottom-up
+     traversal produces (B1 B4 B2 B3 B5);
+   - Figure 2: TRG reduction with three code slots producing the sequence
+     A B E F C.
+
+   Run with: dune exec examples/affinity_hierarchy.exe *)
+
+open Colayout
+module T = Colayout_trace
+
+let block_name i = "B" ^ string_of_int (i + 1)
+
+let () =
+  (* ----------------------------------------------------------- Figure 1 *)
+  let trace = T.Trace.of_list ~num_symbols:5 [ 0; 3; 1; 3; 1; 2; 4; 0; 3 ] in
+  Format.printf "Figure 1 trace: %s@."
+    (String.concat " " (List.map block_name (T.Trace.to_list trace)));
+  let h = Affinity_hierarchy.build ~algo:Affinity_hierarchy.Exact ~ws:[ 1; 2; 3; 4; 5 ] trace in
+  Format.printf "@.w-window affinity partitions:@.";
+  List.iter
+    (fun w ->
+      let groups = Affinity_hierarchy.partition_at h ~w in
+      let show g = "(" ^ String.concat "," (List.map block_name (List.sort compare g)) ^ ")" in
+      Format.printf "  w=%d: %s@." w (String.concat " " (List.map show groups)))
+    [ 1; 2; 3; 4; 5 ];
+  Format.printf "@.Hierarchy: %a@." Affinity_hierarchy.pp h;
+  Format.printf "Output sequence (bottom-up traversal): %s@."
+    (String.concat " " (List.map block_name (Affinity_hierarchy.order h)));
+  Format.printf "(paper: B1 B4 B2 B3 B5)@.";
+
+  (* Show the footprint of Definition 2 on the paper's other mini example:
+     trace B1 B3 B2 B3 B4 has fp<B1,B2> = 3. *)
+  let t2 = T.Trace.of_list ~num_symbols:4 [ 0; 2; 1; 2; 3 ] in
+  Format.printf "@.Definition 2 example: fp<B1,B2> in B1 B3 B2 B3 B4 = %d (paper: 3)@."
+    (Affinity.window_footprint t2 0 2);
+
+  (* ----------------------------------------------------------- Figure 2 *)
+  let node_name = function 0 -> "A" | 1 -> "B" | 2 -> "E" | 3 -> "F" | _ -> "C" in
+  let trg =
+    Trg.of_edges ~num_nodes:5
+      [ (0, 1, 40); (2, 3, 30); (3, 0, 10); (3, 1, 15); (4, 0, 25); (4, 1, 22); (4, 2, 20) ]
+  in
+  Format.printf "@.Figure 2 TRG edges (node, node, conflict weight):@.";
+  List.iter
+    (fun (x, y, w) -> Format.printf "  %s - %s : %d@." (node_name x) (node_name y) w)
+    (Trg.edges trg);
+  let r = Trg_reduce.reduce trg ~slots:3 in
+  Format.printf "@.After reduction into 3 code slots:@.";
+  Array.iteri
+    (fun k l ->
+      Format.printf "  code slot %d: %s@." (k + 1) (String.concat " " (List.map node_name l)))
+    r.Trg_reduce.slot_lists;
+  Format.printf "Output sequence: %s  (paper: A B E F C)@."
+    (String.concat " " (List.map node_name r.Trg_reduce.order))

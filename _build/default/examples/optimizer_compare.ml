@@ -1,0 +1,68 @@
+(* Compare the four optimizers of the paper on one of the SPEC CPU2006
+   analog workloads, solo-run: the flow of §II-F end to end.
+
+   Run with: dune exec examples/optimizer_compare.exe [-- program-name]
+   e.g.      dune exec examples/optimizer_compare.exe -- 453.povray *)
+
+open Colayout
+module W = Colayout_workloads
+module E = Colayout_exec
+module C = Colayout_cache
+module U = Colayout_util
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "445.gobmk" in
+  let program =
+    try W.Spec.build name
+    with Not_found ->
+      Format.eprintf "unknown program %s; choose one of:@.  %s@." name
+        (String.concat " " W.Spec.names);
+      exit 1
+  in
+  Format.printf "%s analog: %d functions, %d blocks, %s bytes static code@." name
+    (Colayout_ir.Program.num_funcs program)
+    (Colayout_ir.Program.num_blocks program)
+    (U.Table.fmt_int (Colayout_ir.Program.total_code_bytes program));
+
+  let params = C.Params.default_l1i in
+  Format.printf "L1 instruction cache: %s@.@." (C.Params.to_string params);
+
+  (* One instrumentation run, one reference trace, five layouts. *)
+  let results =
+    Pipeline.evaluate_kinds program
+      ~test_input:(E.Interp.test_input ())
+      ~ref_input:(E.Interp.ref_input ())
+  in
+  let baseline =
+    List.find (fun r -> r.Pipeline.kind = Optimizer.Original) results
+  in
+  let table =
+    U.Table.create ~title:(Printf.sprintf "Solo-run I-cache performance of %s" name)
+      ~columns:
+        [
+          ("optimizer", U.Table.Left);
+          ("code bytes", U.Table.Right);
+          ("added jumps", U.Table.Right);
+          ("miss ratio", U.Table.Right);
+          ("reduction vs original", U.Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let reduction =
+        if baseline.Pipeline.miss_ratio = 0.0 then 0.0
+        else
+          (baseline.Pipeline.miss_ratio -. r.Pipeline.miss_ratio)
+          /. baseline.Pipeline.miss_ratio *. 100.0
+      in
+      U.Table.add_row table
+        [
+          Optimizer.kind_name r.Pipeline.kind;
+          U.Table.fmt_int r.Pipeline.layout.Layout.total_bytes;
+          string_of_int r.Pipeline.layout.Layout.added_jumps;
+          U.Table.fmt_pct (100.0 *. r.Pipeline.miss_ratio);
+          (if r.Pipeline.kind = Optimizer.Original then "--"
+           else Printf.sprintf "%.1f%%" reduction);
+        ])
+    results;
+  U.Table.print table

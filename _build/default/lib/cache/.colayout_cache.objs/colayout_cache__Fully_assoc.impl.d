@@ -1,0 +1,1 @@
+lib/cache/fully_assoc.ml: Colayout_util Dlist Hashtbl List

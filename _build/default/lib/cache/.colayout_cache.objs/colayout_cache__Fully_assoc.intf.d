@@ -1,0 +1,1 @@
+lib/cache/fully_assoc.mli:

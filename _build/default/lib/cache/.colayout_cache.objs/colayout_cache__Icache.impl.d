@@ -1,0 +1,1 @@
+lib/cache/icache.ml: Array Cache_stats Colayout_util Int_vec Option Params Prefetch Set_assoc

@@ -1,0 +1,1 @@
+lib/cache/icache.mli: Cache_stats Colayout_util Params Prefetch

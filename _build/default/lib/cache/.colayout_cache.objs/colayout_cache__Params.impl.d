@@ -1,0 +1,1 @@
+lib/cache/params.ml: Printf

@@ -1,0 +1,1 @@
+lib/cache/prefetch.ml: Cache_stats Set_assoc

@@ -1,0 +1,1 @@
+lib/cache/prefetch.mli: Cache_stats Set_assoc

@@ -1,0 +1,1 @@
+lib/cache/set_assoc.ml: Array List Params

@@ -1,0 +1,57 @@
+type t = {
+  acc : int array;
+  miss : int array;
+  mutable pf : int;
+}
+
+let create ?(threads = 1) () =
+  if threads <= 0 then invalid_arg "Cache_stats.create";
+  { acc = Array.make threads 0; miss = Array.make threads 0; pf = 0 }
+
+let check t thread =
+  if thread < 0 || thread >= Array.length t.acc then
+    invalid_arg (Printf.sprintf "Cache_stats: bad thread %d" thread)
+
+let record t ~thread ~hit =
+  check t thread;
+  t.acc.(thread) <- t.acc.(thread) + 1;
+  if not hit then t.miss.(thread) <- t.miss.(thread) + 1
+
+let record_prefetch t = t.pf <- t.pf + 1
+
+let sum = Array.fold_left ( + ) 0
+
+let accesses t = sum t.acc
+
+let misses t = sum t.miss
+
+let hits t = accesses t - misses t
+
+let prefetches t = t.pf
+
+let miss_ratio t =
+  let a = accesses t in
+  if a = 0 then 0.0 else float_of_int (misses t) /. float_of_int a
+
+let thread_accesses t i =
+  check t i;
+  t.acc.(i)
+
+let thread_misses t i =
+  check t i;
+  t.miss.(i)
+
+let thread_miss_ratio t i =
+  let a = thread_accesses t i in
+  if a = 0 then 0.0 else float_of_int (thread_misses t i) /. float_of_int a
+
+let merge_into ~dst src =
+  if Array.length dst.acc <> Array.length src.acc then
+    invalid_arg "Cache_stats.merge_into: thread count mismatch";
+  Array.iteri (fun i v -> dst.acc.(i) <- dst.acc.(i) + v) src.acc;
+  Array.iteri (fun i v -> dst.miss.(i) <- dst.miss.(i) + v) src.miss;
+  dst.pf <- dst.pf + src.pf
+
+let to_string t =
+  Printf.sprintf "accesses=%d misses=%d (%.3f%%) prefetches=%d" (accesses t) (misses t)
+    (100.0 *. miss_ratio t) t.pf

@@ -1,0 +1,32 @@
+(** Mutable access/miss counters, optionally broken down per thread. *)
+
+type t
+
+val create : ?threads:int -> unit -> t
+(** [threads] defaults to 1. *)
+
+val record : t -> thread:int -> hit:bool -> unit
+
+val record_prefetch : t -> unit
+
+val accesses : t -> int
+
+val misses : t -> int
+
+val hits : t -> int
+
+val prefetches : t -> int
+
+val miss_ratio : t -> float
+(** 0 when no accesses. *)
+
+val thread_accesses : t -> int -> int
+
+val thread_misses : t -> int -> int
+
+val thread_miss_ratio : t -> int -> float
+
+val merge_into : dst:t -> t -> unit
+(** Add per-thread and total counters of the source into [dst]. *)
+
+val to_string : t -> string

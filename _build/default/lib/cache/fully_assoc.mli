@@ -1,0 +1,17 @@
+(** Fully-associative LRU cache over line numbers.
+
+    The reference model behind the capacity-miss equations of §II-A: a
+    fully-associative cache of capacity [c] lines misses exactly when the
+    reuse distance reaches [c]. Used as a test oracle for {!Set_assoc} (with
+    [num_sets = 1] they must agree) and by the miss-probability model. *)
+
+type t
+
+val create : capacity:int -> t
+(** Capacity in lines. *)
+
+val access_line : t -> int -> bool
+
+val occupancy : t -> int
+
+val resident_lines : t -> int list

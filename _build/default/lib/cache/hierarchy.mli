@@ -1,0 +1,40 @@
+(** Two-level cache hierarchy: split L1 (instruction + data) over a shared
+    unified L2.
+
+    §II-A's Eq 1 speaks about the *unified* cache, where instruction and
+    data footprints compete; the paper's evaluation measures only the L1I,
+    but its benefit classification (locality / defensiveness / politeness)
+    covers both. This hierarchy makes the unified level measurable: code
+    layout optimization shrinks the instruction footprint, which also
+    relieves L2 pressure on the data side.
+
+    Address spaces: callers pass instruction {e lines} and data {e byte
+    addresses}; instruction and data streams are disambiguated internally,
+    so they never alias in L2. For SMT co-run, offset each thread's
+    addresses as the L1-only simulators do — on one core, hyper-threads
+    share all levels. *)
+
+type t
+
+val create :
+  ?l1i:Params.t -> ?l1d:Params.t -> ?l2:Params.t -> ?threads:int -> unit -> t
+(** Defaults follow the paper's Xeon E5520: L1I 32KB/4-way, L1D 32KB/8-way,
+    unified L2 256KB/8-way, all 64-byte lines. [threads] defaults to 1. *)
+
+val access_instr : t -> thread:int -> line:int -> unit
+(** Fetch one instruction line: L1I, on miss L2. *)
+
+val access_data : t -> thread:int -> addr:int -> unit
+(** One data reference: L1D, on miss L2. @raise Invalid_argument on negative
+    addresses. *)
+
+val l1i_stats : t -> Cache_stats.t
+
+val l1d_stats : t -> Cache_stats.t
+
+val l2_stats : t -> Cache_stats.t
+(** L2 sees only L1 misses; its accesses equal [l1i misses + l1d misses]. *)
+
+val l2_instr_misses : t -> int
+
+val l2_data_misses : t -> int

@@ -1,0 +1,42 @@
+(** Trace-driven instruction-cache simulation.
+
+    Replays a basic-block execution trace against a {!Set_assoc} cache given
+    a code layout (per-block start address and byte size): each executed
+    block fetches every cache line its bytes span. Solo and shared (two
+    streams in one cache, round-robin per line, approximating SMT fetch
+    interleaving) modes — the trace-driven counterpart of the paper's Pin
+    simulator. *)
+
+type layout = {
+  addr : int array;  (** Start address per block id. *)
+  bytes : int array;  (** Size per block id. *)
+}
+
+val solo :
+  ?prefetch:Prefetch.t ->
+  params:Params.t ->
+  layout:layout ->
+  Colayout_util.Int_vec.t ->
+  Cache_stats.t
+(** Replay one block trace; stats have a single thread. *)
+
+val shared :
+  ?prefetch:Prefetch.t ->
+  ?rates:float * float ->
+  params:Params.t ->
+  layouts:layout * layout ->
+  Colayout_util.Int_vec.t * Colayout_util.Int_vec.t ->
+  Cache_stats.t
+(** Replay two block traces into one cache, alternating line accesses
+    between the threads ([rates], default [1.0, 1.0], scale how many line
+    fetches each thread performs per step — a data-bound program fetches
+    instructions more slowly than a compute-bound one). The second
+    thread's addresses are offset by a disambiguating stride so the two
+    programs do not alias by accident, as two processes' code would not.
+    Stats have two threads. When one trace ends it is restarted, until the
+    longer trace completes one full pass — both programs keep running, as in
+    the paper's co-run methodology of timing against a continuously running
+    peer. *)
+
+val lines_of_block : params:Params.t -> layout:layout -> int -> int * int
+(** [(first_line, last_line)] of a block id under a layout. *)

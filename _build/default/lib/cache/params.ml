@@ -1,0 +1,39 @@
+type t = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+  num_sets : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ~size_bytes ~assoc ~line_bytes =
+  if not (is_pow2 size_bytes) then invalid_arg "Params.make: size must be a power of two";
+  if not (is_pow2 line_bytes) then invalid_arg "Params.make: line size must be a power of two";
+  if assoc <= 0 then invalid_arg "Params.make: assoc must be positive";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Params.make: size not divisible by assoc * line";
+  let num_sets = size_bytes / (assoc * line_bytes) in
+  if not (is_pow2 num_sets) then invalid_arg "Params.make: set count must be a power of two";
+  { size_bytes; assoc; line_bytes; num_sets }
+
+let default_l1i = make ~size_bytes:(32 * 1024) ~assoc:4 ~line_bytes:64
+
+let lines_total t = t.size_bytes / t.line_bytes
+
+let line_of_addr t addr = addr / t.line_bytes
+
+let set_of_line t line = line land (t.num_sets - 1)
+
+let set_of_addr t addr = set_of_line t (line_of_addr t addr)
+
+let lines_spanned t ~addr ~bytes =
+  if bytes <= 0 then invalid_arg "Params.lines_spanned: bytes must be positive";
+  (line_of_addr t addr, line_of_addr t (addr + bytes - 1))
+
+let to_string t =
+  let size =
+    if t.size_bytes >= 1024 then Printf.sprintf "%dKB" (t.size_bytes / 1024)
+    else Printf.sprintf "%dB" t.size_bytes
+  in
+  Printf.sprintf "%s/%d-way/%dB (%d sets)" size t.assoc t.line_bytes t.num_sets

@@ -1,0 +1,34 @@
+(** Cache geometry.
+
+    The paper's configuration — both the real Xeon E5520 L1I and its Pin
+    simulator — is 32 KB, 4-way set associative, 64-byte lines (128 sets);
+    {!default_l1i} encodes it. *)
+
+type t = private {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+  num_sets : int;
+}
+
+val make : size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** @raise Invalid_argument unless sizes are positive powers of two and
+    [size_bytes] is divisible by [assoc * line_bytes]. *)
+
+val default_l1i : t
+(** 32 KB / 4-way / 64 B. *)
+
+val lines_total : t -> int
+
+val line_of_addr : t -> int -> int
+(** Line number (address / line size). *)
+
+val set_of_line : t -> int -> int
+
+val set_of_addr : t -> int -> int
+
+val lines_spanned : t -> addr:int -> bytes:int -> int * int
+(** [(first_line, last_line)] touched by a [bytes]-long object at [addr].
+    @raise Invalid_argument if [bytes <= 0]. *)
+
+val to_string : t -> string

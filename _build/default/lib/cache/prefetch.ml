@@ -1,0 +1,17 @@
+type t = { degree : int }
+
+let create ?(degree = 1) () =
+  if degree <= 0 then invalid_arg "Prefetch.create";
+  { degree }
+
+let degree t = t.degree
+
+let on_miss t cache stats line =
+  for l = line + 1 to line + t.degree do
+    if not (Set_assoc.probe_line cache l) then begin
+      Set_assoc.fill_line cache l;
+      Cache_stats.record_prefetch stats
+    end
+  done
+
+let none = None

@@ -1,0 +1,66 @@
+type t = {
+  params : Params.t;
+  (* ways.(set).(i) is the line cached in way i of the set, or -1; way order
+     encodes recency: index 0 is MRU. Associativities are small (4 in the
+     paper's configuration), so shifting an array segment on access is
+     cheaper than pointer structures. *)
+  ways : int array array;
+}
+
+let create params =
+  { params; ways = Array.init params.Params.num_sets (fun _ -> Array.make params.Params.assoc (-1)) }
+
+let params t = t.params
+
+let find_way set line =
+  let rec loop i = if i >= Array.length set then -1 else if set.(i) = line then i else loop (i + 1) in
+  loop 0
+
+let promote set i =
+  (* Move way [i] to MRU position 0, shifting [0, i) down by one. *)
+  let line = set.(i) in
+  Array.blit set 0 set 1 i;
+  set.(0) <- line
+
+let access_line t line =
+  let set = t.ways.(Params.set_of_line t.params line) in
+  let i = find_way set line in
+  if i >= 0 then begin
+    promote set i;
+    true
+  end
+  else begin
+    (* Miss: evict LRU (last slot) by shifting everything down. *)
+    Array.blit set 0 set 1 (Array.length set - 1);
+    set.(0) <- line;
+    false
+  end
+
+let probe_line t line =
+  let set = t.ways.(Params.set_of_line t.params line) in
+  find_way set line >= 0
+
+let fill_line t line =
+  let set = t.ways.(Params.set_of_line t.params line) in
+  let i = find_way set line in
+  if i >= 0 then promote set i
+  else begin
+    Array.blit set 0 set 1 (Array.length set - 1);
+    set.(0) <- line
+  end
+
+let access_range t ~addr ~bytes ~hits ~misses =
+  let first, last = Params.lines_spanned t.params ~addr ~bytes in
+  for line = first to last do
+    if access_line t line then incr hits else incr misses
+  done
+
+let invalidate_all t =
+  Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.ways
+
+let resident_lines t =
+  let acc = ref [] in
+  Array.iter (fun set -> Array.iter (fun l -> if l >= 0 then acc := l :: !acc) set) t.ways;
+  List.sort compare !acc
+
+let occupancy t = List.length (resident_lines t)

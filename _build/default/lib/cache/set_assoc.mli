@@ -1,0 +1,33 @@
+(** Set-associative LRU cache over line numbers.
+
+    This is the simulator counterpart of the paper's Pin-based CMP L1
+    instruction cache (§III-A). It is address-agnostic above the line level:
+    callers pass line numbers (address / 64). Used for both solo-run and
+    shared (SMT) simulation — in the shared case two fetch streams simply
+    access the same instance. *)
+
+type t
+
+val create : Params.t -> t
+
+val params : t -> Params.t
+
+val access_line : t -> int -> bool
+(** [access_line t line] touches a line; returns [true] on hit. Misses fill
+    the line, evicting the set's LRU way. *)
+
+val probe_line : t -> int -> bool
+(** Hit test without state change. *)
+
+val fill_line : t -> int -> unit
+(** Insert without being an access (prefetch fills). *)
+
+val access_range : t -> addr:int -> bytes:int -> hits:int ref -> misses:int ref -> unit
+(** Touch every line spanned by [bytes] at [addr], accumulating counts. *)
+
+val invalidate_all : t -> unit
+
+val resident_lines : t -> int list
+(** Sorted list of currently cached line numbers (for tests). *)
+
+val occupancy : t -> int

@@ -1,0 +1,1 @@
+lib/core/affinity.ml: Array Colayout_trace Fun Hashtbl List Lru_stack Trace Trim

@@ -1,0 +1,1 @@
+lib/core/affinity_hierarchy.ml: Affinity Array Colayout_trace Format Fun List Trace Trim

@@ -1,0 +1,1 @@
+lib/core/affinity_hierarchy.mli: Colayout_trace Format

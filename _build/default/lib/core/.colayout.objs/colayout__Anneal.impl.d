@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Array Colayout_ir Colayout_util Float Fun Optimal Prng

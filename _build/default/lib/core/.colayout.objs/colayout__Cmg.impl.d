@@ -1,0 +1,1 @@
+lib/core/cmg.ml: Array Colayout_cache Colayout_ir Colayout_trace Hashtbl Layout List Lru_stack Optimizer Option Program Trace Trg Trg_reduce Trim

@@ -1,0 +1,1 @@
+lib/core/cmg.mli: Colayout_ir Colayout_trace Layout Optimizer Trg

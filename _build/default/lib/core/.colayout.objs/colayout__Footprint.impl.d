@@ -1,0 +1,1 @@
+lib/core/footprint.ml: Array Colayout_trace Float Hashtbl List Option Trace

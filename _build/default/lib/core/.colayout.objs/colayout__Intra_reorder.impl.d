@@ -1,0 +1,1 @@
+lib/core/intra_reorder.ml: Array Colayout_ir Colayout_trace Layout List Optimizer Program

@@ -1,0 +1,1 @@
+lib/core/intra_reorder.mli: Colayout_ir Colayout_trace Layout Optimizer

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Colayout_cache Colayout_exec Colayout_ir Colayout_trace Fun List Printf Program Size_model Trace

@@ -1,0 +1,1 @@
+lib/core/link_affinity.ml: Affinity Affinity_hierarchy Array Colayout_trace Fun Hashtbl List Trace Trim

@@ -1,0 +1,1 @@
+lib/core/link_affinity.mli: Affinity_hierarchy Colayout_trace

@@ -1,0 +1,1 @@
+lib/core/miss_prob.mli: Footprint

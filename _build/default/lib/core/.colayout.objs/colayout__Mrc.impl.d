@@ -1,0 +1,1 @@
+lib/core/mrc.ml: Colayout_trace Layout List Stack_dist

@@ -1,0 +1,1 @@
+lib/core/mrc.mli: Colayout_cache Colayout_trace Layout

@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Colayout_cache Colayout_ir Colayout_trace Fun Layout Option Printf Program

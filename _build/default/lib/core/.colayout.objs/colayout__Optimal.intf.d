@@ -1,0 +1,1 @@
+lib/core/optimal.mli: Colayout_cache Colayout_ir Colayout_trace

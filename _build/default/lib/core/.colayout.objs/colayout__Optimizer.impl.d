@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Affinity_hierarchy Colayout_cache Colayout_exec Colayout_trace Layout List Prune Trace Trg Trg_reduce Trim

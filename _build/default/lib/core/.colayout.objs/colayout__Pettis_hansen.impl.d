@@ -1,0 +1,1 @@
+lib/core/pettis_hansen.ml: Colayout_ir Colayout_util Hashtbl Int_vec Layout List Option

@@ -1,0 +1,1 @@
+lib/core/pettis_hansen.mli: Colayout_ir Colayout_util Layout

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Colayout_cache Colayout_exec Colayout_trace Footprint Layout List Optimizer Trace

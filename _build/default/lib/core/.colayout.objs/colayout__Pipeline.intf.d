@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Colayout_cache Colayout_exec Colayout_ir Colayout_trace Footprint Layout Optimizer

@@ -1,0 +1,1 @@
+lib/core/residual.ml: Array Builder Colayout_ir Colayout_trace Program Trace Types Validate

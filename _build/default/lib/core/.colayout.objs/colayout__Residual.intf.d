@@ -1,0 +1,1 @@
+lib/core/residual.mli: Colayout_ir Colayout_trace

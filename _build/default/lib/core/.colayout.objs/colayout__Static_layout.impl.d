@@ -1,0 +1,1 @@
+lib/core/static_layout.ml: Array Cfg Colayout_ir Hashtbl Layout List Option Pettis_hansen Program Types

@@ -1,0 +1,1 @@
+lib/core/static_layout.mli: Colayout_ir Layout

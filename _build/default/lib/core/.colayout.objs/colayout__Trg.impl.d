@@ -1,0 +1,1 @@
+lib/core/trg.ml: Array Colayout_cache Colayout_trace Hashtbl List Lru_stack Option Trace Trim

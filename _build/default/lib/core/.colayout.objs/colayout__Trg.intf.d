@@ -1,0 +1,1 @@
+lib/core/trg.mli: Colayout_cache Colayout_trace

@@ -1,0 +1,1 @@
+lib/core/trg_place.ml: Array Colayout_cache Colayout_ir Fun Layout List Optimizer Program Size_model Trg

@@ -1,0 +1,1 @@
+lib/core/trg_place.mli: Colayout_cache Colayout_ir Layout Optimizer Trg

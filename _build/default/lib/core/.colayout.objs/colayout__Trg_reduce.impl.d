@@ -1,0 +1,1 @@
+lib/core/trg_reduce.ml: Array Colayout_cache Colayout_util Hashtbl Heap List Option Params Trg Vec

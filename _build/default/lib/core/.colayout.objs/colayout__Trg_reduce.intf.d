@@ -1,0 +1,1 @@
+lib/core/trg_reduce.mli: Colayout_cache Trg

@@ -1,0 +1,150 @@
+open Colayout_trace
+
+type pair_set = {
+  pairs : (int * int, unit) Hashtbl.t;
+}
+
+let canon x y = if x < y then (x, y) else (y, x)
+
+let is_affine ps x y = x = y || Hashtbl.mem ps.pairs (canon x y)
+
+let pair_list ps =
+  Hashtbl.fold (fun k () acc -> k :: acc) ps.pairs [] |> List.sort compare
+
+let require_trimmed t =
+  if not (Trim.is_trimmed t) then
+    invalid_arg "Affinity: trace must be trimmed (no two consecutive equal blocks)"
+
+(* Witness bookkeeping for the efficient algorithm: for the ordered pair
+   (a, b), [sat] counts occurrences of [a] that have some occurrence of [b]
+   within the w-window, and [last_occ] is the occurrence index of [a] most
+   recently counted (so one occurrence is never counted twice). *)
+type wit = {
+  mutable sat : int;
+  mutable last_occ : int;
+}
+
+let affine_pairs trace ~w =
+  if w < 1 then invalid_arg "Affinity.affine_pairs: w must be >= 1";
+  require_trimmed trace;
+  let occ = Trace.occurrences trace in
+  let occ_idx = Array.make (Trace.num_symbols trace) 0 in
+  let wits : (int * int, wit) Hashtbl.t = Hashtbl.create 4096 in
+  let witness a b a_occ =
+    let key = (a, b) in
+    let rec_ =
+      match Hashtbl.find_opt wits key with
+      | Some r -> r
+      | None ->
+        let r = { sat = 0; last_occ = 0 } in
+        Hashtbl.replace wits key r;
+        r
+    in
+    if rec_.last_occ < a_occ then begin
+      rec_.last_occ <- a_occ;
+      rec_.sat <- rec_.sat + 1
+    end
+  in
+  let stack = Lru_stack.create () in
+  Trace.iter
+    (fun y ->
+      occ_idx.(y) <- occ_idx.(y) + 1;
+      let ky = occ_idx.(y) in
+      (* Walk the stack top-down. A block [x] at 1-based depth [d] has
+         fp<last(x), here> = d + 1, or d if [y]'s previous occurrence lies
+         above [x] (then y is already among the d-1 more-recent blocks). *)
+      let d = ref 0 in
+      let y_seen = ref false in
+      Lru_stack.iter_until stack (fun x ->
+          incr d;
+          if x = y then begin
+            y_seen := true;
+            true
+          end
+          else begin
+            let fp = !d + if !y_seen then 0 else 1 in
+            if fp <= w then begin
+              (* This y-occurrence sees x (backward); x's latest occurrence
+                 sees y (forward). *)
+              witness y x ky;
+              witness x y occ_idx.(x)
+            end;
+            !d < w
+          end);
+      ignore (Lru_stack.access stack y))
+    trace;
+  let pairs = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (a, b) r ->
+      if a < b then begin
+        let back =
+          match Hashtbl.find_opt wits (b, a) with Some r' -> r'.sat | None -> 0
+        in
+        if r.sat = occ.(a) && back = occ.(b) && occ.(a) > 0 && occ.(b) > 0 then
+          Hashtbl.replace pairs (a, b) ()
+      end)
+    wits;
+  { pairs }
+
+let window_footprint trace a b =
+  let lo = min a b and hi = max a b in
+  if lo < 0 || hi >= Trace.length trace then invalid_arg "Affinity.window_footprint";
+  let seen = Hashtbl.create 16 in
+  for i = lo to hi do
+    Hashtbl.replace seen (Trace.get trace i) ()
+  done;
+  Hashtbl.length seen
+
+let positions_by_symbol trace =
+  let pos = Array.make (Trace.num_symbols trace) [] in
+  Trace.iteri (fun i s -> pos.(s) <- i :: pos.(s)) trace;
+  Array.map List.rev pos
+
+let affine_pairs_naive trace ~w =
+  if w < 1 then invalid_arg "Affinity.affine_pairs_naive: w must be >= 1";
+  require_trimmed trace;
+  let pos = positions_by_symbol trace in
+  let present =
+    List.filter (fun s -> pos.(s) <> []) (List.init (Trace.num_symbols trace) Fun.id)
+  in
+  (* Definition 3, directly: x is satisfied w.r.t. y iff every occurrence of
+     x has some occurrence of y with window footprint <= w. The minimum
+     footprint is reached at the nearest y occurrence on either side, but we
+     simply scan them all — this is the oracle, not the fast path. *)
+  let satisfied x y =
+    List.for_all
+      (fun p -> List.exists (fun q -> window_footprint trace p q <= w) pos.(y))
+      pos.(x)
+  in
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y -> if x < y && satisfied x y && satisfied y x then Hashtbl.replace pairs (x, y) ())
+        present)
+    present;
+  { pairs }
+
+let partition trace ~w =
+  require_trimmed trace;
+  let ps = affine_pairs trace ~w in
+  let first = Trace.first_occurrence trace in
+  let present =
+    List.init (Trace.num_symbols trace) Fun.id
+    |> List.filter (fun s -> first.(s) >= 0)
+    |> List.sort (fun a b -> compare first.(a) first.(b))
+  in
+  (* Algorithm 1's greedy grouping: each block joins the first existing group
+     in which it is affine with every member. *)
+  let groups : int list list ref = ref [] in
+  List.iter
+    (fun blk ->
+      let rec place = function
+        | [] -> [ [ blk ] ]
+        | g :: rest ->
+          if List.for_all (fun m -> is_affine ps blk m) g then (blk :: g) :: rest
+          else g :: place rest
+      in
+      groups := place !groups)
+    present;
+  List.map List.rev !groups

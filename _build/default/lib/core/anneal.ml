@@ -1,0 +1,63 @@
+open Colayout_util
+
+type result = {
+  order : int array;
+  miss_ratio : float;
+  steps : int;
+  improved_from : float;
+}
+
+let search ?(seed = 1) ?(steps = 300) ?initial ~params program trace =
+  if steps <= 0 then invalid_arg "Anneal.search: steps must be positive";
+  let nf = Colayout_ir.Program.num_funcs program in
+  let current =
+    match initial with
+    | None -> Array.init nf Fun.id
+    | Some o ->
+      if Array.length o <> nf then invalid_arg "Anneal.search: initial order length mismatch";
+      Array.copy o
+  in
+  let rng = Prng.create ~seed in
+  let eval order = Optimal.miss_ratio_of_function_order ~params program trace order in
+  let initial_mr = eval current in
+  let cur_mr = ref initial_mr in
+  let best = ref (Array.copy current) in
+  let best_mr = ref initial_mr in
+  (* Temperature scaled to the objective (miss ratios live in [0,1]);
+     geometric decay reaches ~1e-3 of the start by the last step. *)
+  let t0 = 0.02 in
+  let decay = exp (log 1e-3 /. float_of_int steps) in
+  let temp = ref t0 in
+  for _ = 1 to steps do
+    let a = Prng.int rng nf and b = Prng.int rng nf in
+    if a <> b then begin
+      let proposal = Array.copy current in
+      if Prng.bool rng ~p:0.5 then begin
+        (* Swap. *)
+        proposal.(a) <- current.(b);
+        proposal.(b) <- current.(a)
+      end
+      else begin
+        (* Relocate a to position b, shifting the gap. *)
+        let v = current.(a) in
+        if a < b then Array.blit current (a + 1) proposal a (b - a)
+        else Array.blit current b proposal (b + 1) (a - b);
+        proposal.(b) <- v
+      end;
+      let mr = eval proposal in
+      let accept =
+        mr <= !cur_mr
+        || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
+      in
+      if accept then begin
+        Array.blit proposal 0 current 0 nf;
+        cur_mr := mr;
+        if mr < !best_mr then begin
+          best_mr := mr;
+          best := Array.copy proposal
+        end
+      end
+    end;
+    temp := !temp *. decay
+  done;
+  { order = !best; miss_ratio = !best_mr; steps; improved_from = initial_mr }

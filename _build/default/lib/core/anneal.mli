@@ -1,0 +1,28 @@
+(** Simulated-annealing layout search.
+
+    Between the paper's O(N)–O(N³) heuristics and the impossible exhaustive
+    search (§III-D) sits local search: start from a heuristic's function
+    order and hill-climb with occasional uphill moves over the simulated
+    miss ratio. Too slow to be a compiler pass (each step is a full cache
+    simulation) but useful to estimate how much headroom the heuristics
+    leave — the experiment harness uses it in the Petrank-Rawitz wall
+    study. Deterministic for a fixed seed. *)
+
+type result = {
+  order : int array;
+  miss_ratio : float;
+  steps : int;  (** Simulations performed. *)
+  improved_from : float;  (** Miss ratio of the initial order. *)
+}
+
+val search :
+  ?seed:int ->
+  ?steps:int ->
+  ?initial:int array ->
+  params:Colayout_cache.Params.t ->
+  Colayout_ir.Program.t ->
+  Colayout_trace.Trace.t ->
+  result
+(** [steps] defaults to 300; [initial] to the identity (original) order;
+    temperature decays geometrically to ~0 over the budget. Neighbourhood:
+    swap two random functions, or relocate one (50/50). *)

@@ -1,0 +1,75 @@
+open Colayout_trace
+
+let build ?(window = max_int) ~sizes ~line_bytes trace =
+  if line_bytes <= 0 then invalid_arg "Cmg.build: line_bytes must be positive";
+  if Array.length sizes <> Trace.num_symbols trace then
+    invalid_arg "Cmg.build: sizes length must match the trace universe";
+  if not (Trim.is_trimmed trace) then invalid_arg "Cmg.build: trace must be trimmed";
+  let lines_of s = max 1 ((max 1 sizes.(s) + line_bytes - 1) / line_bytes) in
+  (* Same stack walk as TRG construction, but accumulate size-aware
+     weights into an edge list and materialize once at the end. *)
+  let weights : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let bump x y w =
+    let key = if x < y then (x, y) else (y, x) in
+    Hashtbl.replace weights key (w + Option.value ~default:0 (Hashtbl.find_opt weights key))
+  in
+  let stack = Lru_stack.create () in
+  Trace.iter
+    (fun x ->
+      let d = ref 0 in
+      let betweens = ref [] in
+      let found = ref false in
+      Lru_stack.iter_until stack (fun y ->
+          incr d;
+          if y = x then begin
+            found := true;
+            false
+          end
+          else if !d >= window then false
+          else begin
+            betweens := y :: !betweens;
+            true
+          end);
+      if !found then
+        List.iter (fun y -> bump x y (2 * min (lines_of x) (lines_of y))) !betweens;
+      ignore (Lru_stack.access stack x))
+    trace;
+  Trg.of_edges ~num_nodes:(Trace.num_symbols trace)
+    (Hashtbl.fold (fun (x, y) w acc -> (x, y, w) :: acc) weights [])
+
+let layout_for ?(config = Optimizer.default_config) ~granularity program analysis =
+  let open Colayout_ir in
+  let params = config.Optimizer.params in
+  let line_bytes = params.Colayout_cache.Params.line_bytes in
+  match granularity with
+  | `Function ->
+    let sizes =
+      Array.init (Program.num_funcs program) (fun fid -> Program.func_size_bytes program fid)
+    in
+    let window =
+      Trg.recommended_window ~params ~block_bytes:config.Optimizer.func_block_bytes
+        ~cache_multiplier:config.Optimizer.cache_multiplier
+    in
+    let g = build ~window ~sizes ~line_bytes analysis.Optimizer.fn in
+    let slots =
+      Trg_reduce.slots_for ~params ~block_bytes:config.Optimizer.func_block_bytes
+        ~cache_multiplier:config.Optimizer.cache_multiplier
+    in
+    let hot = (Trg_reduce.reduce g ~slots).Trg_reduce.order in
+    Layout.of_function_order program (Layout.function_order_of_hot_list program ~hot)
+  | `Block ->
+    let sizes =
+      Array.map (fun (b : Program.block) -> b.size_bytes) (Program.blocks program)
+    in
+    let window =
+      Trg.recommended_window ~params ~block_bytes:config.Optimizer.bb_block_bytes
+        ~cache_multiplier:config.Optimizer.cache_multiplier
+    in
+    let g = build ~window ~sizes ~line_bytes analysis.Optimizer.bb in
+    let slots =
+      Trg_reduce.slots_for ~params ~block_bytes:config.Optimizer.bb_block_bytes
+        ~cache_multiplier:config.Optimizer.cache_multiplier
+    in
+    let hot = (Trg_reduce.reduce g ~slots).Trg_reduce.order in
+    Layout.of_block_order ~function_stubs:true program
+      (Layout.block_order_of_hot_list program ~hot)

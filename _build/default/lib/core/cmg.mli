@@ -1,0 +1,34 @@
+(** Conflict Miss Graph (Kalamatianos & Kaeli, HPCA 1998) — the paper's
+    Related Work names it as TRG's sibling: "A similar model is the Conflict
+    Miss Graph (CMG), used for function reordering ... TRG and CMG are to
+    reduce cache conflicts".
+
+    CMG refines TRG's conflict counting with code size: when two code
+    blocks' occurrences interleave, the damage they can do to each other is
+    bounded by the cache lines of the {e smaller} one (each of its lines can
+    be evicted and refetched once per interleaving, in both directions). So
+    where TRG adds 1 per interleaved reuse, CMG adds
+    [2 * min(lines x, lines y)].
+
+    The result is an ordinary weighted graph, reusable with the paper's
+    {!Trg_reduce} slot assignment — making CMG-reduction a drop-in fifth
+    temporal optimizer. *)
+
+val build :
+  ?window:int ->
+  sizes:int array ->
+  line_bytes:int ->
+  Colayout_trace.Trace.t ->
+  Trg.t
+(** [sizes] in bytes per symbol; [window] as for {!Trg.build}. The trace
+    must be trimmed. @raise Invalid_argument on size/universe mismatch. *)
+
+val layout_for :
+  ?config:Optimizer.config ->
+  granularity:[ `Function | `Block ] ->
+  Colayout_ir.Program.t ->
+  Optimizer.analysis ->
+  Layout.t
+(** CMG analysis + TRG-style reduction at either granularity, using actual
+    code sizes (unlike the paper's TRG, CMG was defined with sizes and we
+    have them). *)

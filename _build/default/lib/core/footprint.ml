@@ -1,0 +1,124 @@
+open Colayout_trace
+
+(* Suffix-sum table over a sparse non-negative integer distribution: answers
+   [sum_{v > w} (v - w) * count(v)] in O(log bins). *)
+type tail = {
+  vals : int array; (* ascending distinct values *)
+  cnt_suffix : int array; (* cnt_suffix.(i) = sum of counts for vals.(i..) *)
+  weighted_suffix : float array; (* sum of v * count(v) for vals.(i..) *)
+}
+
+let tail_of_assoc assoc =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) assoc in
+  let vals = Array.of_list (List.map fst sorted) in
+  let cnts = Array.of_list (List.map snd sorted) in
+  let k = Array.length vals in
+  let cnt_suffix = Array.make (k + 1) 0 in
+  let weighted_suffix = Array.make (k + 1) 0.0 in
+  for i = k - 1 downto 0 do
+    cnt_suffix.(i) <- cnt_suffix.(i + 1) + cnts.(i);
+    weighted_suffix.(i) <-
+      weighted_suffix.(i + 1) +. (float_of_int vals.(i) *. float_of_int cnts.(i))
+  done;
+  { vals; cnt_suffix; weighted_suffix }
+
+(* sum over values v > w of (v - w) * count(v) *)
+let tail_excess t w =
+  (* first index with vals.(i) > w *)
+  let lo = ref 0 and hi = ref (Array.length t.vals) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.vals.(mid) > w then hi := mid else lo := mid + 1
+  done;
+  let i = !lo in
+  t.weighted_suffix.(i) -. (float_of_int w *. float_of_int t.cnt_suffix.(i))
+
+type t = {
+  n : int;
+  m : int;
+  rt_tail : tail;
+  first_tail : tail;
+  last_tail : tail;
+}
+
+let curve trace =
+  let n = Trace.length trace in
+  let rt = Hashtbl.create 1024 in
+  let last_pos = Hashtbl.create 4096 in
+  let first_pos = Hashtbl.create 4096 in
+  Trace.iteri
+    (fun i s ->
+      let pos = i + 1 in
+      (match Hashtbl.find_opt last_pos s with
+      | Some prev ->
+        let t = pos - prev in
+        Hashtbl.replace rt t (1 + Option.value ~default:0 (Hashtbl.find_opt rt t))
+      | None -> Hashtbl.replace first_pos s pos);
+      Hashtbl.replace last_pos s pos)
+    trace;
+  let m = Hashtbl.length first_pos in
+  let rt_assoc = Hashtbl.fold (fun k v acc -> (k, v) :: acc) rt [] in
+  let firsts = Hashtbl.fold (fun _ p acc -> (p, 1) :: acc) first_pos [] in
+  let lasts = Hashtbl.fold (fun _ p acc -> (n - p + 1, 1) :: acc) last_pos [] in
+  {
+    n;
+    m;
+    rt_tail = tail_of_assoc rt_assoc;
+    first_tail = tail_of_assoc firsts;
+    last_tail = tail_of_assoc lasts;
+  }
+
+let distinct c = c.m
+
+let trace_length c = c.n
+
+let fp c w =
+  if w <= 0 then 0.0
+  else if c.n = 0 then 0.0
+  else begin
+    let w = min w c.n in
+    let windows = float_of_int (c.n - w + 1) in
+    let deficit = tail_excess c.rt_tail w +. tail_excess c.first_tail w +. tail_excess c.last_tail w in
+    float_of_int c.m -. (deficit /. windows)
+  end
+
+let average_naive trace ~w =
+  let n = Trace.length trace in
+  if w < 1 || w > n then invalid_arg "Footprint.average_naive";
+  let counts = Hashtbl.create 256 in
+  let distinct = ref 0 in
+  let add s =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt counts s) in
+    if cur = 0 then incr distinct;
+    Hashtbl.replace counts s (cur + 1)
+  in
+  let remove s =
+    let cur = Hashtbl.find counts s in
+    if cur = 1 then begin
+      Hashtbl.remove counts s;
+      decr distinct
+    end
+    else Hashtbl.replace counts s (cur - 1)
+  in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    add (Trace.get trace i);
+    if i >= w then remove (Trace.get trace (i - w));
+    if i >= w - 1 then total := !total +. float_of_int !distinct
+  done;
+  !total /. float_of_int (n - w + 1)
+
+let inverse c target =
+  if c.n = 0 then 0
+  else if fp c c.n < target then c.n
+  else begin
+    let lo = ref 1 and hi = ref c.n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fp c mid >= target then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let deriv c w =
+  if w >= c.n then 0.0 else Float.max 0.0 (fp c (w + 1) -. fp c w)

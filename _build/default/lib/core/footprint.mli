@@ -1,0 +1,41 @@
+(** All-window average footprint (§II-A).
+
+    The footprint [fp(w)] is the average number of distinct blocks touched
+    over all length-[w] windows of the trace. The paper's defensiveness /
+    politeness formulation (Eqs 1–2) is stated in terms of footprints, using
+    the higher-order theory of locality (Xiang et al.) in which reuse
+    distance can be recovered from the footprint curve.
+
+    {!curve} computes the whole curve in one linear pass from the reuse-time
+    histogram plus first/last access times:
+
+    [fp(w) = m - (Σ_{t>w} (t-w)·rt(t) + Σ_i max(f_i-w,0) + Σ_i max(l_i-w,0))
+             / (n-w+1)]
+
+    where [m] = distinct blocks, [n] = trace length, [rt] = reuse-time
+    histogram, [f_i] = first access time of block [i] (1-based) and [l_i] =
+    reverse last-access time. {!average_naive} is the O(N·w) oracle. *)
+
+type t
+
+val curve : Colayout_trace.Trace.t -> t
+
+val fp : t -> int -> float
+(** [fp c w] for [w in [0, n]]; [fp 0 = 0]; values outside clamp.
+    Monotone non-decreasing and concave. *)
+
+val distinct : t -> int
+
+val trace_length : t -> int
+
+val average_naive : Colayout_trace.Trace.t -> w:int -> float
+(** Direct enumeration of all [n-w+1] windows (test oracle).
+    @raise Invalid_argument unless [1 <= w <= n]. *)
+
+val inverse : t -> float -> int
+(** [inverse c target] is the smallest window [w] with [fp c w >= target],
+    or the trace length if the footprint never reaches it. *)
+
+val deriv : t -> int -> float
+(** Forward difference [fp (w+1) - fp w]: the miss-ratio read-out of the
+    higher-order theory (misses per window-time at window [w]). *)

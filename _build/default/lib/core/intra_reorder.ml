@@ -1,0 +1,24 @@
+open Colayout_ir
+
+let block_order program trace =
+  let counts = Colayout_trace.Trace.occurrences trace in
+  let nb = Program.num_blocks program in
+  let order = Array.make nb 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun (f : Program.func) ->
+      let body =
+        Array.to_list f.blocks
+        |> List.filter (fun bid -> bid <> f.entry)
+        |> List.stable_sort (fun a b -> compare counts.(b) counts.(a))
+      in
+      List.iter
+        (fun bid ->
+          order.(!pos) <- bid;
+          incr pos)
+        (f.entry :: body))
+    (Program.funcs program);
+  order
+
+let layout_for program (analysis : Optimizer.analysis) =
+  Layout.of_block_order program (block_order program analysis.Optimizer.bb)

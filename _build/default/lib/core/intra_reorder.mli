@@ -1,0 +1,19 @@
+(** Intra-procedural basic-block reordering — the compiler-default baseline.
+
+    "Much of the literature in code layout optimization is intra-procedural.
+    Compilers such as LLVM and GCC provide profiling-based basic block
+    reordering, also within a procedure." (§II-E). This module implements
+    that baseline: within each function, hot blocks (by profiled execution
+    frequency) move to the front, the entry staying first; the function
+    order itself is untouched. Comparing it against the paper's
+    inter-procedural reordering quantifies what crossing function boundaries
+    buys. *)
+
+val block_order : Colayout_ir.Program.t -> Colayout_trace.Trace.t -> int array
+(** Per function: entry first, then blocks by descending execution count in
+    the (trimmed/pruned) profile trace, ties in original order. *)
+
+val layout_for :
+  Colayout_ir.Program.t -> Optimizer.analysis -> Layout.t
+(** The full intra-procedural optimizer (no function stubs are needed:
+    blocks never leave their function). *)

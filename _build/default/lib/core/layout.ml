@@ -1,0 +1,142 @@
+open Colayout_ir
+
+type t = {
+  order : int array;
+  addr : int array;
+  bytes : int array;
+  instr_counts : int array;
+  total_bytes : int;
+  added_jumps : int;
+}
+
+let check_permutation what n order =
+  if Array.length order <> n then
+    invalid_arg (Printf.sprintf "Layout: %s order has %d entries, expected %d" what
+                   (Array.length order) n);
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg (Printf.sprintf "Layout: bad %s id %d" what i);
+      if seen.(i) then invalid_arg (Printf.sprintf "Layout: duplicate %s id %d" what i);
+      seen.(i) <- true)
+    order
+
+let of_block_order ?(function_stubs = false) program order =
+  let nb = Program.num_blocks program in
+  check_permutation "block" nb order;
+  let addr = Array.make nb 0 in
+  let bytes = Array.make nb 0 in
+  let instr_counts = Array.make nb 0 in
+  let added_jumps = ref 0 in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun pos bid ->
+      let b = Program.block program bid in
+      let next = if pos + 1 < nb then Some order.(pos + 1) else None in
+      let needs_jump =
+        match Program.fallthrough_target program bid with
+        | None -> false
+        | Some target -> next <> Some target
+      in
+      let stub =
+        function_stubs && bid = (Program.func program b.fn).entry
+      in
+      let extra_bytes =
+        (if needs_jump then Size_model.jump_bytes else 0)
+        + if stub then Size_model.jump_bytes else 0
+      in
+      if needs_jump then incr added_jumps;
+      if stub then incr added_jumps;
+      addr.(bid) <- !cursor;
+      bytes.(bid) <- b.size_bytes + extra_bytes;
+      (* Added unconditional direct jumps cost fetch bytes but no issue
+         slots: a modern front-end folds them via the BTB. The paper's
+         basic-block reordering likewise shows no jump-overhead slowdowns. *)
+      instr_counts.(bid) <- b.instr_count;
+      cursor := !cursor + bytes.(bid))
+    order;
+  {
+    order = Array.copy order;
+    addr;
+    bytes;
+    instr_counts;
+    total_bytes = !cursor;
+    added_jumps = !added_jumps;
+  }
+
+let block_order_of_function_order program forder =
+  let order = Array.make (Program.num_blocks program) 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun fid ->
+      Array.iter
+        (fun bid ->
+          order.(!pos) <- bid;
+          incr pos)
+        (Program.func program fid).blocks)
+    forder;
+  order
+
+let of_function_order program forder =
+  check_permutation "function" (Program.num_funcs program) forder;
+  of_block_order program (block_order_of_function_order program forder)
+
+let original program =
+  of_function_order program (Array.init (Program.num_funcs program) Fun.id)
+
+let to_icache t : Colayout_cache.Icache.layout = { addr = t.addr; bytes = t.bytes }
+
+let to_smt_code t : Colayout_exec.Smt.code =
+  { layout = to_icache t; instr_counts = t.instr_counts }
+
+let line_trace ~params ~layout trace =
+  let open Colayout_trace in
+  let max_line =
+    Colayout_cache.Params.line_of_addr params (max 1 layout.total_bytes - 1) + 1
+  in
+  let out = Trace.create ~name:(Trace.name trace ^ ".lines") ~num_symbols:(max 1 max_line) () in
+  Trace.iter
+    (fun bid ->
+      let first, last =
+        Colayout_cache.Params.lines_spanned params ~addr:layout.addr.(bid)
+          ~bytes:layout.bytes.(bid)
+      in
+      for line = first to last do
+        Trace.push out line
+      done)
+    trace;
+  out
+
+let complete_order n ~hot ~universe_in_order what =
+  let seen = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg (Printf.sprintf "Layout: bad hot %s id %d" what i);
+      if seen.(i) then invalid_arg (Printf.sprintf "Layout: duplicate hot %s id %d" what i);
+      seen.(i) <- true)
+    hot;
+  let out = Array.make n 0 in
+  let pos = ref 0 in
+  List.iter
+    (fun i ->
+      out.(!pos) <- i;
+      incr pos)
+    hot;
+  Array.iter
+    (fun i ->
+      if not seen.(i) then begin
+        out.(!pos) <- i;
+        incr pos
+      end)
+    universe_in_order;
+  out
+
+let block_order_of_hot_list program ~hot =
+  let nb = Program.num_blocks program in
+  (* Original order = blocks grouped by function in declaration order. *)
+  let original_order = block_order_of_function_order program (Array.init (Program.num_funcs program) Fun.id) in
+  complete_order nb ~hot ~universe_in_order:original_order "block"
+
+let function_order_of_hot_list program ~hot =
+  let nf = Program.num_funcs program in
+  complete_order nf ~hot ~universe_in_order:(Array.init nf Fun.id) "function"

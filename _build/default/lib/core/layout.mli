@@ -1,0 +1,65 @@
+(** Code layout: a permutation of the program's basic blocks together with
+    the address assignment it induces.
+
+    Address assignment charges the costs the paper's transformation pays:
+
+    - {b broken fall-throughs}: when a block's natural fall-through successor
+      ([Branch]'s false edge, [Jump]'s target, or a [Call]'s return block) is
+      not the next block in layout order, an explicit unconditional jump is
+      appended (§II-E pre-processing: "we need an explicit jump to find the
+      right fall-through block"). The original layout pays this too — its
+      fall-throughs are simply usually intact.
+    - {b function entry stubs}: under whole-program basic-block reordering,
+      each function gets a jump at its start to reach its (possibly distant)
+      first block; enabled by [function_stubs].
+
+    The result feeds both the cache simulators (addresses/bytes) and the SMT
+    timing model (per-block instruction counts including added jumps). *)
+
+type t = {
+  order : int array;  (** Block ids in layout order (a permutation). *)
+  addr : int array;  (** Start address, indexed by block id. *)
+  bytes : int array;  (** Laid-out size, indexed by block id. *)
+  instr_counts : int array;
+      (** Executed instructions per block id. Added unconditional jumps are
+          charged as bytes (fetch footprint) but not as instructions: the
+          front-end folds direct jumps. *)
+  total_bytes : int;
+  added_jumps : int;  (** Number of fall-through fixups inserted. *)
+}
+
+val of_block_order : ?function_stubs:bool -> Colayout_ir.Program.t -> int array -> t
+(** @raise Invalid_argument if [order] is not a permutation of all block
+    ids. [function_stubs] defaults to false. *)
+
+val of_function_order : Colayout_ir.Program.t -> int array -> t
+(** Functions laid out in the given order; blocks keep their original
+    intra-procedural order. @raise Invalid_argument if not a permutation of
+    all function ids. *)
+
+val original : Colayout_ir.Program.t -> t
+(** Declaration order — the baseline layout. *)
+
+val to_icache : t -> Colayout_cache.Icache.layout
+
+val to_smt_code : t -> Colayout_exec.Smt.code
+
+val line_trace :
+  params:Colayout_cache.Params.t ->
+  layout:t ->
+  Colayout_trace.Trace.t ->
+  Colayout_trace.Trace.t
+(** Expand a block trace into the cache-line reference trace the layout
+    induces (symbols = line numbers). This is what the footprint /
+    miss-probability model consumes to speak in cache-capacity units. *)
+
+val block_order_of_hot_list :
+  Colayout_ir.Program.t -> hot:int list -> int array
+(** Complete a hot-block prefix into a full block permutation: hot blocks
+    first (in the given order), then every remaining block in original
+    program order — the paper's residual cold code. Duplicates in [hot] are
+    an error. *)
+
+val function_order_of_hot_list :
+  Colayout_ir.Program.t -> hot:int list -> int array
+(** Same completion for function ids. *)

@@ -1,0 +1,118 @@
+open Colayout_trace
+
+type node =
+  | Leaf of int
+  | Group of { k : int; children : node list }
+
+type t = {
+  roots : node list;
+  ks : int list;
+}
+
+let default_ks = List.init 8 (fun i -> i + 1)
+
+let rec members = function
+  | Leaf b -> [ b ]
+  | Group { children; _ } -> List.concat_map members children
+
+let check_ks ks =
+  let rec ok = function
+    | [] -> true
+    | [ k ] -> k >= 1
+    | k1 :: (k2 :: _ as rest) -> k1 >= 1 && k1 < k2 && ok rest
+  in
+  if ks = [] || not (ok ks) then
+    invalid_arg "Link_affinity: ks must be positive and strictly ascending"
+
+type work = {
+  node : node;
+  mems : int list;
+  size : int;
+  first_pos : int;
+}
+
+let build ?(algo = Affinity_hierarchy.Efficient) ?(ks = default_ks) ?(max_window = 64) trace =
+  check_ks ks;
+  if max_window < 2 then invalid_arg "Link_affinity: max_window must be >= 2";
+  if not (Trim.is_trimmed trace) then
+    invalid_arg "Link_affinity.build: trace must be trimmed";
+  let first = Trace.first_occurrence trace in
+  let present =
+    List.init (Trace.num_symbols trace) Fun.id
+    |> List.filter (fun s -> first.(s) >= 0)
+    |> List.sort (fun a b -> compare first.(a) first.(b))
+  in
+  (* Pair sets per window, computed on demand: the proportional windows
+     depend on group sizes discovered during merging. *)
+  let pair_cache : (int, Affinity.pair_set) Hashtbl.t = Hashtbl.create 16 in
+  let pairs_at w =
+    let w = max 1 (min w max_window) in
+    match Hashtbl.find_opt pair_cache w with
+    | Some ps -> ps
+    | None ->
+      let ps =
+        match algo with
+        | Affinity_hierarchy.Efficient -> Affinity.affine_pairs trace ~w
+        | Affinity_hierarchy.Exact -> Affinity.affine_pairs_naive trace ~w
+      in
+      Hashtbl.replace pair_cache w ps;
+      ps
+  in
+  let merge_level ~k groups =
+    let clusters : work list ref list ref = ref [] in
+    List.iter
+      (fun g ->
+        let compatible cluster =
+          let cluster_size = List.fold_left (fun acc g' -> acc + g'.size) 0 !cluster in
+          (* The window grows with the would-be combined group. *)
+          let w = k * (cluster_size + g.size) in
+          let ps = pairs_at w in
+          List.for_all
+            (fun g' ->
+              List.for_all
+                (fun a -> List.for_all (fun b -> Affinity.is_affine ps a b) g'.mems)
+                g.mems)
+            !cluster
+        in
+        let rec place = function
+          | [] -> clusters := !clusters @ [ ref [ g ] ]
+          | c :: rest -> if compatible c then c := !c @ [ g ] else place rest
+        in
+        place !clusters)
+      groups;
+    List.map
+      (fun c ->
+        match !c with
+        | [] -> assert false
+        | [ g ] -> g
+        | gs ->
+          {
+            node = Group { k; children = List.map (fun g -> g.node) gs };
+            mems = List.concat_map (fun g -> g.mems) gs;
+            size = List.fold_left (fun acc g -> acc + g.size) 0 gs;
+            first_pos = List.fold_left (fun acc g -> min acc g.first_pos) max_int gs;
+          })
+      !clusters
+  in
+  let groups =
+    ref
+      (List.map
+         (fun b -> { node = Leaf b; mems = [ b ]; size = 1; first_pos = first.(b) })
+         present)
+  in
+  List.iter
+    (fun k -> if List.length !groups > 1 then groups := merge_level ~k !groups)
+    ks;
+  let roots = List.sort (fun a b -> compare a.first_pos b.first_pos) !groups in
+  { roots = List.map (fun g -> g.node) roots; ks }
+
+let order t = List.concat_map members t.roots
+
+let partition_at t ~k =
+  let rec cut node =
+    match node with
+    | Leaf b -> [ [ b ] ]
+    | Group { k = gk; children } ->
+      if gk <= k then [ members node ] else List.concat_map cut children
+  in
+  List.concat_map cut t.roots

@@ -1,0 +1,45 @@
+(** Link-based reference affinity — the original Zhong et al. model the
+    paper's w-window affinity departs from (§II-B).
+
+    "In link-based affinity, the window size is proportional to the size of
+    an affinity group and not constant. As a result, the partition is unique
+    in link-based affinity but not in w-window affinity. However, the
+    benefit of w-window affinity is faster analysis."
+
+    This module implements the size-proportional-window semantics so the two
+    models can be compared: at link length [k], two groups merge when every
+    cross pair co-occurs within a window of [k × combined group size] —
+    larger groups are given proportionally more room, the defining contrast
+    with the fixed [w]. Exact analysis of the original definition is
+    NP-hard; like the paper's citation of Zhong et al.'s heuristic, this is
+    an agglomerative approximation, but one that preserves the
+    proportional-window property. *)
+
+type node =
+  | Leaf of int
+  | Group of { k : int; children : node list }
+
+type t = {
+  roots : node list;
+  ks : int list;  (** Link lengths analyzed, ascending. *)
+}
+
+val default_ks : int list
+(** 1..8. *)
+
+val build :
+  ?algo:Affinity_hierarchy.algo ->
+  ?ks:int list ->
+  ?max_window:int ->
+  Colayout_trace.Trace.t ->
+  t
+(** [max_window] (default 64) caps the proportional window, bounding
+    analysis cost on large groups. @raise Invalid_argument if the trace is
+    not trimmed or [ks] is not positive ascending. *)
+
+val members : node -> int list
+
+val order : t -> int list
+(** Bottom-up traversal, as for {!Affinity_hierarchy.order}. *)
+
+val partition_at : t -> k:int -> int list list

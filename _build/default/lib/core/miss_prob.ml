@@ -1,0 +1,67 @@
+type t = Footprint.t
+
+let solo_miss_ratio c ~capacity =
+  if capacity <= 0 then invalid_arg "Miss_prob.solo_miss_ratio";
+  let cap = float_of_int capacity in
+  if Footprint.fp c (Footprint.trace_length c) < cap then 0.0
+  else begin
+    let w = Footprint.inverse c cap in
+    Footprint.deriv c w
+  end
+
+let solo_window c ~capacity =
+  if capacity <= 0 then invalid_arg "Miss_prob.solo_window";
+  Footprint.inverse c (float_of_int capacity)
+
+let split_window self peer ~capacity =
+  if capacity <= 0 then invalid_arg "Miss_prob.split_window";
+  let cap = float_of_int capacity in
+  let combined w = Footprint.fp self w +. Footprint.fp peer w in
+  let n = max (Footprint.trace_length self) (Footprint.trace_length peer) in
+  if n = 0 then 0
+  else if combined n < cap then n
+  else begin
+    (* Binary search for the shared window w* where the two footprints
+       together fill the capacity (both curves are monotone). *)
+    let lo = ref 1 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if combined mid >= cap then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let corun_miss_ratios self peer ~capacity =
+  if capacity <= 0 then invalid_arg "Miss_prob.corun_miss_ratios";
+  let cap = float_of_int capacity in
+  let combined w = Footprint.fp self w +. Footprint.fp peer w in
+  let n = max (Footprint.trace_length self) (Footprint.trace_length peer) in
+  if n = 0 then (0.0, 0.0)
+  else if combined n < cap then (0.0, 0.0)
+  else begin
+    let w = split_window self peer ~capacity in
+    (Footprint.deriv self w, Footprint.deriv peer w)
+  end
+
+type exposure = {
+  solo : float;
+  corun : float;
+  defensiveness : float;
+  politeness : float;
+}
+
+let exposure ~self ~peer ~capacity =
+  let solo_self = solo_miss_ratio self ~capacity in
+  let solo_peer = solo_miss_ratio peer ~capacity in
+  let corun_self, corun_peer = corun_miss_ratios self peer ~capacity in
+  {
+    solo = solo_self;
+    corun = corun_self;
+    defensiveness = corun_self -. solo_self;
+    politeness = corun_peer -. solo_peer;
+  }
+
+let footprint_fraction c ~q =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Miss_prob.footprint_fraction";
+  let n = Footprint.trace_length c in
+  Footprint.fp c (max 1 (int_of_float (q *. float_of_int n)))

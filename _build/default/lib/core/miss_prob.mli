@@ -1,0 +1,56 @@
+(** The paper's formal model of defensiveness and politeness (§II-A).
+
+    Capacity interference in shared cache obeys
+
+    {v P(self.miss) = P(self.FP + peer.FP >= C)        (Eq 1) v}
+
+    and, specialized to the instruction cache of size [C'],
+
+    {v P(self.icache.miss) = P(self.FP.inst + peer.FP.inst >= C')   (Eq 2) v}
+
+    Operationally (higher-order theory of locality): a program's miss ratio
+    at capacity [C] is the derivative of its footprint curve at the window
+    where the footprint fills [C]; under co-run the two programs' footprints
+    over a common window share the capacity. All capacities below are in the
+    same unit as the traces' symbols — feed cache-line traces to model a real
+    cache (see {!Layout.line_trace}).
+
+    From these the paper's three benefit classes are quantified: locality
+    (solo miss reduction), defensiveness (self miss reduction under a peer),
+    and politeness (peer miss reduction caused by self). *)
+
+type t = Footprint.t
+
+val solo_miss_ratio : t -> capacity:int -> float
+(** [fp'(w)] at the window where the footprint reaches [capacity]; 0 when
+    the whole footprint fits. *)
+
+val solo_window : t -> capacity:int -> int
+(** The smallest window at which the footprint reaches [capacity] (trace
+    length when it never does). *)
+
+val split_window : t -> t -> capacity:int -> int
+(** The shared window [w*] solving [fp_self(w) + fp_peer(w) = capacity];
+    always [<= solo_window] of either program. *)
+
+val corun_miss_ratios : t -> t -> capacity:int -> float * float
+(** [(self, peer)] predicted miss ratios when the two programs share
+    [capacity], running interleaved with equal window progress: the split
+    window [w*] solves [fp_self(w) + fp_peer(w) = capacity]. *)
+
+type exposure = {
+  solo : float;  (** Predicted solo miss ratio (locality). *)
+  corun : float;  (** Predicted miss ratio against the peer. *)
+  defensiveness : float;
+      (** [corun - solo]: the additional misses the peer inflicts; smaller
+          means more defensive. *)
+  politeness : float;
+      (** Additional misses the peer suffers because of us: peer's corun
+          ratio minus peer's solo ratio; smaller means more polite. *)
+}
+
+val exposure : self:t -> peer:t -> capacity:int -> exposure
+
+val footprint_fraction : t -> q:float -> float
+(** The footprint over a window of [q · n] trace positions ([q] in (0,1]) —
+    a compact "FP" summary statistic used in reports. *)

@@ -1,0 +1,35 @@
+open Colayout_trace
+
+type t = {
+  result : Stack_dist.result;
+}
+
+let of_line_trace trace = { result = Stack_dist.run trace }
+
+let of_layout ~params ~layout trace =
+  of_line_trace (Layout.line_trace ~params ~layout trace)
+
+let miss_ratio t ~capacity_lines =
+  Stack_dist.miss_ratio_at t.result ~capacity:capacity_lines
+
+let curve t ~capacities =
+  List.map (fun c -> (c, miss_ratio t ~capacity_lines:c)) capacities
+
+let distinct_lines t = t.result.Stack_dist.distinct
+
+let accesses t = t.result.Stack_dist.accesses
+
+let working_set_knee t ~threshold =
+  if threshold < 0.0 || threshold > 1.0 then invalid_arg "Mrc.working_set_knee";
+  (* Miss ratio is non-increasing in capacity (LRU inclusion), so binary
+     search the knee. *)
+  let hi = max 1 (distinct_lines t) in
+  if miss_ratio t ~capacity_lines:hi > threshold then hi
+  else begin
+    let lo = ref 1 and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if miss_ratio t ~capacity_lines:mid <= threshold then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end

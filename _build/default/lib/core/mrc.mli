@@ -1,0 +1,33 @@
+(** Miss-ratio curves from one stack-distance pass (Mattson et al. 1970).
+
+    The inclusion property of LRU means a single stack simulation yields the
+    miss ratio of {e every} fully-associative cache size at once. Applied to
+    the cache-line trace a layout induces, the curve shows where a program
+    sits relative to any capacity — which working-set knee the 32 KB L1I
+    cuts through, and how a layout optimization moves the knee left. This is
+    the measurement-side complement of the {!Footprint} theory curve. *)
+
+type t
+
+val of_line_trace : Colayout_trace.Trace.t -> t
+(** One stack-distance pass over a line trace (see {!Layout.line_trace}). *)
+
+val of_layout :
+  params:Colayout_cache.Params.t ->
+  layout:Layout.t ->
+  Colayout_trace.Trace.t ->
+  t
+(** Convenience: expand a block trace under a layout first. *)
+
+val miss_ratio : t -> capacity_lines:int -> float
+(** Fully-associative LRU miss ratio at a capacity (cold misses count). *)
+
+val curve : t -> capacities:int list -> (int * float) list
+
+val working_set_knee : t -> threshold:float -> int
+(** Smallest capacity whose miss ratio is [<= threshold]; the trace's
+    distinct-line count if none is. *)
+
+val accesses : t -> int
+
+val distinct_lines : t -> int

@@ -1,0 +1,105 @@
+open Colayout_util
+
+type graph = {
+  num_funcs : int;
+  weights : (int * int, int) Hashtbl.t; (* canonical (min, max) keys *)
+}
+
+let canon x y = if x < y then (x, y) else (y, x)
+
+let add_edge g x y w =
+  if x <> y && w > 0 then begin
+    let key = canon x y in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt g.weights key) in
+    Hashtbl.replace g.weights key (cur + w)
+  end
+
+let graph_of_call_trace ~num_funcs calls =
+  if num_funcs <= 0 then invalid_arg "Pettis_hansen: num_funcs must be positive";
+  let g = { num_funcs; weights = Hashtbl.create 256 } in
+  Int_vec.iter
+    (fun code ->
+      let caller = code / num_funcs and callee = code mod num_funcs in
+      if caller < 0 || caller >= num_funcs then
+        invalid_arg "Pettis_hansen: malformed call-pair stream";
+      add_edge g caller callee 1)
+    calls;
+  g
+
+let graph_of_edges ~num_funcs edges =
+  if num_funcs <= 0 then invalid_arg "Pettis_hansen: num_funcs must be positive";
+  let g = { num_funcs; weights = Hashtbl.create 64 } in
+  List.iter
+    (fun (x, y, w) ->
+      if x < 0 || y < 0 || x >= num_funcs || y >= num_funcs then
+        invalid_arg "Pettis_hansen: node out of range";
+      if w < 0 then invalid_arg "Pettis_hansen: negative weight";
+      add_edge g x y w)
+    edges;
+  g
+
+let edge_weight g x y =
+  if x = y then 0 else Option.value ~default:0 (Hashtbl.find_opt g.weights (canon x y))
+
+(* Chains are int lists in layout order; chain_of maps a node to its chain
+   id, chains maps a chain id to its members. *)
+let order g =
+  let edges =
+    Hashtbl.fold (fun (x, y) w acc -> (w, x, y) :: acc) g.weights []
+    |> List.sort (fun (w1, x1, y1) (w2, x2, y2) ->
+           if w1 <> w2 then compare w2 w1 else compare (x1, y1) (x2, y2))
+  in
+  let chain_of = Hashtbl.create 64 in
+  let chains : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let ensure v =
+    if not (Hashtbl.mem chain_of v) then begin
+      Hashtbl.replace chain_of v v;
+      Hashtbl.replace chains v [ v ]
+    end
+  in
+  let pos_of chain v =
+    let rec go i = function
+      | [] -> assert false
+      | x :: rest -> if x = v then i else go (i + 1) rest
+    in
+    go 0 chain
+  in
+  List.iter
+    (fun (_, x, y) ->
+      ensure x;
+      ensure y;
+      let cx = Hashtbl.find chain_of x and cy = Hashtbl.find chain_of y in
+      if cx <> cy then begin
+        let a = Hashtbl.find chains cx and b = Hashtbl.find chains cy in
+        (* Orient A so x sits near its end, B so y sits near its start:
+           of Pettis-Hansen's four concatenations this pair minimizes the
+           x..y distance. *)
+        let la = List.length a and lb = List.length b in
+        let px = pos_of a x and py = pos_of b y in
+        let a' = if la - 1 - px <= px then a else List.rev a in
+        let b' = if py <= lb - 1 - py then b else List.rev b in
+        let merged = a' @ b' in
+        Hashtbl.remove chains cy;
+        Hashtbl.replace chains cx merged;
+        List.iter (fun v -> Hashtbl.replace chain_of v cx) b'
+      end)
+    edges;
+  (* Emit chains by descending total connection weight, deterministic. *)
+  let chain_weight members =
+    List.fold_left
+      (fun acc v ->
+        Hashtbl.fold
+          (fun (p, q) w acc' -> if p = v || q = v then acc' + w else acc')
+          g.weights acc)
+      0 members
+  in
+  Hashtbl.fold (fun _ members acc -> members :: acc) chains []
+  |> List.map (fun members -> (chain_weight members, List.fold_left min max_int members, members))
+  |> List.sort (fun (w1, m1, _) (w2, m2, _) ->
+         if w1 <> w2 then compare w2 w1 else compare m1 m2)
+  |> List.concat_map (fun (_, _, members) -> members)
+
+let layout_for program calls =
+  let g = graph_of_call_trace ~num_funcs:(Colayout_ir.Program.num_funcs program) calls in
+  let hot = order g in
+  Layout.of_function_order program (Layout.function_order_of_hot_list program ~hot)

@@ -1,0 +1,90 @@
+open Colayout_ir
+
+type report = {
+  removed_blocks : int;
+  removed_bytes : int;
+  removed_funcs : int;
+  kept_blocks : int;
+}
+
+let eliminate program =
+  let reachable = Validate.reachable_blocks program in
+  let nf = Program.num_funcs program in
+  let nb = Program.num_blocks program in
+  (* A function survives if its entry is reachable; main always does. *)
+  let keep_func =
+    Array.init nf (fun fid ->
+        fid = (Program.main program).fid || reachable.((Program.func program fid).entry))
+  in
+  let b = Builder.create ~name:(Program.name program ^ ".stripped") () in
+  let func_map = Array.make nf (-1) in
+  let block_map = Array.make nb (-1) in
+  (* Declare surviving functions and blocks first (ids are needed to remap
+     forward references), then fill bodies. *)
+  Array.iter
+    (fun (f : Program.func) ->
+      if keep_func.(f.fid) then begin
+        let fid' = Builder.func b f.fname in
+        func_map.(f.fid) <- fid';
+        Array.iter
+          (fun bid ->
+            if reachable.(bid) then
+              block_map.(bid) <- Builder.block b fid' (Program.block program bid).name)
+          f.blocks
+      end)
+    (Program.funcs program);
+  let remap_block bid =
+    let b' = block_map.(bid) in
+    if b' < 0 then invalid_arg "Residual: reachable block targets a removed block";
+    b'
+  in
+  Array.iteri
+    (fun bid new_id ->
+      if new_id >= 0 then begin
+        let blk = Program.block program bid in
+        let term =
+          match blk.term with
+          | Types.Jump x -> Types.Jump (remap_block x)
+          | Types.Branch { cond; if_true; if_false } ->
+            Types.Branch
+              { cond; if_true = remap_block if_true; if_false = remap_block if_false }
+          | Types.Switch { sel; targets; default } ->
+            Types.Switch
+              { sel; targets = Array.map remap_block targets; default = remap_block default }
+          | Types.Call { callee; return_to } ->
+            let callee' = func_map.(callee) in
+            if callee' < 0 then invalid_arg "Residual: reachable call to a removed function";
+            Types.Call { callee = callee'; return_to = remap_block return_to }
+          | (Types.Return | Types.Halt) as t -> t
+        in
+        Builder.set_body b new_id blk.instrs term
+      end)
+    block_map;
+  Builder.set_main b func_map.((Program.main program).fid);
+  let stripped = Builder.finish b in
+  let removed_bytes =
+    Array.fold_left
+      (fun acc (blk : Program.block) ->
+        if block_map.(blk.id) < 0 then acc + blk.size_bytes else acc)
+      0 (Program.blocks program)
+  in
+  let kept_blocks = Program.num_blocks stripped in
+  ( stripped,
+    block_map,
+    {
+      removed_blocks = nb - kept_blocks;
+      removed_bytes;
+      removed_funcs = nf - Program.num_funcs stripped;
+      kept_blocks;
+    } )
+
+let map_trace ~block_map trace ~num_symbols =
+  let open Colayout_trace in
+  let out = Trace.create ~name:(Trace.name trace ^ ".mapped") ~num_symbols () in
+  Trace.iter
+    (fun s ->
+      let s' = block_map.(s) in
+      if s' < 0 then invalid_arg "Residual.map_trace: trace mentions a removed block";
+      Trace.push out s')
+    trace;
+  out

@@ -1,0 +1,28 @@
+(** Residual code elimination — the cleanup half of the paper's
+    basic-block-reordering post-processing (§II-E: "the post-processing step
+    is responsible for sanity check, residual code elimination and other
+    cleanup work").
+
+    Removes code that no control path can reach: blocks no reachable
+    terminator targets, and functions that are never called. Statically
+    unreachable code can never execute under any input, so elimination
+    preserves semantics exactly; it shrinks the address space the layout
+    must cover, which is itself a (small) locality win. *)
+
+type report = {
+  removed_blocks : int;
+  removed_bytes : int;
+  removed_funcs : int;
+  kept_blocks : int;
+}
+
+val eliminate : Colayout_ir.Program.t -> Colayout_ir.Program.t * int array * report
+(** [eliminate p] returns [(p', block_map, report)] where [block_map.(old)]
+    is the new block id or [-1] if removed. The main function is always
+    kept. The result is validated. *)
+
+val map_trace :
+  block_map:int array -> Colayout_trace.Trace.t -> num_symbols:int -> Colayout_trace.Trace.t
+(** Translate a trace of old block ids into new ids (for comparing runs
+    across elimination). @raise Invalid_argument if the trace mentions a
+    removed block. *)

@@ -1,0 +1,53 @@
+open Colayout_ir
+
+let cfgs program =
+  Array.init (Program.num_funcs program) (fun fid -> Cfg.analyze program fid)
+
+let static_call_graph_with cfg_arr program =
+  let acc : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Program.block) ->
+      match b.term with
+      | Types.Call { callee; _ } ->
+        let freq = Cfg.static_frequency cfg_arr.(b.fn) b.id in
+        let key = (b.fn, callee) in
+        Hashtbl.replace acc key (freq +. Option.value ~default:0.0 (Hashtbl.find_opt acc key))
+      | _ -> ())
+    (Program.blocks program);
+  Hashtbl.fold
+    (fun (caller, callee) w l -> (caller, callee, int_of_float (ceil w)) :: l)
+    acc []
+  |> List.sort compare
+
+let static_call_graph program = static_call_graph_with (cfgs program) program
+
+let block_order program =
+  let cfg_arr = cfgs program in
+  let edges = static_call_graph_with cfg_arr program in
+  let graph = Pettis_hansen.graph_of_edges ~num_funcs:(Program.num_funcs program) edges in
+  let forder =
+    Layout.function_order_of_hot_list program ~hot:(Pettis_hansen.order graph)
+  in
+  let nb = Program.num_blocks program in
+  let order = Array.make nb 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun fid ->
+      let f = Program.func program fid in
+      let body =
+        Array.to_list f.blocks
+        |> List.filter (fun bid -> bid <> f.entry)
+        |> List.stable_sort (fun a b ->
+               compare
+                 (Cfg.static_frequency cfg_arr.(fid) b)
+                 (Cfg.static_frequency cfg_arr.(fid) a))
+      in
+      List.iter
+        (fun bid ->
+          order.(!pos) <- bid;
+          incr pos)
+        (f.entry :: body))
+    forder;
+  order
+
+let layout_for program = Layout.of_block_order program (block_order program)

@@ -1,0 +1,20 @@
+(** Profile-free static layout — what a compiler can do without any
+    instrumentation run.
+
+    Composes the static machinery: {!Colayout_ir.Cfg}'s loop-depth-scaled
+    block frequency estimates order blocks within each function (hot first,
+    entry pinned), and a static call graph — call sites weighted by their
+    block's estimated frequency — feeds {!Pettis_hansen} chain merging for
+    the function order. The gap between this and the paper's profile-driven
+    optimizers measures what the instrumentation run buys. *)
+
+val static_call_graph : Colayout_ir.Program.t -> (int * int * int) list
+(** [(caller, callee, weight)] edges; weight is the rounded-up sum of the
+    static frequencies of the calling blocks. *)
+
+val block_order : Colayout_ir.Program.t -> int array
+(** Functions ordered by the static Pettis-Hansen chains (never-called
+    functions last, in original order); within each function, entry first,
+    then blocks by descending static frequency. *)
+
+val layout_for : Colayout_ir.Program.t -> Layout.t

@@ -1,0 +1,86 @@
+open Colayout_trace
+
+type t = {
+  num_nodes : int;
+  (* Adjacency: adj.(x) maps neighbour y to the edge weight. Kept symmetric. *)
+  adj : (int, int) Hashtbl.t array;
+}
+
+let num_nodes t = t.num_nodes
+
+let weight t x y =
+  if x = y then 0
+  else
+    match Hashtbl.find_opt t.adj.(x) y with
+    | Some w -> w
+    | None -> 0
+
+let bump t x y dw =
+  let upd a b =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.adj.(a) b) in
+    Hashtbl.replace t.adj.(a) b (cur + dw)
+  in
+  upd x y;
+  upd y x
+
+let build ?(window = max_int) trace =
+  if window < 1 then invalid_arg "Trg.build: window must be >= 1";
+  if not (Trim.is_trimmed trace) then invalid_arg "Trg.build: trace must be trimmed";
+  let t =
+    { num_nodes = Trace.num_symbols trace; adj = Array.init (Trace.num_symbols trace) (fun _ -> Hashtbl.create 8) }
+  in
+  let stack = Lru_stack.create () in
+  Trace.iter
+    (fun x ->
+      (* If x recurs within the window, every block above it on the stack
+         occurred between its two successive occurrences: one potential
+         conflict each. *)
+      let d = ref 0 in
+      let betweens = ref [] in
+      let found = ref false in
+      Lru_stack.iter_until stack (fun y ->
+          incr d;
+          if y = x then begin
+            found := true;
+            false
+          end
+          else if !d >= window then false
+          else begin
+            betweens := y :: !betweens;
+            true
+          end);
+      (* Only count when x was actually found within the window: the walk
+         must have stopped on x, not on depth exhaustion. *)
+      if !found then List.iter (fun y -> bump t x y 1) !betweens;
+      ignore (Lru_stack.access stack x))
+    trace;
+  t
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun x h -> Hashtbl.iter (fun y w -> if x < y then acc := (x, y, w) :: !acc) h)
+    t.adj;
+  List.sort
+    (fun (x1, y1, w1) (x2, y2, w2) ->
+      if w1 <> w2 then compare w2 w1 else compare (x1, y1) (x2, y2))
+    !acc
+
+let degree t x = Hashtbl.length t.adj.(x)
+
+let of_edges ~num_nodes edge_list =
+  let t = { num_nodes; adj = Array.init num_nodes (fun _ -> Hashtbl.create 8) } in
+  List.iter
+    (fun (x, y, w) ->
+      if x = y then invalid_arg "Trg.of_edges: self loop";
+      if w <= 0 then invalid_arg "Trg.of_edges: non-positive weight";
+      if x < 0 || y < 0 || x >= num_nodes || y >= num_nodes then
+        invalid_arg "Trg.of_edges: node out of range";
+      bump t x y w)
+    edge_list;
+  t
+
+let recommended_window ~params ~block_bytes ~cache_multiplier =
+  if block_bytes <= 0 then invalid_arg "Trg.recommended_window";
+  let c = float_of_int params.Colayout_cache.Params.size_bytes *. cache_multiplier in
+  max 1 (int_of_float (c /. float_of_int block_bytes))

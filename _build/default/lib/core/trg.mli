@@ -1,0 +1,39 @@
+(** Temporal-relationship graph (Definition 6, after Gloy & Smith).
+
+    Nodes are code blocks; an undirected edge's weight counts potential cache
+    conflicts: the number of times two successive occurrences of one endpoint
+    are interleaved with at least one occurrence of the other (and vice
+    versa). Construction follows the original algorithm with the paper's
+    hash-table-plus-linked-list speedup: one LRU-stack pass; when a block
+    recurs within the analysis window, every distinct block accessed in
+    between gets its edge incremented.
+
+    The window [q] bounds how far apart (in distinct blocks) two successive
+    occurrences may be and still count — Gloy & Smith recommend a window of
+    twice the cache size, which {!recommended_window} computes. *)
+
+type t
+
+val build : ?window:int -> Colayout_trace.Trace.t -> t
+(** [window] in blocks; default unbounded. The trace must be trimmed. *)
+
+val num_nodes : t -> int
+(** Size of the symbol universe (not all need occur). *)
+
+val weight : t -> int -> int -> int
+(** Symmetric; 0 when no edge. *)
+
+val edges : t -> (int * int * int) list
+(** [(x, y, w)] with [x < y], sorted by decreasing weight then ids. *)
+
+val degree : t -> int -> int
+
+val of_edges : num_nodes:int -> (int * int * int) list -> t
+(** Build directly from weighted edges (for tests and the Figure 2 worked
+    example). @raise Invalid_argument on self loops, non-positive weights or
+    out-of-range nodes. *)
+
+val recommended_window :
+  params:Colayout_cache.Params.t -> block_bytes:int -> cache_multiplier:float -> int
+(** Number of same-size blocks spanned by [cache_multiplier] × cache size:
+    the 2C window of §II-C when [cache_multiplier = 2.0]. *)

@@ -1,0 +1,161 @@
+open Colayout_ir
+module P = Colayout_cache.Params
+
+type placement = {
+  base_addr : int array;
+  total_bytes : int;
+  padding_bytes : int;
+}
+
+(* Circular overlap of two set intervals [a, a+la) and [b, b+lb) on a ring
+   of [s] sets. *)
+let ring_overlap ~s a la b lb =
+  let la = min la s and lb = min lb s in
+  (* Linear intersection helper on the unrolled ring. *)
+  let inter x1 l1 x2 l2 = max 0 (min (x1 + l1) (x2 + l2) - max x1 x2) in
+  inter a la b lb + inter a la (b + s) lb + inter (a + s) la b lb
+
+let place trg ~sizes ~params =
+  let n = Trg.num_nodes trg in
+  if Array.length sizes <> n then invalid_arg "Trg_place.place: sizes length mismatch";
+  let s = params.P.num_sets in
+  let line = params.P.line_bytes in
+  let base_addr = Array.make n (-1) in
+  let set_span = Array.map (fun sz -> max 1 ((max 1 sz + line - 1) / line)) sizes in
+  let cursor = ref 0 in
+  let padding = ref 0 in
+  let place_node v =
+    if base_addr.(v) < 0 then begin
+      let nv = set_span.(v) in
+      (* Cost of starting v at set offset [o]: edge-weighted overlap with
+         every placed neighbour. *)
+      let cost o =
+        let total = ref 0 in
+        for u = 0 to n - 1 do
+          let w = Trg.weight trg v u in
+          if w > 0 && base_addr.(u) >= 0 then begin
+            let bu = base_addr.(u) / line mod s in
+            total := !total + (w * ring_overlap ~s o nv bu set_span.(u))
+          end
+        done;
+        !total
+      in
+      (* Scan candidate offsets starting from the natural (no-padding)
+         position so that zero-cost ties cost no padding. *)
+      let natural = (!cursor + line - 1) / line mod s in
+      let best = ref natural and best_cost = ref max_int in
+      for k = 0 to s - 1 do
+        let o = (natural + k) mod s in
+        let c = cost o in
+        if c < !best_cost then begin
+          best := o;
+          best_cost := c
+        end
+      done;
+      let o = !best in
+      let cur_line = (!cursor + line - 1) / line in
+      let line_at = cur_line + ((o - (cur_line mod s)) mod s + s) mod s in
+      let addr = line_at * line in
+      padding := !padding + (addr - !cursor);
+      base_addr.(v) <- addr;
+      cursor := addr + max 1 sizes.(v)
+    end
+  in
+  List.iter
+    (fun (x, y, _) ->
+      place_node x;
+      place_node y)
+    (Trg.edges trg);
+  (* Isolated nodes follow unpadded, in id order. *)
+  for v = 0 to n - 1 do
+    if base_addr.(v) < 0 then begin
+      base_addr.(v) <- !cursor;
+      cursor := !cursor + max 1 sizes.(v)
+    end
+  done;
+  { base_addr; total_bytes = !cursor; padding_bytes = !padding }
+
+let layout_of_function_placement program placement =
+  let nf = Program.num_funcs program in
+  if Array.length placement.base_addr <> nf then
+    invalid_arg "Trg_place.layout_of_function_placement: placement is not per-function";
+  let nb = Program.num_blocks program in
+  let addr = Array.make nb 0 in
+  let bytes = Array.make nb 0 in
+  let instr_counts = Array.make nb 0 in
+  let added_jumps = ref 0 in
+  (* Functions in address order; blocks keep intra-procedural order. *)
+  let fids = List.init nf Fun.id in
+  let by_addr =
+    List.sort (fun a b -> compare placement.base_addr.(a) placement.base_addr.(b)) fids
+  in
+  let order = Array.make nb 0 in
+  let pos = ref 0 in
+  List.iter
+    (fun fid ->
+      let f = Program.func program fid in
+      let cursor = ref placement.base_addr.(fid) in
+      Array.iteri
+        (fun i bid ->
+          let b = Program.block program bid in
+          let next = if i + 1 < Array.length f.blocks then Some f.blocks.(i + 1) else None in
+          let needs_jump =
+            match Program.fallthrough_target program bid with
+            | None -> false
+            | Some target -> next <> Some target
+          in
+          if needs_jump then incr added_jumps;
+          let extra = if needs_jump then Size_model.jump_bytes else 0 in
+          addr.(bid) <- !cursor;
+          bytes.(bid) <- b.size_bytes + extra;
+          instr_counts.(bid) <- b.instr_count;
+          cursor := !cursor + bytes.(bid);
+          order.(!pos) <- bid;
+          incr pos)
+        f.blocks)
+    by_addr;
+  {
+    Layout.order;
+    addr;
+    bytes;
+    instr_counts;
+    (* Padded segments overrun the nominal function size by the fall-through
+       fixup bytes; account for the true end. *)
+    total_bytes =
+      Array.fold_left max placement.total_bytes
+        (Array.mapi (fun bid a -> a + bytes.(bid)) addr);
+    added_jumps = !added_jumps;
+  }
+
+(* The realized size of a function under intra-procedural original order:
+   nominal block bytes plus the jump fixups for fall-throughs its own block
+   order breaks. Placement must use this, or padded bases could overlap. *)
+let realized_func_size program fid =
+  let f = Program.func program fid in
+  let n = Array.length f.blocks in
+  let total = ref 0 in
+  Array.iteri
+    (fun i bid ->
+      let b = Program.block program bid in
+      let next = if i + 1 < n then Some f.blocks.(i + 1) else None in
+      let needs_jump =
+        match Program.fallthrough_target program bid with
+        | None -> false
+        | Some target -> next <> Some target
+      in
+      total := !total + b.size_bytes + if needs_jump then Size_model.jump_bytes else 0)
+    f.blocks;
+  !total
+
+let layout_for ?(config = Optimizer.default_config) program analysis =
+  let sizes =
+    Array.init (Program.num_funcs program) (fun fid -> realized_func_size program fid)
+  in
+  let window =
+    Trg.recommended_window ~params:config.Optimizer.params
+      ~block_bytes:config.Optimizer.func_block_bytes
+      ~cache_multiplier:config.Optimizer.cache_multiplier
+  in
+  let trg = Trg.build ~window analysis.Optimizer.fn in
+  let placement = place trg ~sizes ~params:config.Optimizer.params in
+  layout_of_function_placement program placement

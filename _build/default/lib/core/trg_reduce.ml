@@ -1,0 +1,129 @@
+open Colayout_util
+
+type result = {
+  order : int list;
+  slot_lists : int list array;
+}
+
+(* Heap entries are (weight, x, y) with x < y; heavier first, then smaller
+   ids, so the reduction is deterministic. Stale entries (weight no longer
+   current, or an endpoint gone) are discarded lazily on pop. *)
+let edge_cmp (w1, x1, y1) (w2, x2, y2) =
+  if w1 <> w2 then compare w1 w2 else compare (x2, y2) (x1, y1)
+
+let reduce trg ~slots =
+  if slots < 1 then invalid_arg "Trg_reduce.reduce: slots must be >= 1";
+  let n = Trg.num_nodes trg in
+  (* Mutable working copy of the adjacency. *)
+  let adj = Array.init n (fun _ -> Hashtbl.create 8) in
+  let set_w x y w =
+    Hashtbl.replace adj.(x) y w;
+    Hashtbl.replace adj.(y) x w
+  in
+  let del_edge x y =
+    Hashtbl.remove adj.(x) y;
+    Hashtbl.remove adj.(y) x
+  in
+  let cur_w x y = Option.value ~default:0 (Hashtbl.find_opt adj.(x) y) in
+  let heap = Heap.create ~cmp:edge_cmp () in
+  List.iter
+    (fun (x, y, w) ->
+      set_w x y w;
+      Heap.push heap (w, x, y))
+    (Trg.edges trg);
+  let slot_of = Array.make n (-1) in
+  let rep_of_slot = Array.make slots (-1) in
+  let slot_vecs = Array.init slots (fun _ -> Vec.create ()) in
+  let is_rep v = slot_of.(v) >= 0 && rep_of_slot.(slot_of.(v)) = v in
+  let placed v = slot_of.(v) >= 0 in
+  (* Steps 19-21: a (possibly merged) node in one slot keeps no edges to the
+     nodes of other slots. *)
+  let drop_cross_slot_edges v =
+    let to_remove =
+      Hashtbl.fold
+        (fun nb _ acc -> if is_rep nb && slot_of.(nb) <> slot_of.(v) then nb :: acc else acc)
+        adj.(v) []
+    in
+    List.iter (fun nb -> del_edge v nb) to_remove
+  in
+  let choose_slot v =
+    (* Empty slot in index order wins outright; otherwise the strict minimum
+       conflict weight against each slot's merged node, first slot on ties. *)
+    let rec scan k best best_w =
+      if k >= slots then best
+      else if rep_of_slot.(k) < 0 then k
+      else begin
+        let w = cur_w v rep_of_slot.(k) in
+        if w < best_w then scan (k + 1) k w else scan (k + 1) best best_w
+      end
+    in
+    scan 0 (-1) max_int
+  in
+  let place v =
+    let k = choose_slot v in
+    Vec.push slot_vecs.(k) v;
+    slot_of.(v) <- k;
+    if rep_of_slot.(k) < 0 then begin
+      rep_of_slot.(k) <- v;
+      drop_cross_slot_edges v
+    end
+    else begin
+      (* Merge v into the slot's node r: combine edge weights, then drop
+         cross-slot edges of the merged node. *)
+      let r = rep_of_slot.(k) in
+      let neighbours = Hashtbl.fold (fun nb w acc -> (nb, w) :: acc) adj.(v) [] in
+      List.iter
+        (fun (nb, w) ->
+          del_edge v nb;
+          if nb <> r then begin
+            let w' = cur_w r nb + w in
+            set_w r nb w';
+            if not (placed nb) || is_rep nb then
+              Heap.push heap (w', min r nb, max r nb)
+          end)
+        neighbours;
+      drop_cross_slot_edges r
+    end
+  in
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (w, x, y) ->
+      let stale =
+        cur_w x y <> w
+        || (placed x && not (is_rep x))
+        || (placed y && not (is_rep y))
+        || (is_rep x && is_rep y)
+      in
+      if not stale then begin
+        if not (placed x) then place x;
+        if not (placed y) then place y
+      end;
+      drain ()
+  in
+  drain ();
+  let slot_lists = Array.map Vec.to_list slot_vecs in
+  (* Round-robin output: one head per non-empty list per round. *)
+  let order = ref [] in
+  let idx = Array.make slots 0 in
+  let remaining = ref (Array.fold_left (fun acc v -> acc + List.length v) 0 slot_lists) in
+  while !remaining > 0 do
+    for k = 0 to slots - 1 do
+      let l = slot_lists.(k) in
+      if idx.(k) < List.length l then begin
+        order := List.nth l idx.(k) :: !order;
+        idx.(k) <- idx.(k) + 1;
+        decr remaining
+      end
+    done
+  done;
+  { order = List.rev !order; slot_lists }
+
+let slots_for ~params ~block_bytes ~cache_multiplier =
+  if block_bytes <= 0 then invalid_arg "Trg_reduce.slots_for";
+  let open Colayout_cache in
+  let ab = params.Params.assoc * params.Params.line_bytes in
+  let c = int_of_float (float_of_int params.Params.size_bytes *. cache_multiplier) in
+  let total_sets = max 1 (c / ab) in
+  let sets_per_block = max 1 ((block_bytes + ab - 1) / ab) in
+  max 1 (total_sets / sets_per_block)

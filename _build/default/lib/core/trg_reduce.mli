@@ -1,0 +1,32 @@
+(** TRG reduction (Algorithm 2): turn a temporal-relationship graph into a
+    code-block order.
+
+    The cache is viewed as [K] same-size code slots. Repeatedly take the
+    heaviest edge; each unplaced endpoint goes to the slot it conflicts with
+    least (an empty slot if any — scanned in index order, first minimum
+    wins), is appended to that slot's link list, and is merged into the
+    slot's node (edge weights combine). Edges between different slots' nodes
+    are removed: blocks in different slots cannot conflict. The output
+    sequence interleaves the link lists round-robin, so consecutive output
+    blocks land in different slots while same-list blocks land a full cache
+    apart — exactly the placement the conflict weights argue against.
+
+    The paper's worked example (Figure 2, 3 slots) is reproduced: reduction
+    order A-B, E-F, then C, giving the sequence [A B E F C]. *)
+
+type result = {
+  order : int list;
+      (** Placed blocks, round-robin across slots. Blocks with no TRG edge
+          are not placed; callers append them (the optimizer keeps them in
+          original order, as residual cold code). *)
+  slot_lists : int list array;  (** Final link-list contents per slot. *)
+}
+
+val reduce : Trg.t -> slots:int -> result
+(** @raise Invalid_argument if [slots < 1]. Deterministic: edge ties break
+    toward smaller node ids. *)
+
+val slots_for :
+  params:Colayout_cache.Params.t -> block_bytes:int -> cache_multiplier:float -> int
+(** [K = (C/(A·B)) / ceil(S/(A·B))] of §II-C, with [C] scaled by
+    [cache_multiplier] (the paper follows Gloy & Smith's advice of 2×). *)

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Colayout_ir Colayout_trace Colayout_util Int_vec List Prng Program Types Vec

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Colayout_ir Colayout_trace Colayout_util

@@ -1,0 +1,1 @@
+lib/exec/smt.ml: Array Colayout_cache Colayout_util Float Icache Int_vec Option Params Prefetch Set_assoc

@@ -1,0 +1,1 @@
+lib/exec/smt.mli: Colayout_cache Colayout_util

@@ -1,0 +1,1 @@
+lib/harness/ctx.ml: Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace Colayout_util Colayout_workloads Hashtbl Int_vec Layout Optimizer Pipeline Printf

@@ -1,0 +1,1 @@
+lib/harness/ctx.mli: Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace

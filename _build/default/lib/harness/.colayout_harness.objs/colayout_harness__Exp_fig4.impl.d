@@ -1,0 +1,1 @@
+lib/harness/exp_fig4.ml: Colayout Colayout_util Colayout_workloads Ctx List Table

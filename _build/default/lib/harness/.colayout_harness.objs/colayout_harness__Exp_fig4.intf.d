@@ -1,0 +1,1 @@
+lib/harness/exp_fig4.mli: Colayout_util Ctx

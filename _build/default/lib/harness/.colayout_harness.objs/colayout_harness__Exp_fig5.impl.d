@@ -1,0 +1,1 @@
+lib/harness/exp_fig5.ml: Colayout Colayout_exec Colayout_util Colayout_workloads Ctx List Printf Stats Table

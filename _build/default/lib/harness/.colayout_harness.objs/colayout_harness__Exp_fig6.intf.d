@@ -1,0 +1,1 @@
+lib/harness/exp_fig6.mli: Colayout Colayout_util Ctx

@@ -1,0 +1,1 @@
+lib/harness/exp_intro.ml: Colayout Colayout_util Colayout_workloads Ctx List Printf Stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_intro.mli: Colayout_util Ctx

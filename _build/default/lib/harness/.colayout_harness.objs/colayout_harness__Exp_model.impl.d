@@ -1,0 +1,1 @@
+lib/harness/exp_model.ml: Colayout Colayout_cache Colayout_util Colayout_workloads Ctx List Miss_prob Pipeline Printf Stats Table

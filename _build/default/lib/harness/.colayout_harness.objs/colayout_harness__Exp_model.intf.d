@@ -1,0 +1,1 @@
+lib/harness/exp_model.mli: Colayout_util Ctx

@@ -1,0 +1,1 @@
+lib/harness/exp_mrc.ml: Colayout Colayout_cache Colayout_util Colayout_workloads Ctx List Mrc Printf Table

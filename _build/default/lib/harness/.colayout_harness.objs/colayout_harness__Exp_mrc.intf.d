@@ -1,0 +1,1 @@
+lib/harness/exp_mrc.mli: Colayout_util Ctx

@@ -1,0 +1,1 @@
+lib/harness/exp_optopt.ml: Colayout Colayout_exec Colayout_util Colayout_workloads Ctx Exp_fig6 List Printf Stats String Table

@@ -1,0 +1,1 @@
+lib/harness/exp_optopt.mli: Colayout_util Ctx

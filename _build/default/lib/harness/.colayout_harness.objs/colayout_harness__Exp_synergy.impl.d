@@ -1,0 +1,1 @@
+lib/harness/exp_synergy.ml: Colayout Colayout_cache Colayout_exec Colayout_trace Colayout_util Colayout_workloads Ctx Layout List Optimizer Pipeline Printf Table

@@ -1,0 +1,1 @@
+lib/harness/exp_synergy.mli: Colayout_util Ctx

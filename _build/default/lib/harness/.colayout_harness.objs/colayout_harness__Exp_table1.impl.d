@@ -1,0 +1,1 @@
+lib/harness/exp_table1.ml: Colayout Colayout_exec Colayout_ir Colayout_util Colayout_workloads Ctx List Table

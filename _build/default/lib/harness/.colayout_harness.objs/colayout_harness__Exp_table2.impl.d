@@ -1,0 +1,1 @@
+lib/harness/exp_table2.ml: Colayout Colayout_util Colayout_workloads Ctx Exp_fig6 List Printf Stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_table2.mli: Colayout_util Ctx

@@ -1,0 +1,1 @@
+lib/harness/exp_unified.ml: Array Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace Colayout_util Colayout_workloads Ctx Int_vec Layout List Optimizer Table

@@ -1,0 +1,1 @@
+lib/harness/exp_unified.mli: Colayout_util Ctx

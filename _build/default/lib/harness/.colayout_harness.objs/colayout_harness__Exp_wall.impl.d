@@ -1,0 +1,1 @@
+lib/harness/exp_wall.ml: Anneal Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_util Colayout_workloads Ctx List Optimal Optimizer Pettis_hansen Pipeline Printf Table Trg_place

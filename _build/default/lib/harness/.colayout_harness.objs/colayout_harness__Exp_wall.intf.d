@@ -1,0 +1,1 @@
+lib/harness/exp_wall.mli: Colayout_util Ctx

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Colayout_util Ctx Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_intro Exp_model Exp_mrc Exp_optopt Exp_synergy Exp_table1 Exp_table2 Exp_unified Exp_wall List Printf String

@@ -1,0 +1,152 @@
+open Colayout
+module W = Colayout_workloads
+module E = Colayout_exec
+module C = Colayout_cache
+
+type scale = Fast | Full
+
+type t = {
+  scale : scale;
+  params : C.Params.t;
+  opt_config : Optimizer.config;
+  smt_cfg : E.Smt.config;
+  hw_prefetch : C.Prefetch.t;
+  programs : (string, Colayout_ir.Program.t) Hashtbl.t;
+  ref_results : (string, E.Interp.result) Hashtbl.t;
+  analyses : (string, Optimizer.analysis) Hashtbl.t;
+  layouts : (string, Layout.t) Hashtbl.t;
+  solo_cache : (string, C.Cache_stats.t) Hashtbl.t;
+  corun_cache : (string, C.Cache_stats.t) Hashtbl.t;
+  smt_solo_cache : (string, E.Smt.thread_stats) Hashtbl.t;
+  smt_corun_cache : (string, E.Smt.corun_result) Hashtbl.t;
+}
+
+let create ?(scale = Full) () =
+  let params = C.Params.default_l1i in
+  {
+    scale;
+    params;
+    opt_config = { Optimizer.default_config with params };
+    smt_cfg = E.Smt.default_config ~prefetch:(C.Prefetch.create ~degree:1 ()) ();
+    hw_prefetch = C.Prefetch.create ~degree:2 ();
+    programs = Hashtbl.create 32;
+    ref_results = Hashtbl.create 32;
+    analyses = Hashtbl.create 32;
+    layouts = Hashtbl.create 64;
+    solo_cache = Hashtbl.create 64;
+    corun_cache = Hashtbl.create 256;
+    smt_solo_cache = Hashtbl.create 64;
+    smt_corun_cache = Hashtbl.create 256;
+  }
+
+let scale t = t.scale
+
+let params t = t.params
+
+let opt_config t = t.opt_config
+
+let ref_fuel t = match t.scale with Fast -> 200_000 | Full -> 600_000
+
+let test_fuel t = match t.scale with Fast -> 80_000 | Full -> 200_000
+
+let memo tbl key f =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.replace tbl key v;
+    v
+
+let progress _t msg = Printf.eprintf "  [harness] %s\n%!" msg
+
+let program t name = memo t.programs name (fun () -> W.Gen.build (W.Spec.profile name))
+
+let fetch_rate _t name = (W.Spec.profile name).W.Gen.fetch_rate
+
+let ref_result t name =
+  memo t.ref_results name (fun () ->
+      E.Interp.run (program t name) (E.Interp.ref_input ~max_blocks:(ref_fuel t) ()))
+
+let ref_trace t name = (ref_result t name).E.Interp.bb_trace
+
+let analysis t name =
+  memo t.analyses name (fun () ->
+      progress t (Printf.sprintf "analyzing %s (test input)" name);
+      Optimizer.analyze ~config:t.opt_config (program t name)
+        (E.Interp.test_input ~max_blocks:(test_fuel t) ()))
+
+let kname = Optimizer.kind_name
+
+let layout t name kind =
+  memo t.layouts
+    (name ^ "/" ^ kname kind)
+    (fun () ->
+      match kind with
+      | Optimizer.Original -> Layout.original (program t name)
+      | _ ->
+        progress t (Printf.sprintf "laying out %s with %s" name (kname kind));
+        Optimizer.layout_for ~config:t.opt_config kind (program t name) (analysis t name))
+
+let smt_code t name kind = Layout.to_smt_code (layout t name kind)
+
+let hw_tag hw = if hw then "hw" else "sim"
+
+let solo_stats t ~hw name kind =
+  memo t.solo_cache
+    (Printf.sprintf "%s/%s/%s" name (kname kind) (hw_tag hw))
+    (fun () ->
+      let prefetch = if hw then Some t.hw_prefetch else None in
+      Pipeline.miss_ratio_solo ?prefetch ~params:t.params ~layout:(layout t name kind)
+        (ref_trace t name))
+
+let corun_stats t ~hw ~self ~peer =
+  let sn, sk = self and pn, pk = peer in
+  memo t.corun_cache
+    (Printf.sprintf "%s/%s|%s/%s|%s" sn (kname sk) pn (kname pk) (hw_tag hw))
+    (fun () ->
+      let prefetch = if hw then Some t.hw_prefetch else None in
+      Pipeline.miss_ratio_corun ?prefetch
+        ~rates:(fetch_rate t sn, fetch_rate t pn)
+        ~params:t.params
+        ~self:(layout t sn sk, ref_trace t sn)
+        ~peer:(layout t pn pk, ref_trace t pn)
+        ())
+
+let smt_solo t name kind =
+  memo t.smt_solo_cache
+    (name ^ "/" ^ kname kind)
+    (fun () ->
+      let work_scale = 1.0 /. fetch_rate t name in
+      E.Smt.solo ~work_scale t.smt_cfg (smt_code t name kind)
+        (Colayout_trace.Trace.events (ref_trace t name)))
+
+let mode_tag = function E.Smt.Finish_both -> "fb" | E.Smt.Measure_first -> "mf"
+
+let smt_config t = t.smt_cfg
+
+let rotate_half v =
+  let open Colayout_util in
+  let n = Int_vec.length v in
+  let out = Int_vec.create ~capacity:(max 1 n) () in
+  for i = 0 to n - 1 do
+    Int_vec.push out (Int_vec.get v ((i + (n / 2)) mod n))
+  done;
+  out
+
+let smt_corun ?(rotate_peer = false) t ~mode ~self ~peer =
+  let sn, sk = self and pn, pk = peer in
+  memo t.smt_corun_cache
+    (Printf.sprintf "%s/%s|%s/%s|%s%s" sn (kname sk) pn (kname pk) (mode_tag mode)
+       (if rotate_peer then "|rot" else ""))
+    (fun () ->
+      let ws = (1.0 /. fetch_rate t sn, 1.0 /. fetch_rate t pn) in
+      let peer_events = Colayout_trace.Trace.events (ref_trace t pn) in
+      let peer_events = if rotate_peer then rotate_half peer_events else peer_events in
+      E.Smt.corun ~work_scales:ws t.smt_cfg ~mode
+        (smt_code t sn sk, Colayout_trace.Trace.events (ref_trace t sn))
+        (smt_code t pn pk, peer_events))
+
+let solo_miss_ratio t ~hw name kind = C.Cache_stats.miss_ratio (solo_stats t ~hw name kind)
+
+let corun_miss_ratio t ~hw ~self ~peer =
+  C.Cache_stats.thread_miss_ratio (corun_stats t ~hw ~self ~peer) 0

@@ -1,0 +1,89 @@
+(** Shared experiment context.
+
+    All experiments draw programs, traces, analyses, layouts and simulation
+    results from one context; everything is memoized, so e.g. Figure 6 and
+    Table II share their co-run simulations, and the whole suite runs each
+    expensive step once.
+
+    Two measurement modes mirror the paper's §III:
+    - {b simulated} (`hw = false`): the pure LRU cache simulator (the
+      paper's Pin-based simulator);
+    - {b hw-counter} (`hw = true`): the same simulator with a next-line
+      prefetcher, standing in for the PAPI hardware counters, whose measured
+      reductions the paper found systematically smaller than simulated
+      ones. *)
+
+type scale =
+  | Fast  (** Small fuels: smoke-test quality, minutes for the full suite. *)
+  | Full  (** The calibrated setting every reported number used. *)
+
+type t
+
+val create : ?scale:scale -> unit -> t
+(** Default [Full]. *)
+
+val scale : t -> scale
+
+val params : t -> Colayout_cache.Params.t
+
+val opt_config : t -> Colayout.Optimizer.config
+
+val ref_fuel : t -> int
+
+val test_fuel : t -> int
+
+val program : t -> string -> Colayout_ir.Program.t
+
+val fetch_rate : t -> string -> float
+
+val ref_trace : t -> string -> Colayout_trace.Trace.t
+(** Reference-input block trace (layout-independent, memoized). *)
+
+val ref_result : t -> string -> Colayout_exec.Interp.result
+(** Full reference-run result (for instruction counts etc.). *)
+
+val analysis : t -> string -> Colayout.Optimizer.analysis
+(** Test-input instrumentation (memoized). *)
+
+val layout : t -> string -> Colayout.Optimizer.kind -> Colayout.Layout.t
+
+val smt_code : t -> string -> Colayout.Optimizer.kind -> Colayout_exec.Smt.code
+
+val solo_stats :
+  t -> hw:bool -> string -> Colayout.Optimizer.kind -> Colayout_cache.Cache_stats.t
+
+val corun_stats :
+  t ->
+  hw:bool ->
+  self:string * Colayout.Optimizer.kind ->
+  peer:string * Colayout.Optimizer.kind ->
+  Colayout_cache.Cache_stats.t
+(** Shared-cache co-run at the two programs' fetch rates; thread 0 = self. *)
+
+val smt_solo : t -> string -> Colayout.Optimizer.kind -> Colayout_exec.Smt.thread_stats
+
+val smt_config : t -> Colayout_exec.Smt.config
+
+val smt_corun :
+  ?rotate_peer:bool ->
+  t ->
+  mode:Colayout_exec.Smt.corun_mode ->
+  self:string * Colayout.Optimizer.kind ->
+  peer:string * Colayout.Optimizer.kind ->
+  Colayout_exec.Smt.corun_result
+(** [rotate_peer] (default false) starts the peer half a pass into its
+    trace — used for self-pairings, where two identical processes would
+    otherwise run in artificial lockstep (real co-runs drift). *)
+
+val solo_miss_ratio : t -> hw:bool -> string -> Colayout.Optimizer.kind -> float
+
+val corun_miss_ratio :
+  t ->
+  hw:bool ->
+  self:string * Colayout.Optimizer.kind ->
+  peer:string * Colayout.Optimizer.kind ->
+  float
+(** Thread 0's miss ratio in the shared cache. *)
+
+val progress : t -> string -> unit
+(** Emit a progress note on stderr. *)

@@ -1,0 +1,30 @@
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+
+let run ctx =
+  let t =
+    Table.create ~title:"Figure 4: L1I miss ratios under solo- and co-run (29 programs)"
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("solo", Table.Right);
+          ("403.gcc as probe", Table.Right);
+          ("416.gamess as probe", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let solo = Ctx.solo_miss_ratio ctx ~hw:false name O.Original in
+      let co probe =
+        Ctx.corun_miss_ratio ctx ~hw:false ~self:(name, O.Original) ~peer:(probe, O.Original)
+      in
+      Table.add_row t
+        [
+          name;
+          Table.fmt_pct (100.0 *. solo);
+          Table.fmt_pct (100.0 *. co "403.gcc");
+          Table.fmt_pct (100.0 *. co "416.gamess");
+        ])
+    W.Spec.names;
+  [ t ]

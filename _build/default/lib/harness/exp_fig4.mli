@@ -1,0 +1,4 @@
+(** Figure 4: L1 instruction cache miss ratios of all 29 programs, solo and
+    with gcc / gamess as co-run probes. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

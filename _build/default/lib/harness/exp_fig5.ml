@@ -1,0 +1,58 @@
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+module E = Colayout_exec
+
+let pct_reduction ~base ~v = if base = 0.0 then 0.0 else (base -. v) /. base *. 100.0
+
+let run ctx =
+  let speed =
+    Table.create
+      ~title:
+        "Figure 5a: solo-run performance speedup of the affinity optimizers (paper: -1%..3%)"
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("function reordering", Table.Right);
+          ("BB reordering", Table.Right);
+        ]
+  in
+  let miss =
+    Table.create
+      ~title:
+        "Figure 5b: solo-run I-cache miss reduction, hw counters (paper: up to 34% func / \
+         37% BB)"
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("function reordering", Table.Right);
+          ("BB reordering", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      Ctx.progress ctx (Printf.sprintf "fig5: %s" name);
+      let base_cycles = float_of_int (Ctx.smt_solo ctx name O.Original).E.Smt.cycles in
+      let base_miss = Ctx.solo_miss_ratio ctx ~hw:true name O.Original in
+      let speedup kind =
+        Stats.speedup ~base:base_cycles
+          ~opt:(float_of_int (Ctx.smt_solo ctx name kind).E.Smt.cycles)
+      in
+      let reduction kind =
+        pct_reduction ~base:base_miss ~v:(Ctx.solo_miss_ratio ctx ~hw:true name kind)
+      in
+      let pct_speedup kind = (speedup kind -. 1.0) *. 100.0 in
+      Table.add_row speed
+        [
+          name;
+          Printf.sprintf "%+.2f%%" (pct_speedup O.Func_affinity);
+          Printf.sprintf "%+.2f%%" (pct_speedup O.Bb_affinity);
+        ];
+      Table.add_row miss
+        [
+          name;
+          Printf.sprintf "%.1f%%" (reduction O.Func_affinity);
+          Printf.sprintf "%.1f%%" (reduction O.Bb_affinity);
+        ])
+    W.Spec.deep_eight;
+  [ speed; miss ]

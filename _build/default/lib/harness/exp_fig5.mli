@@ -1,0 +1,5 @@
+(** Figure 5: the solo-run effect of the two affinity optimizers —
+    performance speedup (5a) and I-cache miss-ratio reduction (5b, hardware
+    counters) for function and basic-block reordering. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

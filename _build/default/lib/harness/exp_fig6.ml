@@ -1,0 +1,44 @@
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+module E = Colayout_exec
+
+let optimizers = [ O.Func_affinity; O.Bb_affinity; O.Func_trg ]
+
+let corun_cycles ctx ~self ~probe =
+  let r =
+    Ctx.smt_corun ctx ~mode:E.Smt.Measure_first ~self ~peer:(probe, O.Original)
+  in
+  float_of_int r.E.Smt.t0.E.Smt.cycles
+
+let speedup ctx kind ~self ~probe =
+  let base = corun_cycles ctx ~self:(self, O.Original) ~probe in
+  let opt = corun_cycles ctx ~self:(self, kind) ~probe in
+  Stats.speedup ~base ~opt
+
+let run ctx =
+  List.map
+    (fun kind ->
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Figure 6 (%s): co-run speedup of optimized vs original, per probe"
+               (O.kind_name kind))
+          ~columns:
+            (("program", Table.Left)
+            :: (List.map (fun p -> (W.Spec.short_name p, Table.Right)) W.Spec.deep_eight
+               @ [ ("avg", Table.Right) ]))
+      in
+      List.iter
+        (fun self ->
+          Ctx.progress ctx (Printf.sprintf "fig6 %s: %s" (O.kind_name kind) self);
+          let cells =
+            List.map (fun probe -> speedup ctx kind ~self ~probe) W.Spec.deep_eight
+          in
+          Table.add_row t
+            (self
+            :: (List.map Table.fmt_ratio cells @ [ Table.fmt_ratio (Stats.mean cells) ])))
+        W.Spec.deep_eight;
+      t)
+    optimizers

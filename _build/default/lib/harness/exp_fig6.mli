@@ -1,0 +1,12 @@
+(** Figure 6: co-run speedups of the three effective optimizers (function
+    affinity, BB affinity, function TRG). Each cell times the optimized
+    program co-running with a continuously-executing original probe,
+    normalized to the original+original pairing. *)
+
+val optimizers : Colayout.Optimizer.kind list
+
+val speedup :
+  Ctx.t -> Colayout.Optimizer.kind -> self:string -> probe:string -> float
+(** Shared with Table II via the context memo. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,5 @@
+(** §I introduction table: average L1I miss ratio of the programs with
+    non-trivial miss ratios, solo and under the two co-run probes (paper:
+    1.5% / 2.5% (+67%) / 3.8% (+153%)). *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,97 @@
+open Colayout
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+
+let run ctx =
+  let params = Ctx.params ctx in
+  let capacity = Colayout_cache.Params.lines_total params in
+  let curve name kind =
+    Pipeline.footprint_curve ~params ~layout:(Ctx.layout ctx name kind) (Ctx.ref_trace ctx name)
+  in
+  (* --- Co-run prediction vs simulation, original layouts. --- *)
+  let t1 =
+    Table.create
+      ~title:
+        "Model validation (Eq 1): predicted vs simulated co-run miss ratio (original \
+         layouts)"
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("probe", Table.Left);
+          ("predicted", Table.Right);
+          ("simulated", Table.Right);
+        ]
+  in
+  let predicted = ref [] and simulated = ref [] in
+  List.iter
+    (fun name ->
+      Ctx.progress ctx ("model: " ^ name);
+      let self_curve = curve name O.Original in
+      List.iter
+        (fun probe ->
+          let peer_curve = curve probe O.Original in
+          let pred, _ = Miss_prob.corun_miss_ratios self_curve peer_curve ~capacity in
+          let sim =
+            Ctx.corun_miss_ratio ctx ~hw:false ~self:(name, O.Original)
+              ~peer:(probe, O.Original)
+          in
+          predicted := pred :: !predicted;
+          simulated := sim :: !simulated;
+          Table.add_row t1
+            [ name; probe; Table.fmt_pct (100.0 *. pred); Table.fmt_pct (100.0 *. sim) ])
+        W.Spec.probes)
+    W.Spec.deep_eight;
+  (* --- Optimization benefit: predicted vs simulated, solo. --- *)
+  let t2 =
+    Table.create
+      ~title:
+        "Model validation: predicted vs simulated solo miss ratio under bb-affinity \
+         reordering"
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("pred original", Table.Right);
+          ("pred bb-affinity", Table.Right);
+          ("sim original", Table.Right);
+          ("sim bb-affinity", Table.Right);
+          ("direction agrees", Table.Left);
+        ]
+  in
+  let agreements = ref 0 and total = ref 0 in
+  List.iter
+    (fun name ->
+      let pred kind = Miss_prob.solo_miss_ratio (curve name kind) ~capacity in
+      let sim kind = Ctx.solo_miss_ratio ctx ~hw:false name kind in
+      let po = pred O.Original and pb = pred O.Bb_affinity in
+      let so = sim O.Original and sb = sim O.Bb_affinity in
+      let agree = (pb <= po && sb <= so) || (pb > po && sb > so) in
+      incr total;
+      if agree then incr agreements;
+      Table.add_row t2
+        [
+          name;
+          Table.fmt_pct (100.0 *. po);
+          Table.fmt_pct (100.0 *. pb);
+          Table.fmt_pct (100.0 *. so);
+          Table.fmt_pct (100.0 *. sb);
+          (if agree then "yes" else "NO");
+        ])
+    W.Spec.deep_eight;
+  let summary =
+    Table.create ~title:"Model validation summary"
+      ~columns:[ ("statistic", Table.Left); ("value", Table.Right) ]
+  in
+  let mae =
+    Stats.mean (List.map2 (fun p s -> abs_float (p -. s)) !predicted !simulated) *. 100.0
+  in
+  Table.add_rows summary
+    [
+      [ "co-run points"; string_of_int (List.length !predicted) ];
+      [ "Spearman rank correlation (prediction vs simulation)";
+        Printf.sprintf "%.3f" (Stats.spearman !predicted !simulated) ];
+      [ "mean absolute error"; Printf.sprintf "%.2fpp" mae ];
+      [ "optimization-direction agreement";
+        Printf.sprintf "%d/%d" !agreements !total ];
+    ];
+  [ t1; t2; summary ]

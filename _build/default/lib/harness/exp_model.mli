@@ -1,0 +1,11 @@
+(** Model-validation study (extension): does the footprint theory behind
+    Eqs 1–2 predict what the trace-driven simulator measures?
+
+    For every study program and probe, the predicted co-run miss ratio
+    (footprint curves + capacity sharing) is compared against the shared
+    cache simulation, and for every program the predicted vs simulated
+    benefit of basic-block affinity. Agreement is summarized by Spearman
+    rank correlation — the paper's techniques only need the model to rank
+    layouts and co-run pressures correctly, not to match absolute values. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,53 @@
+open Colayout
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+
+let threshold = 0.01
+
+let run ctx =
+  let params = Ctx.params ctx in
+  let line = params.Colayout_cache.Params.line_bytes in
+  let l1_lines = Colayout_cache.Params.lines_total params in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Working-set knees (extension): smallest capacity with < %.0f%% miss, per \
+            layout (L1I holds %d lines)"
+           (100.0 *. threshold) l1_lines)
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("knee original", Table.Right);
+          ("knee bb-affinity", Table.Right);
+          ("reduction", Table.Right);
+          ("fits 32KB after?", Table.Left);
+        ]
+  in
+  List.iter
+    (fun name ->
+      Ctx.progress ctx ("mrc: " ^ name);
+      let trace = Ctx.ref_trace ctx name in
+      let knee kind =
+        Mrc.working_set_knee
+          (Mrc.of_layout ~params ~layout:(Ctx.layout ctx name kind) trace)
+          ~threshold
+      in
+      let korig = knee O.Original in
+      let kopt = knee O.Bb_affinity in
+      let reduction =
+        if korig = 0 then 0.0 else float_of_int (korig - kopt) /. float_of_int korig *. 100.0
+      in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%d lines (%dKB)" korig (korig * line / 1024);
+          Printf.sprintf "%d lines (%dKB)" kopt (kopt * line / 1024);
+          Printf.sprintf "%.0f%%" reduction;
+          (if kopt <= l1_lines && korig > l1_lines then "newly fits"
+           else if kopt <= l1_lines then "fits"
+           else "exceeds");
+        ])
+    W.Spec.deep_eight;
+  [ t ]

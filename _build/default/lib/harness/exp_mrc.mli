@@ -1,0 +1,10 @@
+(** Working-set knees (extension): one-pass LRU miss-ratio curves per
+    program and layout.
+
+    The measurement-side counterpart of the footprint model: for each of the
+    8 study programs, the smallest fully-associative capacity at which the
+    miss ratio drops below 1%, before and after basic-block affinity
+    reordering — how far left the optimizer moves the working-set knee
+    relative to the 32 KB L1I. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

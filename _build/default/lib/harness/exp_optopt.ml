@@ -1,0 +1,57 @@
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+module E = Colayout_exec
+
+let top3 ctx =
+  let scored =
+    List.map
+      (fun self ->
+        let avg =
+          Stats.mean
+            (List.map
+               (fun probe -> Exp_fig6.speedup ctx O.Func_affinity ~self ~probe)
+               W.Spec.deep_eight)
+        in
+        (self, avg))
+      W.Spec.deep_eight
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) scored
+  |> List.filteri (fun i _ -> i < 3)
+  |> List.map fst
+
+let cycles ctx ~self ~peer =
+  (Ctx.smt_corun ctx ~mode:E.Smt.Measure_first ~self ~peer).E.Smt.t0.E.Smt.cycles
+
+let run ctx =
+  let best = top3 ctx in
+  Ctx.progress ctx ("optopt: top-3 func-affinity programs: " ^ String.concat ", " best);
+  let t =
+    Table.create
+      ~title:
+        "§III-F: optimized+optimized vs optimized+baseline co-run (paper: negligible delta, \
+         no slowdown)"
+      ~columns:
+        [
+          ("self (optimized)", Table.Left);
+          ("peer", Table.Left);
+          ("delta speedup", Table.Right);
+        ]
+  in
+  List.iter
+    (fun self ->
+      List.iter
+        (fun peer ->
+          if self <> peer then begin
+            let base =
+              cycles ctx ~self:(self, O.Func_affinity) ~peer:(peer, O.Original)
+            in
+            let both =
+              cycles ctx ~self:(self, O.Func_affinity) ~peer:(peer, O.Func_affinity)
+            in
+            let delta = (float_of_int base /. float_of_int both -. 1.0) *. 100.0 in
+            Table.add_row t [ self; peer; Printf.sprintf "%+.2f%%" delta ]
+          end)
+        best)
+    best;
+  [ t ]

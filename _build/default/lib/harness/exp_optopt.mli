@@ -1,0 +1,7 @@
+(** §III-F "Combining Defensiveness and Politeness": the three programs that
+    gain most from function affinity, co-run optimized+optimized vs
+    optimized+baseline. The paper's finding is negative: deltas are
+    negligible (and never slowdowns), because optimizing one program already
+    removes the instruction-cache contention. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,10 @@
+(** §III-F's closing conjecture, tested: "in cases where the active code
+    size is large, e.g. database, ... combining defensiveness and politeness
+    should see a synergistic improvement."
+
+    Two instances of a database-like analog (active code well beyond the
+    L1I even after packing) co-run; unlike the SPEC-sized programs of the
+    optopt experiment, optimizing {e both} sides should now beat optimizing
+    one. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,40 @@
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+module E = Colayout_exec
+
+let run ctx =
+  let t =
+    Table.create
+      ~title:
+        "Table I: characteristics of the 8 deep-study programs (dynamic count is millions \
+         here vs the paper's billions: simulated fuel replaces full reference runs)"
+      ~columns:
+        [
+          ("program", Table.Left);
+          ("dyn instrs (M)", Table.Right);
+          ("static (bytes)", Table.Right);
+          ("solo", Table.Right);
+          ("co-run gcc", Table.Right);
+          ("co-run gamess", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let prog = Ctx.program ctx name in
+      let res = Ctx.ref_result ctx name in
+      let solo = Ctx.solo_miss_ratio ctx ~hw:false name O.Original in
+      let co probe =
+        Ctx.corun_miss_ratio ctx ~hw:false ~self:(name, O.Original) ~peer:(probe, O.Original)
+      in
+      Table.add_row t
+        [
+          name;
+          Table.fmt_float ~decimals:1 (float_of_int res.E.Interp.instr_count /. 1e6);
+          Table.fmt_int (Colayout_ir.Program.total_code_bytes prog);
+          Table.fmt_pct (100.0 *. solo);
+          Table.fmt_pct (100.0 *. co "403.gcc");
+          Table.fmt_pct (100.0 *. co "416.gamess");
+        ])
+    W.Spec.deep_eight;
+  [ t ]

@@ -1,0 +1,5 @@
+(** Table I: characteristics of the 8 deep-study programs — dynamic
+    instruction count, static code size, and L1I miss ratios solo and under
+    the gcc/gamess probes. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,60 @@
+open Colayout_util
+module W = Colayout_workloads
+module O = Colayout.Optimizer
+
+let pct_reduction ~base ~v = if base = 0.0 then 0.0 else (base -. v) /. base *. 100.0
+
+(* Average, over the 8 probes, of this program's co-run miss-ratio reduction
+   relative to its original layout. *)
+let avg_miss_reduction ctx ~hw kind self =
+  let per_probe probe =
+    let base =
+      Ctx.corun_miss_ratio ctx ~hw ~self:(self, O.Original) ~peer:(probe, O.Original)
+    in
+    let opt = Ctx.corun_miss_ratio ctx ~hw ~self:(self, kind) ~peer:(probe, O.Original) in
+    pct_reduction ~base ~v:opt
+  in
+  Stats.mean (List.map per_probe W.Spec.deep_eight)
+
+let avg_speedup ctx kind self =
+  Stats.mean
+    (List.map (fun probe -> Exp_fig6.speedup ctx kind ~self ~probe) W.Spec.deep_eight)
+
+let run ctx =
+  let t =
+    Table.create
+      ~title:
+        "Table II: average co-run speedup and miss-ratio reduction per optimizer (speedup \
+         as %; '*' marks the best speedup per program)"
+      ~columns:
+        (("program", Table.Left)
+        :: List.concat_map
+             (fun kind ->
+               let n = O.kind_name kind in
+               [
+                 (n ^ " speedup", Table.Right);
+                 (n ^ " mr hw", Table.Right);
+                 (n ^ " mr sim", Table.Right);
+               ])
+             Exp_fig6.optimizers)
+  in
+  List.iter
+    (fun self ->
+      Ctx.progress ctx ("table2: " ^ self);
+      let speedups = List.map (fun k -> avg_speedup ctx k self) Exp_fig6.optimizers in
+      let best = Stats.maximum speedups in
+      let cells =
+        List.concat
+          (List.map2
+             (fun kind sp ->
+               let star = if sp = best && sp > 1.0 then "*" else "" in
+               [
+                 Printf.sprintf "%+.2f%%%s" ((sp -. 1.0) *. 100.0) star;
+                 Printf.sprintf "%.1f%%" (avg_miss_reduction ctx ~hw:true kind self);
+                 Printf.sprintf "%.1f%%" (avg_miss_reduction ctx ~hw:false kind self);
+               ])
+             Exp_fig6.optimizers speedups)
+      in
+      Table.add_row t (self :: cells))
+    W.Spec.deep_eight;
+  [ t ]

@@ -1,0 +1,6 @@
+(** Table II: per program and optimizer, the average co-run speedup and the
+    average miss-ratio reduction — as "hardware counters" (prefetching
+    simulator) and as pure simulation. The best speedup per program is
+    starred. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,178 @@
+open Colayout
+open Colayout_util
+module W = Colayout_workloads
+module E = Colayout_exec
+module C = Colayout_cache
+module O = Colayout.Optimizer
+module T = Colayout_trace.Trace
+
+(* A numeric-kernel shape: phased control flow plus per-function data
+   regions; both the code and the data working sets press on their L1s. *)
+let profile =
+  {
+    W.Gen.default_profile with
+    pname = "unified";
+    seed = 7001;
+    phases = 4;
+    funcs_per_phase = 9;
+    shared_funcs = 2;
+    arms = 6;
+    arm_blocks = 2;
+    arm_work = 26;
+    cold_arms = 3;
+    cold_funcs = 10;
+    iters_per_phase = 90;
+    data_region_bytes = 4096;
+    loads_per_block = 2;
+  }
+
+let data_ops_per_block program =
+  Array.map
+    (fun (b : Colayout_ir.Program.block) ->
+      List.fold_left
+        (fun acc i ->
+          match i with Colayout_ir.Types.Load _ | Colayout_ir.Types.Store _ -> acc + 1 | _ -> acc)
+        0 b.instrs)
+    (Colayout_ir.Program.blocks program)
+
+(* One thread's position in its block + data streams. *)
+type stream = {
+  trace : T.t;
+  data : Int_vec.t;
+  layout : Layout.t;
+  data_ops : int array;
+  line_offset : int;
+  addr_offset : int;
+  mutable pos : int;
+  mutable data_pos : int;
+}
+
+let mk_stream ~trace ~data ~layout ~data_ops ~line_offset ~addr_offset =
+  { trace; data; layout; data_ops; line_offset; addr_offset; pos = 0; data_pos = 0 }
+
+let finished s = s.pos >= T.length s.trace
+
+(* Execute one block: fetch its lines, then issue its data references. *)
+let step params h ~thread s =
+  if not (finished s) then begin
+    let bid = T.get s.trace s.pos in
+    s.pos <- s.pos + 1;
+    let first, last =
+      C.Params.lines_spanned params ~addr:s.layout.Layout.addr.(bid)
+        ~bytes:s.layout.Layout.bytes.(bid)
+    in
+    for line = first to last do
+      C.Hierarchy.access_instr h ~thread ~line:(line + s.line_offset)
+    done;
+    for _ = 1 to s.data_ops.(bid) do
+      if s.data_pos < Int_vec.length s.data then begin
+        C.Hierarchy.access_data h ~thread ~addr:(Int_vec.get s.data s.data_pos + s.addr_offset);
+        s.data_pos <- s.data_pos + 1
+      end
+    done
+  end
+
+let run ctx =
+  let params = Ctx.params ctx in
+  let fuel = match Ctx.scale ctx with Ctx.Fast -> 120_000 | Ctx.Full -> 300_000 in
+  let program = W.Gen.build profile in
+  let analysis = Optimizer.analyze program (E.Interp.test_input ~max_blocks:150_000 ()) in
+  let res = E.Interp.run program (E.Interp.ref_input ~max_blocks:fuel ()) in
+  let data_ops = data_ops_per_block program in
+  let layout kind = Optimizer.layout_for kind program analysis in
+  let mr s = 100.0 *. C.Cache_stats.miss_ratio s in
+  let solo_row kind =
+    let h = C.Hierarchy.create () in
+    let s =
+      mk_stream ~trace:res.E.Interp.bb_trace ~data:res.E.Interp.data_trace
+        ~layout:(layout kind) ~data_ops ~line_offset:0 ~addr_offset:0
+    in
+    while not (finished s) do
+      step params h ~thread:0 s
+    done;
+    h
+  in
+  let t =
+    Table.create
+      ~title:
+        "Eq 1 beyond L1I (extension): split-L1 + unified-L2 hierarchy, solo run of a \
+         numeric workload with per-function data regions"
+      ~columns:
+        [
+          ("layout", Table.Left);
+          ("L1I miss", Table.Right);
+          ("L1D miss", Table.Right);
+          ("L2 miss", Table.Right);
+          ("L2 instr misses", Table.Right);
+          ("L2 data misses", Table.Right);
+        ]
+  in
+  List.iter
+    (fun kind ->
+      Ctx.progress ctx ("unified solo: " ^ O.kind_name kind);
+      let h = solo_row kind in
+      Table.add_row t
+        [
+          O.kind_name kind;
+          Table.fmt_pct (mr (C.Hierarchy.l1i_stats h));
+          Table.fmt_pct (mr (C.Hierarchy.l1d_stats h));
+          Table.fmt_pct (mr (C.Hierarchy.l2_stats h));
+          Table.fmt_int (C.Hierarchy.l2_instr_misses h);
+          Table.fmt_int (C.Hierarchy.l2_data_misses h);
+        ])
+    [ O.Original; O.Func_affinity; O.Bb_affinity ];
+  (* Co-run: two instances of the workload on the two hyper-threads, all
+     levels shared. Thread 1 uses a second instance (different seed). *)
+  let program_b = W.Gen.build { profile with pname = "unified-b"; seed = 7002 } in
+  let analysis_b = Optimizer.analyze program_b (E.Interp.test_input ~max_blocks:150_000 ()) in
+  let res_b = E.Interp.run program_b (E.Interp.ref_input ~max_blocks:fuel ()) in
+  let data_ops_b = data_ops_per_block program_b in
+  let corun_row kind_a kind_b =
+    let h = C.Hierarchy.create ~threads:2 () in
+    let a =
+      mk_stream ~trace:res.E.Interp.bb_trace ~data:res.E.Interp.data_trace
+        ~layout:(layout kind_a) ~data_ops ~line_offset:0 ~addr_offset:0
+    in
+    let layout_b =
+      match kind_b with
+      | O.Original -> Layout.original program_b
+      | k -> Optimizer.layout_for k program_b analysis_b
+    in
+    let b =
+      mk_stream ~trace:res_b.E.Interp.bb_trace ~data:res_b.E.Interp.data_trace
+        ~layout:layout_b ~data_ops:data_ops_b ~line_offset:(1 lsl 40)
+        ~addr_offset:(1 lsl 38)
+    in
+    while not (finished a && finished b) do
+      step params h ~thread:0 a;
+      step params h ~thread:1 b
+    done;
+    h
+  in
+  let t2 =
+    Table.create
+      ~title:
+        "Eq 1 co-run: unified L2 shared by two hyper-threads (thread-0 metrics; peer runs \
+         its original layout)"
+      ~columns:
+        [
+          ("self layout", Table.Left);
+          ("L1I miss", Table.Right);
+          ("L1D miss", Table.Right);
+          ("L2 miss", Table.Right);
+        ]
+  in
+  List.iter
+    (fun kind ->
+      Ctx.progress ctx ("unified corun: " ^ O.kind_name kind);
+      let h = corun_row kind O.Original in
+      let tmr stats = 100.0 *. C.Cache_stats.thread_miss_ratio stats 0 in
+      Table.add_row t2
+        [
+          O.kind_name kind;
+          Table.fmt_pct (tmr (C.Hierarchy.l1i_stats h));
+          Table.fmt_pct (tmr (C.Hierarchy.l1d_stats h));
+          Table.fmt_pct (tmr (C.Hierarchy.l2_stats h));
+        ])
+    [ O.Original; O.Func_affinity; O.Bb_affinity ];
+  [ t; t2 ]

@@ -1,0 +1,10 @@
+(** Eq 1 beyond the L1I: the unified-cache benefit classes of §II-A.
+
+    The paper's evaluation measures the instruction cache (Eq 2), but its
+    benefit classification covers the unified lower level, where instruction
+    and data footprints compete (Eq 1). This experiment runs a workload with
+    a real data stream through a split-L1 + unified-L2 hierarchy and shows
+    that code layout optimization also removes L2 instruction misses —
+    leaving more unified capacity to data, solo and co-run. *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

@@ -1,0 +1,99 @@
+open Colayout
+open Colayout_util
+module W = Colayout_workloads
+module E = Colayout_exec
+module O = Colayout.Optimizer
+
+(* A deliberately tiny program: 2 phases x 2 workers + 1 shared + 1 cold
+   function + main = 7 functions, 5040 layouts — searchable. *)
+let tiny_profile =
+  {
+    W.Gen.default_profile with
+    pname = "wall-tiny";
+    seed = 404;
+    phases = 2;
+    funcs_per_phase = 2;
+    shared_funcs = 1;
+    arms = 4;
+    arm_blocks = 3;
+    arm_work = 40;
+    cold_funcs = 1;
+    iters_per_phase = 60;
+  }
+
+(* A cache small enough that this tiny program's layout matters. *)
+let params = Colayout_cache.Params.make ~size_bytes:2048 ~assoc:2 ~line_bytes:64
+
+let log10_factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc +. log10 (float_of_int k)) (k - 1) in
+  go 0.0 n
+
+let run ctx =
+  let scale_blocks = match Ctx.scale ctx with Ctx.Fast -> 20_000 | Ctx.Full -> 40_000 in
+  let program = W.Gen.build tiny_profile in
+  let nf = Colayout_ir.Program.num_funcs program in
+  let ref_run = E.Interp.run program (E.Interp.ref_input ~max_blocks:scale_blocks ()) in
+  let trace = ref_run.E.Interp.bb_trace in
+  Ctx.progress ctx
+    (Printf.sprintf "wall: exhaustive search over %d! = %.0f function layouts" nf
+       (exp (log10_factorial nf *. log 10.0)));
+  let opt = Optimal.search ~params program trace in
+  let analysis = Optimizer.analyze program (E.Interp.test_input ~max_blocks:scale_blocks ()) in
+  let miss_of_layout layout =
+    Colayout_cache.Cache_stats.miss_ratio
+      (Pipeline.miss_ratio_solo ~params ~layout trace)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Petrank-Rawitz wall (§III-D): heuristics vs the true optimum over all %d \
+            function layouts of a 7-function program"
+           opt.Optimal.evaluated)
+      ~columns:
+        [
+          ("layout", Table.Left);
+          ("miss ratio", Table.Right);
+          ("gap to optimal", Table.Right);
+        ]
+  in
+  let add name mr =
+    let gap =
+      if opt.Optimal.best_miss_ratio = 0.0 then 0.0
+      else (mr -. opt.Optimal.best_miss_ratio) /. opt.Optimal.best_miss_ratio *. 100.0
+    in
+    Table.add_row t
+      [ name; Table.fmt_pct (100.0 *. mr); Printf.sprintf "+%.1f%%" gap ]
+  in
+  add "optimal (exhaustive)" opt.Optimal.best_miss_ratio;
+  List.iter
+    (fun kind ->
+      add (O.kind_name kind) (miss_of_layout (Optimizer.layout_for kind program analysis)))
+    [ O.Func_affinity; O.Func_trg; O.Original ];
+  add "padded TPCM (Gloy-Smith)"
+    (miss_of_layout
+       (Trg_place.layout_for
+          ~config:{ Optimizer.default_config with Optimizer.params }
+          program analysis));
+  add "Pettis-Hansen call graph"
+    (miss_of_layout (Pettis_hansen.layout_for program ref_run.E.Interp.call_trace));
+  let annealed =
+    Anneal.search ~seed:11 ~steps:(match Ctx.scale ctx with Ctx.Fast -> 150 | Ctx.Full -> 400)
+      ~params program trace
+  in
+  add
+    (Printf.sprintf "simulated annealing (%d sims)" annealed.Anneal.steps)
+    annealed.Anneal.miss_ratio;
+  add "worst permutation" opt.Optimal.worst_miss_ratio;
+  (* Why this stops at toy scale: the paper's programs. *)
+  let t2 =
+    Table.create ~title:"The wall: function-layout search spaces of the 8 study programs"
+      ~columns:[ ("program", Table.Left); ("functions", Table.Right); ("layouts (F!)", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let f = Colayout_ir.Program.num_funcs (Ctx.program ctx name) in
+      Table.add_row t2
+        [ name; string_of_int f; Printf.sprintf "~10^%.0f" (log10_factorial f) ])
+    W.Spec.deep_eight;
+  [ t; t2 ]

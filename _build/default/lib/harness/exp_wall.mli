@@ -1,0 +1,6 @@
+(** §III-D, the Petrank-Rawitz wall: on a program small enough to search
+    exhaustively, measure how close the paper's heuristics get to the true
+    optimal function layout — and tabulate why exhaustive search is
+    impossible for the real programs ([F!] layouts). *)
+
+val run : Ctx.t -> Colayout_util.Table.t list

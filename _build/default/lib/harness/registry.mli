@@ -1,0 +1,17 @@
+(** Experiment registry: id → runner, in paper order. *)
+
+type experiment = {
+  id : string;
+  paper_ref : string;  (** e.g. "Table I", "Figure 6". *)
+  summary : string;
+  run : Ctx.t -> Colayout_util.Table.t list;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val ids : string list
+
+val run_by_ids : Ctx.t -> string list -> (string * Colayout_util.Table.t list) list
+(** @raise Invalid_argument on an unknown id. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Colayout_util List Printf Program Size_model Types Validate Vec

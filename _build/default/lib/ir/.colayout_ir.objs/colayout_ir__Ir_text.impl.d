@@ -1,0 +1,1 @@
+lib/ir/ir_text.ml: Array Buffer Builder Hashtbl List Option Printf Program String Types Validate

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Format List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/size_model.mli: Types

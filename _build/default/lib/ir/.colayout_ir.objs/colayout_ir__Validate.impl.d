@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array List Printf Program Queue Types

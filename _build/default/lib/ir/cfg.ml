@@ -1,0 +1,190 @@
+open Types
+
+type t = {
+  entry : block_id;
+  blocks : block_id array; (* the function's blocks *)
+  index : (block_id, int) Hashtbl.t; (* block id -> local index *)
+  succs : int list array;
+  preds : int list array;
+  reachable : bool array;
+  rpo : int array; (* local indices in reverse post-order *)
+  rpo_pos : int array; (* local index -> position in rpo, -1 unreachable *)
+  idom : int array; (* local index of immediate dominator, -1 = none *)
+  depth : int array; (* loop nesting depth *)
+  freq : float array;
+}
+
+let analyze program fid =
+  let f = Program.func program fid in
+  let blocks = f.Program.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i bid -> Hashtbl.replace index bid i) blocks;
+  let local bid =
+    match Hashtbl.find_opt index bid with
+    | Some i -> i
+    | None -> invalid_arg "Cfg: terminator target outside the function"
+  in
+  let succs =
+    Array.map (fun bid -> List.map local (Program.block_successors program bid)) blocks
+  in
+  let preds = Array.make n [] in
+  Array.iteri (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss) succs;
+  (* DFS for reachability and post-order. *)
+  let reachable = Array.make n false in
+  let post = ref [] in
+  let rec dfs i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter dfs succs.(i);
+      post := i :: !post
+    end
+  in
+  let entry_local = local f.Program.entry in
+  dfs entry_local;
+  let rpo = Array.of_list !post in
+  let rpo_pos = Array.make n (-1) in
+  Array.iteri (fun pos i -> rpo_pos.(i) <- pos) rpo;
+  (* Cooper-Harvey-Kennedy iterative dominators. *)
+  let idom = Array.make n (-1) in
+  idom.(entry_local) <- entry_local;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_pos.(!a) > rpo_pos.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_pos.(!b) > rpo_pos.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun i ->
+        if i <> entry_local then begin
+          let processed_preds =
+            List.filter (fun p -> reachable.(p) && idom.(p) >= 0) preds.(i)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(i) <> new_idom then begin
+              idom.(i) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  let dominates_local a b =
+    (* Walk b's dominator chain up to the entry. *)
+    if not (reachable.(a) && reachable.(b)) then false
+    else begin
+      let rec walk x = if x = a then true else if x = entry_local then false else walk idom.(x) in
+      walk b
+    end
+  in
+  (* Natural loops from back edges. *)
+  let depth = Array.make n 0 in
+  let back_edges = ref [] in
+  Array.iteri
+    (fun u ss ->
+      if reachable.(u) then
+        List.iter (fun v -> if dominates_local v u then back_edges := (u, v) :: !back_edges) ss)
+    succs;
+  List.iter
+    (fun (tail, head) ->
+      (* Loop body: head plus everything that reaches tail without head. *)
+      let in_loop = Array.make n false in
+      in_loop.(head) <- true;
+      let rec up i =
+        if not in_loop.(i) then begin
+          in_loop.(i) <- true;
+          List.iter up preds.(i)
+        end
+      in
+      up tail;
+      Array.iteri (fun i inl -> if inl then depth.(i) <- depth.(i) + 1) in_loop)
+    !back_edges;
+  (* Static frequency: split flow across successors, ignore back edges,
+     then scale by 10^loop-depth. *)
+  let freq = Array.make n 0.0 in
+  let base = Array.make n 0.0 in
+  base.(entry_local) <- 1.0;
+  Array.iter
+    (fun i ->
+      let out = List.length succs.(i) in
+      if out > 0 && base.(i) > 0.0 then begin
+        let share = base.(i) /. float_of_int out in
+        List.iter
+          (fun s ->
+            (* Forward edges only: skip if s precedes i in RPO (back edge). *)
+            if rpo_pos.(s) > rpo_pos.(i) then base.(s) <- base.(s) +. share)
+          succs.(i)
+      end)
+    rpo;
+  Array.iteri
+    (fun i _ ->
+      if reachable.(i) then
+        freq.(i) <- Float.max base.(i) 1e-6 *. (10.0 ** float_of_int depth.(i)))
+    freq;
+  {
+    entry = f.Program.entry;
+    blocks;
+    index;
+    succs;
+    preds;
+    reachable;
+    rpo;
+    rpo_pos;
+    idom;
+    depth;
+    freq;
+  }
+
+let local_of t bid =
+  match Hashtbl.find_opt t.index bid with
+  | Some i -> i
+  | None -> invalid_arg "Cfg: block not in this function"
+
+let entry t = t.entry
+
+let reachable t bid = t.reachable.(local_of t bid)
+
+let idom t bid =
+  let i = local_of t bid in
+  if (not t.reachable.(i)) || t.blocks.(i) = t.entry then None
+  else if t.idom.(i) < 0 then None
+  else Some t.blocks.(t.idom.(i))
+
+let dominates t a b =
+  let ia = local_of t a and ib = local_of t b in
+  if not (t.reachable.(ia) && t.reachable.(ib)) then false
+  else begin
+    let entry_local = local_of t t.entry in
+    let rec walk x = if x = ia then true else if x = entry_local then false else walk t.idom.(x) in
+    walk ib
+  end
+
+let back_edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun u ss ->
+      if t.reachable.(u) then
+        List.iter
+          (fun v ->
+            if dominates t t.blocks.(v) t.blocks.(u) then
+              acc := (t.blocks.(u), t.blocks.(v)) :: !acc)
+          ss)
+    t.succs;
+  List.sort compare !acc
+
+let loop_depth t bid = t.depth.(local_of t bid)
+
+let static_frequency t bid = t.freq.(local_of t bid)
+
+let rpo t = Array.to_list (Array.map (fun i -> t.blocks.(i)) t.rpo)

@@ -1,0 +1,41 @@
+(** Intra-procedural control-flow analysis: dominators, natural loops, and
+    static execution-frequency estimates.
+
+    This is the machinery a compiler uses when no profile is available —
+    the substrate for the profile-free static layout baseline, and generally
+    useful for inspecting generated programs. All queries are per function;
+    blocks unreachable from the function entry get depth 0, frequency 0 and
+    are dominated by nothing. *)
+
+type t
+
+val analyze : Program.t -> Types.func_id -> t
+(** Analyze one function (intra-procedural edges only; a [Call]'s successor
+    is its return block). *)
+
+val entry : t -> Types.block_id
+
+val reachable : t -> Types.block_id -> bool
+
+val idom : t -> Types.block_id -> Types.block_id option
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+
+val dominates : t -> Types.block_id -> Types.block_id -> bool
+(** [dominates t a b]: every path from the entry to [b] passes through [a].
+    Reflexive. False if either block is unreachable. *)
+
+val back_edges : t -> (Types.block_id * Types.block_id) list
+(** Edges [(tail, head)] where [head] dominates [tail] — one per natural
+    loop (sorted). *)
+
+val loop_depth : t -> Types.block_id -> int
+(** Number of natural loops containing the block (0 = not in a loop). *)
+
+val static_frequency : t -> Types.block_id -> float
+(** Profile-free execution-frequency estimate, the standard compiler
+    heuristic: flow starts at 1 at the entry, splits evenly across
+    successors (back edges ignored), and is scaled by 10^loop-depth.
+    0 for unreachable blocks. *)
+
+val rpo : t -> Types.block_id list
+(** Reachable blocks in reverse post-order (the entry first). *)

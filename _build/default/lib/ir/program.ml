@@ -1,0 +1,104 @@
+type block = {
+  id : Types.block_id;
+  fn : Types.func_id;
+  name : string;
+  instrs : Types.instr list;
+  term : Types.terminator;
+  size_bytes : int;
+  instr_count : int;
+}
+
+type func = {
+  fid : Types.func_id;
+  fname : string;
+  entry : Types.block_id;
+  blocks : Types.block_id array;
+}
+
+type t = {
+  name : string;
+  funcs : func array;
+  blocks : block array;
+  main : Types.func_id;
+}
+
+let unsafe_make ~name ~funcs ~blocks ~main = { name; funcs; blocks; main }
+
+let name t = t.name
+
+let num_funcs t = Array.length t.funcs
+
+let num_blocks t = Array.length t.blocks
+
+let func t fid =
+  if fid < 0 || fid >= Array.length t.funcs then
+    invalid_arg (Printf.sprintf "Program.func: bad id %d" fid);
+  t.funcs.(fid)
+
+let block t bid =
+  if bid < 0 || bid >= Array.length t.blocks then
+    invalid_arg (Printf.sprintf "Program.block: bad id %d" bid);
+  t.blocks.(bid)
+
+let funcs t = t.funcs
+
+let blocks t = t.blocks
+
+let main t = t.funcs.(t.main)
+
+let func_size_bytes t fid =
+  Array.fold_left (fun acc bid -> acc + t.blocks.(bid).size_bytes) 0 (func t fid).blocks
+
+let total_code_bytes t =
+  Array.fold_left (fun acc b -> acc + b.size_bytes) 0 t.blocks
+
+let find_func t fname = Array.find_opt (fun f -> f.fname = fname) t.funcs
+
+let block_successors t bid =
+  match (block t bid).term with
+  | Types.Jump target -> [ target ]
+  | Types.Branch { if_true; if_false; _ } ->
+    if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+  | Types.Switch { targets; default; _ } ->
+    let all = default :: Array.to_list targets in
+    List.sort_uniq compare all
+  | Types.Call { return_to; _ } -> [ return_to ]
+  | Types.Return | Types.Halt -> []
+
+let fallthrough_target t bid =
+  match (block t bid).term with
+  | Types.Jump target -> Some target
+  | Types.Branch { if_false; _ } -> Some if_false
+  | Types.Call { return_to; _ } -> Some return_to
+  | Types.Switch _ | Types.Return | Types.Halt -> None
+
+let pp ppf t =
+  Format.fprintf ppf "program %s (%d funcs, %d blocks, %d bytes)@." t.name
+    (Array.length t.funcs) (Array.length t.blocks) (total_code_bytes t);
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf "@.func %s (f%d), entry=b%d@." f.fname f.fid f.entry;
+      Array.iter
+        (fun bid ->
+          let b = t.blocks.(bid) in
+          Format.fprintf ppf "  b%d %s [%dB, %d instrs]@." b.id b.name b.size_bytes
+            b.instr_count;
+          List.iter (fun i -> Format.fprintf ppf "    %s@." (Types.instr_to_string i)) b.instrs;
+          let term_str =
+            match b.term with
+            | Types.Jump x -> Printf.sprintf "jump b%d" x
+            | Types.Branch { cond; if_true; if_false } ->
+              Printf.sprintf "br %s ? b%d : b%d" (Types.expr_to_string cond) if_true if_false
+            | Types.Switch { sel; targets; default } ->
+              Printf.sprintf "switch %s [%s] default b%d" (Types.expr_to_string sel)
+                (String.concat ";"
+                   (Array.to_list (Array.map (fun x -> "b" ^ string_of_int x) targets)))
+                default
+            | Types.Call { callee; return_to } ->
+              Printf.sprintf "call f%d -> b%d" callee return_to
+            | Types.Return -> "return"
+            | Types.Halt -> "halt"
+          in
+          Format.fprintf ppf "    %s@." term_str)
+        f.blocks)
+    t.funcs

@@ -1,0 +1,67 @@
+(** Immutable whole-program representation.
+
+    Build one with {!Builder}; consumers (interpreter, analyses, layout
+    transformations) only read. Blocks are stored in one program-wide array
+    indexed by [block_id], so analyses can use dense arrays keyed by block
+    id — the same trick the paper's mapping file plays (§II-F
+    "Instrumentation"). *)
+
+type block = {
+  id : Types.block_id;
+  fn : Types.func_id;
+  name : string;
+  instrs : Types.instr list;
+  term : Types.terminator;
+  size_bytes : int;  (** Body + terminator, from {!Size_model}. *)
+  instr_count : int;
+}
+
+type func = {
+  fid : Types.func_id;
+  fname : string;
+  entry : Types.block_id;
+  blocks : Types.block_id array;  (** In declaration (source) order. *)
+}
+
+type t
+
+val name : t -> string
+
+val num_funcs : t -> int
+
+val num_blocks : t -> int
+
+val func : t -> Types.func_id -> func
+
+val block : t -> Types.block_id -> block
+
+val funcs : t -> func array
+
+val blocks : t -> block array
+
+val main : t -> func
+(** The designated entry function. *)
+
+val func_size_bytes : t -> Types.func_id -> int
+(** Sum of the function's block sizes. *)
+
+val total_code_bytes : t -> int
+
+val find_func : t -> string -> func option
+
+val block_successors : t -> Types.block_id -> Types.block_id list
+(** Intra-procedural CFG successors ([Call] contributes its [return_to], not
+    the callee entry). *)
+
+val fallthrough_target : t -> Types.block_id -> Types.block_id option
+(** The block that must be adjacent for the terminator to need no extra
+    unconditional jump: [Branch]'s false edge, [Jump]'s target, [Call]'s
+    return-to block. [Switch]/[Return]/[Halt] have none. *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val unsafe_make :
+  name:string -> funcs:func array -> blocks:block array -> main:Types.func_id -> t
+(** For {!Builder} only; invariants are checked by {!Validate.check}. *)

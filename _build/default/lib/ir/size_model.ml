@@ -1,0 +1,36 @@
+open Types
+
+let bytes_per_work_unit = 4
+
+let rec expr_ops = function
+  | Const _ | Var _ -> 0
+  | Rand _ -> 1
+  | Bin (_, a, b) -> 1 + expr_ops a + expr_ops b
+
+let instr_bytes = function
+  | Assign (_, e) -> 4 * (1 + expr_ops e)
+  | Work n -> bytes_per_work_unit * n
+  | Load e | Store e -> 4 * (1 + expr_ops e)
+
+let instr_count = function
+  | Assign (_, e) -> 1 + expr_ops e
+  | Work n -> n
+  | Load e | Store e -> 1 + expr_ops e
+
+let terminator_bytes = function
+  | Jump _ -> 5
+  | Branch _ -> 8 (* compare + conditional jump *)
+  | Switch { targets; _ } -> 12 + (4 * Array.length targets) (* bounds check + indirect jump + table *)
+  | Call _ -> 5
+  | Return -> 1
+  | Halt -> 4
+
+let terminator_instr_count = function
+  | Jump _ -> 1
+  | Branch _ -> 2
+  | Switch _ -> 3
+  | Call _ -> 1
+  | Return -> 1
+  | Halt -> 1
+
+let jump_bytes = 5

@@ -1,0 +1,94 @@
+(** Core IR types.
+
+    The IR is deliberately close to what the paper's LLVM passes consume:
+    programs are functions, functions are basic blocks, blocks have a byte
+    size and an instruction count, and control flow is explicit (no implicit
+    fall-through — the layout engine decides adjacency, and pays for broken
+    fall-throughs with extra jump bytes, mirroring the paper's
+    basic-block-reordering pre-processing step). *)
+
+type func_id = int
+
+type block_id = int
+(** Globally unique within a program (not per function). *)
+
+type var = int
+(** Index into the interpreter's global variable file. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** Division by zero evaluates to 0, like saturating hardware. *)
+  | Mod  (** Modulo by zero evaluates to 0. *)
+  | Xor
+  | And
+  | Or
+  | Lt
+  | Le
+  | Eq
+  | Ne
+  | Gt
+  | Ge
+
+type expr =
+  | Const of int
+  | Var of var
+  | Bin of binop * expr * expr
+  | Rand of int
+      (** [Rand n] draws uniformly from [[0, n)] using the run's seeded PRNG;
+          this is how data-dependent branch behaviour enters the model. *)
+
+type instr =
+  | Assign of var * expr
+  | Work of int
+      (** [Work n] stands for [n] straight-line ALU instructions. It is the
+          knob that gives blocks realistic byte sizes. *)
+  | Load of expr
+      (** Read memory at the evaluated address: drives the data side of the
+          unified-cache model (Eq 1). The loaded value is not materialized —
+          synthetic programs' control flow never depends on memory
+          contents. *)
+  | Store of expr  (** Write memory at the evaluated address. *)
+
+type terminator =
+  | Jump of block_id
+  | Branch of { cond : expr; if_true : block_id; if_false : block_id }
+      (** Non-zero condition takes [if_true]. *)
+  | Switch of { sel : expr; targets : block_id array; default : block_id }
+      (** Indexed jump: in-range selector picks [targets.(sel)]; used for the
+          interpreter-style dispatch loops of the perlbench/gcc analogs. *)
+  | Call of { callee : func_id; return_to : block_id }
+      (** Calls transfer to [callee]'s entry; its [Return] resumes at
+          [return_to] in the calling function. *)
+  | Return
+  | Halt
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Xor -> "^"
+  | And -> "&"
+  | Or -> "|"
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr_to_string = function
+  | Const n -> string_of_int n
+  | Var v -> Printf.sprintf "v%d" v
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op) (expr_to_string b)
+  | Rand n -> Printf.sprintf "rand(%d)" n
+
+let instr_to_string = function
+  | Assign (v, e) -> Printf.sprintf "v%d := %s" v (expr_to_string e)
+  | Work n -> Printf.sprintf "work %d" n
+  | Load e -> Printf.sprintf "load [%s]" (expr_to_string e)
+  | Store e -> Printf.sprintf "store [%s]" (expr_to_string e)

@@ -1,0 +1,86 @@
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let check p =
+  let nb = Program.num_blocks p in
+  let nf = Program.num_funcs p in
+  if nf = 0 then fail "program has no functions";
+  (* Main exists (accessor raises on bad index). *)
+  let _ = Program.main p in
+  Array.iteri
+    (fun i (f : Program.func) ->
+      if f.fid <> i then fail "function %s: id %d stored at slot %d" f.fname f.fid i;
+      if Array.length f.blocks = 0 then fail "function %s has no blocks" f.fname;
+      if f.entry <> f.blocks.(0) then
+        fail "function %s: entry b%d is not its first block" f.fname f.entry;
+      Array.iter
+        (fun bid ->
+          if bid < 0 || bid >= nb then fail "function %s references bad block %d" f.fname bid;
+          let b = Program.block p bid in
+          if b.fn <> f.fid then
+            fail "block b%d listed in %s but belongs to f%d" bid f.fname b.fn)
+        f.blocks)
+    (Program.funcs p);
+  Array.iteri
+    (fun i (b : Program.block) ->
+      if b.id <> i then fail "block %s: id %d stored at slot %d" b.name b.id i;
+      if b.fn < 0 || b.fn >= nf then fail "block b%d has bad function f%d" b.id b.fn;
+      if b.size_bytes <= 0 then fail "block b%d has non-positive size" b.id;
+      if b.instr_count <= 0 then fail "block b%d has non-positive instruction count" b.id;
+      let check_local target what =
+        if target < 0 || target >= nb then fail "block b%d: %s targets bad block %d" b.id what target;
+        let tb = Program.block p target in
+        if tb.fn <> b.fn then
+          fail "block b%d (f%d): %s crosses into f%d (b%d) — inter-procedural control flow \
+               must use Call" b.id b.fn what tb.fn target
+      in
+      match b.term with
+      | Types.Jump x -> check_local x "jump"
+      | Types.Branch { if_true; if_false; _ } ->
+        check_local if_true "branch-true";
+        check_local if_false "branch-false"
+      | Types.Switch { targets; default; _ } ->
+        Array.iter (fun x -> check_local x "switch-case") targets;
+        check_local default "switch-default"
+      | Types.Call { callee; return_to } ->
+        if callee < 0 || callee >= nf then fail "block b%d calls bad function f%d" b.id callee;
+        check_local return_to "call-return"
+      | Types.Return | Types.Halt -> ())
+    (Program.blocks p)
+
+let reachable_blocks p =
+  let nb = Program.num_blocks p in
+  let seen = Array.make nb false in
+  (* Which functions have been entered; used to propagate Return edges. *)
+  let entered = Array.make (Program.num_funcs p) false in
+  (* return_to blocks per callee function, discovered as calls are seen. *)
+  let return_sites = Array.make (Program.num_funcs p) [] in
+  let work = Queue.create () in
+  let push bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      Queue.push bid work
+    end
+  in
+  let enter_function fid =
+    if not entered.(fid) then begin
+      entered.(fid) <- true;
+      push (Program.func p fid).entry
+    end
+  in
+  enter_function (Program.main p).fid;
+  while not (Queue.is_empty work) do
+    let bid = Queue.pop work in
+    let b = Program.block p bid in
+    match b.term with
+    | Types.Call { callee; return_to } ->
+      return_sites.(callee) <- return_to :: return_sites.(callee);
+      enter_function callee;
+      (* Context-insensitive: if the callee can return at all, the return
+         site is reachable. We over-approximate by always marking it. *)
+      push return_to
+    | Types.Return -> List.iter push return_sites.(b.fn)
+    | _ -> List.iter push (Program.block_successors p bid)
+  done;
+  seen

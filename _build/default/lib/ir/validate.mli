@@ -1,0 +1,22 @@
+(** Whole-program well-formedness checking (the "sanity check" half of the
+    paper's post-processing step, §II-E). *)
+
+exception Invalid of string
+
+val check : Program.t -> unit
+(** Verifies:
+    - every function has at least one block, and its entry is its own;
+    - every intra-procedural terminator target is a block of the same
+      function;
+    - every [Call] names an existing function and returns to a block in the
+      calling function;
+    - block ids are consistent with their array slots and function
+      memberships match;
+    - the main function exists;
+    - sizes and instruction counts are positive.
+    @raise Invalid with a message naming the offending entity. *)
+
+val reachable_blocks : Program.t -> bool array
+(** Blocks reachable from main's entry, following calls and returns
+    context-insensitively (a [Return] is treated as reaching every
+    [return_to] of the function's callers). Indexed by block id. *)

@@ -1,0 +1,1 @@
+lib/trace/lru_stack.mli:

@@ -1,0 +1,1 @@
+lib/trace/prune.ml: Array List Trace

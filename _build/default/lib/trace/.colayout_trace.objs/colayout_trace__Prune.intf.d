@@ -1,0 +1,1 @@
+lib/trace/prune.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/stack_dist.ml: Array Colayout_util Hashtbl Histogram Ostree Trace

@@ -1,0 +1,1 @@
+lib/trace/stack_dist.mli: Histogram Trace

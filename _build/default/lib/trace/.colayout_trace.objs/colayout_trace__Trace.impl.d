@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Colayout_util Int_vec List Printf

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Buffer Char Filename Fun In_channel List Printf String Trace

@@ -1,0 +1,63 @@
+type t = {
+  bins : (int, int) Hashtbl.t;
+  mutable inf : int;
+  mutable total_finite : int;
+}
+
+let create () = { bins = Hashtbl.create 256; inf = 0; total_finite = 0 }
+
+let add_many t v n =
+  if v < 0 then invalid_arg "Histogram.add: negative bin";
+  if n < 0 then invalid_arg "Histogram.add_many: negative count";
+  if n > 0 then begin
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.bins v) in
+    Hashtbl.replace t.bins v (cur + n);
+    t.total_finite <- t.total_finite + n
+  end
+
+let add t v = add_many t v 1
+
+let add_infinite t = t.inf <- t.inf + 1
+
+let count t v = Option.value ~default:0 (Hashtbl.find_opt t.bins v)
+
+let infinite t = t.inf
+
+let finite_total t = t.total_finite
+
+let total t = t.total_finite + t.inf
+
+let to_sorted_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.bins []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let max_bin t = List.fold_left (fun acc (k, _) -> max acc k) (-1) (to_sorted_list t)
+
+let iter f t = List.iter (fun (k, v) -> f k v) (to_sorted_list t)
+
+let fold f acc t = List.fold_left (fun acc (k, v) -> f acc k v) acc (to_sorted_list t)
+
+let cumulative_at t v = fold (fun acc k c -> if k <= v then acc + c else acc) 0 t
+
+let mean t =
+  if t.total_finite = 0 then 0.0
+  else
+    let sum = fold (fun acc k c -> acc +. (float_of_int k *. float_of_int c)) 0.0 t in
+    sum /. float_of_int t.total_finite
+
+let quantile t ~q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+  if t.total_finite = 0 then -1
+  else begin
+    let target = q *. float_of_int t.total_finite in
+    let acc = ref 0 in
+    let found = ref (-1) in
+    iter
+      (fun k c ->
+        if !found < 0 then begin
+          acc := !acc + c;
+          if float_of_int !acc >= target then found := k
+        end)
+      t;
+    if !found < 0 then max_bin t else !found
+  end

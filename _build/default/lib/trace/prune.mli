@@ -1,0 +1,26 @@
+(** Trace pruning (§II-F).
+
+    Basic-block traces can be enormous (the paper cites an 8 GB trace for
+    403.gcc on the *test* input). The paper prunes by keeping only the
+    occurrences of the 10,000 most frequently executed blocks — following
+    Hashemi et al.'s popularity selection — which typically retains over 90%
+    of the trace. *)
+
+type report = {
+  kept_symbols : int;  (** Hot symbols retained. *)
+  total_symbols : int;  (** Distinct symbols before pruning. *)
+  kept_events : int;
+  total_events : int;
+  coverage : float;  (** [kept_events / total_events]. *)
+}
+
+val hot_symbols : Trace.t -> top:int -> int array
+(** The [top] most frequent symbols, most frequent first. Ties break toward
+    the smaller id for determinism. *)
+
+val prune : Trace.t -> top:int -> Trace.t * report
+(** Keep only occurrences of the [top] hottest symbols. Symbol ids are
+    preserved (not re-numbered), so downstream orders stay meaningful. *)
+
+val prune_default_top : int
+(** 10,000, the paper's setting. *)

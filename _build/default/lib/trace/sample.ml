@@ -1,0 +1,18 @@
+let windows t ~period ~window =
+  if window <= 0 || period <= 0 || window > period then
+    invalid_arg "Sample.windows: need 0 < window <= period";
+  let out =
+    Trace.create ~name:(Trace.name t ^ ".sampled") ~num_symbols:(Trace.num_symbols t) ()
+  in
+  Trace.iteri (fun i s -> if i mod period < window then Trace.push out s) t;
+  out
+
+let prefix t ~n =
+  if n < 0 then invalid_arg "Sample.prefix";
+  let out =
+    Trace.create ~name:(Trace.name t ^ ".prefix") ~num_symbols:(Trace.num_symbols t) ()
+  in
+  Trace.iteri (fun i s -> if i < n then Trace.push out s) t;
+  out
+
+let sampling_ratio ~period ~window = float_of_int window /. float_of_int period

@@ -1,0 +1,15 @@
+(** Trace sampling (§II-F mentions "techniques for trace sampling to refine
+    and extract an effective sub-trace").
+
+    Two strategies:
+    - [windows]: systematic window sampling — keep [window] consecutive
+      events out of every [period]; preserves local co-occurrence structure,
+      which is what both locality models consume.
+    - [prefix]: simple truncation, for bounding analysis cost. *)
+
+val windows : Trace.t -> period:int -> window:int -> Trace.t
+(** @raise Invalid_argument unless [0 < window <= period]. *)
+
+val prefix : Trace.t -> n:int -> Trace.t
+
+val sampling_ratio : period:int -> window:int -> float

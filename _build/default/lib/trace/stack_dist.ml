@@ -1,0 +1,67 @@
+open Colayout_util
+
+type result = {
+  distances : Histogram.t;
+  reuse_times : Histogram.t;
+  accesses : int;
+  distinct : int;
+}
+
+let run t =
+  let distances = Histogram.create () in
+  let reuse_times = Histogram.create () in
+  let last_access : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let tree = Ostree.create () in
+  let time = ref 0 in
+  Trace.iter
+    (fun sym ->
+      (match Hashtbl.find_opt last_access sym with
+      | None ->
+        Histogram.add_infinite distances;
+        Histogram.add_infinite reuse_times
+      | Some prev ->
+        (* Blocks accessed strictly after [prev] are exactly the distinct
+           blocks between the two accesses. *)
+        let d = Ostree.rank_above tree prev in
+        Histogram.add distances d;
+        Histogram.add reuse_times (!time - prev);
+        Ostree.delete tree prev);
+      Ostree.insert tree !time;
+      Hashtbl.replace last_access sym !time;
+      incr time)
+    t;
+  {
+    distances;
+    reuse_times;
+    accesses = Trace.length t;
+    distinct = Hashtbl.length last_access;
+  }
+
+let distances_naive t =
+  let n = Trace.length t in
+  let out = Array.make n None in
+  for i = 0 to n - 1 do
+    let sym = Trace.get t i in
+    (* Find previous occurrence. *)
+    let rec find_prev j = if j < 0 then None else if Trace.get t j = sym then Some j else find_prev (j - 1) in
+    match find_prev (i - 1) with
+    | None -> out.(i) <- None
+    | Some p ->
+      let seen = Hashtbl.create 16 in
+      for j = p + 1 to i - 1 do
+        Hashtbl.replace seen (Trace.get t j) ()
+      done;
+      out.(i) <- Some (Hashtbl.length seen)
+  done;
+  out
+
+let miss_ratio_at r ~capacity =
+  if capacity < 0 then invalid_arg "Stack_dist.miss_ratio_at";
+  let total = Histogram.total r.distances in
+  if total = 0 then 0.0
+  else begin
+    (* Hits are accesses with distance < capacity (the block plus the
+       distinct blocks in between fit). *)
+    let hits = if capacity = 0 then 0 else Histogram.cumulative_at r.distances (capacity - 1) in
+    float_of_int (total - hits) /. float_of_int total
+  end

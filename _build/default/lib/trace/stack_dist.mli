@@ -1,0 +1,32 @@
+(** Stack-distance (reuse-distance) and reuse-time computation.
+
+    Implementation follows the Linux-kernel-inspired structure the paper
+    describes (§II-F): a hash table records each block's last access time,
+    and an order-statistic red-black tree over last-access timestamps counts,
+    in O(log n), how many distinct blocks were touched since — the LRU stack
+    distance. Reuse *time* (the wall-clock window length used by footprint
+    theory) falls out of the same pass. *)
+
+type result = {
+  distances : Histogram.t;
+      (** Reuse (stack) distance per access: number of distinct other blocks
+          accessed since the previous access to the same block. Cold accesses
+          land in the infinite bin. *)
+  reuse_times : Histogram.t;
+      (** Reuse time per access: gap in trace positions to the previous
+          access of the same block. Cold accesses land in the infinite
+          bin. *)
+  accesses : int;
+  distinct : int;
+}
+
+val run : Trace.t -> result
+
+val distances_naive : Trace.t -> int option array
+(** Quadratic reference implementation (per-access distances; [None] = cold).
+    For tests. *)
+
+val miss_ratio_at : result -> capacity:int -> float
+(** Fraction of accesses whose stack distance is [>= capacity] (cold counts
+    as a miss): the miss ratio of a fully-associative LRU cache holding
+    [capacity] blocks (Mattson et al.). *)

@@ -1,0 +1,57 @@
+open Colayout_util
+
+type t = {
+  name : string;
+  num_symbols : int;
+  events : Int_vec.t;
+}
+
+let create ?(name = "trace") ~num_symbols () =
+  if num_symbols <= 0 then invalid_arg "Trace.create: num_symbols must be positive";
+  { name; num_symbols; events = Int_vec.create () }
+
+let name t = t.name
+
+let num_symbols t = t.num_symbols
+
+let length t = Int_vec.length t.events
+
+let push t sym =
+  if sym < 0 || sym >= t.num_symbols then
+    invalid_arg (Printf.sprintf "Trace.push: symbol %d out of [0,%d)" sym t.num_symbols);
+  Int_vec.push t.events sym
+
+let get t i = Int_vec.get t.events i
+
+let iter f t = Int_vec.iter f t.events
+
+let iteri f t = Int_vec.iteri f t.events
+
+let of_list ?name ~num_symbols l =
+  let t = create ?name ~num_symbols () in
+  List.iter (push t) l;
+  t
+
+let of_array ?name ~num_symbols a =
+  let t = create ?name ~num_symbols () in
+  Array.iter (push t) a;
+  t
+
+let to_list t = Int_vec.to_list t.events
+
+let events t = t.events
+
+let occurrences t =
+  let occ = Array.make t.num_symbols 0 in
+  iter (fun s -> occ.(s) <- occ.(s) + 1) t;
+  occ
+
+let distinct_count t =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 (occurrences t)
+
+let first_occurrence t =
+  let first = Array.make t.num_symbols (-1) in
+  iteri (fun i s -> if first.(s) < 0 then first.(s) <- i) t;
+  first
+
+let equal a b = Int_vec.equal a.events b.events

@@ -1,0 +1,97 @@
+let magic = "CLTR1\n"
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Trace_io.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag n = if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1
+
+let unzigzag z = if z land 1 = 0 then z lsr 1 else -((z + 1) lsr 1)
+
+(* Streaming varint reader over an input channel with a one-byte interface;
+   buffered by the channel itself. *)
+let read_varint ic =
+  let rec go shift acc =
+    match In_channel.input_char ic with
+    | None -> failwith "Trace_io: truncated varint"
+    | Some c ->
+      let b = Char.code c in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let save ~path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let buf = Buffer.create (4 * Trace.length trace) in
+      write_varint buf (Trace.num_symbols trace);
+      write_varint buf (Trace.length trace);
+      let prev = ref 0 in
+      Trace.iter
+        (fun s ->
+          write_varint buf (zigzag (s - !prev));
+          prev := s)
+        trace;
+      Buffer.output_buffer oc buf)
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith "Trace_io: bad magic";
+      let num_symbols = read_varint ic in
+      let len = read_varint ic in
+      let t = Trace.create ~name:(Filename.basename path) ~num_symbols () in
+      let prev = ref 0 in
+      for _ = 1 to len do
+        let s = !prev + unzigzag (read_varint ic) in
+        Trace.push t s;
+        prev := s
+      done;
+      t)
+
+let save_mapping ~path ~names =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iteri (fun i name -> Printf.fprintf oc "%d\t%s\n" i name) names)
+
+let load_mapping ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if line <> "" then begin
+             match String.index_opt line '\t' with
+             | None -> failwith ("Trace_io: malformed mapping line: " ^ line)
+             | Some tab ->
+               let idx = int_of_string (String.sub line 0 tab) in
+               let name = String.sub line (tab + 1) (String.length line - tab - 1) in
+               entries := (idx, name) :: !entries
+           end
+         done
+       with End_of_file -> ());
+      let sorted = List.sort compare (List.rev !entries) in
+      List.iteri
+        (fun i (idx, _) ->
+          if i <> idx then failwith "Trace_io: mapping indices not contiguous from 0")
+        sorted;
+      Array.of_list (List.map snd sorted))

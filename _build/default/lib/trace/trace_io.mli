@@ -1,0 +1,34 @@
+(** Trace and mapping-file persistence (§II-F "Instrumentation").
+
+    The paper's instrumentation "records the trace of all functions and all
+    basic blocks in a file" together with "a mapping file to assign each
+    basic block or function an index". This module provides both: a compact
+    varint-encoded binary trace format (block traces run to hundreds of
+    millions of events — 403.gcc's test-input trace was 8 GB) and a textual
+    mapping file from symbol index to name.
+
+    Binary format: the magic bytes ["CLTR1\n"], then the symbol-universe
+    size and the event count as varints, then the delta-zigzag-varint event
+    stream. Deltas make hot loops (which bounce between nearby ids) encode
+    in one byte per event. *)
+
+val save : path:string -> Trace.t -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val load : path:string -> Trace.t
+(** @raise Failure on a malformed or truncated file. *)
+
+val save_mapping : path:string -> names:string array -> unit
+(** One [index<TAB>name] line per symbol. *)
+
+val load_mapping : path:string -> string array
+(** @raise Failure on malformed lines or non-contiguous indices. *)
+
+(**/**)
+
+val write_varint : Buffer.t -> int -> unit
+(** Exposed for tests: LEB128, non-negative ints only. *)
+
+val zigzag : int -> int
+
+val unzigzag : int -> int

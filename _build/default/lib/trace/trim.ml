@@ -1,0 +1,21 @@
+let trim t =
+  let out = Trace.create ~name:(Trace.name t ^ ".trimmed") ~num_symbols:(Trace.num_symbols t) () in
+  let prev = ref (-1) in
+  Trace.iter
+    (fun s ->
+      if s <> !prev then begin
+        Trace.push out s;
+        prev := s
+      end)
+    t;
+  out
+
+let is_trimmed t =
+  let prev = ref (-1) in
+  let ok = ref true in
+  Trace.iter
+    (fun s ->
+      if s = !prev then ok := false;
+      prev := s)
+    t;
+  !ok

@@ -1,0 +1,9 @@
+(** Trace trimming (Definition 1 of the paper).
+
+    A trimmed trace has no two consecutive identical symbols: repeated
+    executions of one block (a tight self-loop) carry no layout information,
+    and both locality models are defined over trimmed traces. *)
+
+val trim : Trace.t -> Trace.t
+
+val is_trimmed : Trace.t -> bool

@@ -1,0 +1,61 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  data : 'a Vec.t;
+}
+
+let create ~cmp () = { cmp; data = Vec.create () }
+
+let length t = Vec.length t.data
+
+let is_empty t = Vec.length t.data = 0
+
+let swap t i j =
+  let tmp = Vec.get t.data i in
+  Vec.set t.data i (Vec.get t.data j);
+  Vec.set t.data j tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (Vec.get t.data i) (Vec.get t.data parent) > 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t.data in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < n && t.cmp (Vec.get t.data l) (Vec.get t.data !largest) > 0 then largest := l;
+  if r < n && t.cmp (Vec.get t.data r) (Vec.get t.data !largest) > 0 then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let push t x =
+  Vec.push t.data x;
+  sift_up t (Vec.length t.data - 1)
+
+let peek t = if is_empty t then None else Some (Vec.get t.data 0)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let top = Vec.get t.data 0 in
+    let n = Vec.length t.data in
+    Vec.set t.data 0 (Vec.get t.data (n - 1));
+    ignore (Vec.pop t.data);
+    if not (is_empty t) then sift_down t 0;
+    Some top
+  end
+
+let of_list ~cmp l =
+  let t = create ~cmp () in
+  List.iter (push t) l;
+  t
+
+let to_sorted_list t =
+  let rec loop acc = match pop t with None -> List.rev acc | Some x -> loop (x :: acc) in
+  loop []

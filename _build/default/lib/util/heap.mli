@@ -1,0 +1,25 @@
+(** Array-backed binary max-heap with a caller-supplied ordering.
+
+    Used with lazy deletion by TRG reduction: stale entries are popped and
+    discarded by the caller, which keeps edge-weight updates O(log n). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [cmp] as for [compare]; the maximum element (per [cmp]) is popped
+    first. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Destructive: pops everything, max first. *)

@@ -1,0 +1,275 @@
+type color = Red | Black
+
+type node = {
+  mutable key : int;
+  mutable color : color;
+  mutable left : node;
+  mutable right : node;
+  mutable parent : node;
+  mutable size : int; (* subtree size, nil = 0 *)
+}
+
+type t = {
+  mutable root : node;
+  nil : node;
+}
+
+let make_nil () =
+  let rec nil =
+    { key = min_int; color = Black; left = nil; right = nil; parent = nil; size = 0 }
+  in
+  nil
+
+let create () =
+  let nil = make_nil () in
+  { root = nil; nil }
+
+let size t = t.root.size
+
+let update_size t n = if n != t.nil then n.size <- n.left.size + n.right.size + 1
+
+let left_rotate t x =
+  let y = x.right in
+  x.right <- y.left;
+  if y.left != t.nil then y.left.parent <- x;
+  y.parent <- x.parent;
+  if x.parent == t.nil then t.root <- y
+  else if x == x.parent.left then x.parent.left <- y
+  else x.parent.right <- y;
+  y.left <- x;
+  x.parent <- y;
+  y.size <- x.size;
+  update_size t x
+
+let right_rotate t y =
+  let x = y.left in
+  y.left <- x.right;
+  if x.right != t.nil then x.right.parent <- y;
+  x.parent <- y.parent;
+  if y.parent == t.nil then t.root <- x
+  else if y == y.parent.left then y.parent.left <- x
+  else y.parent.right <- x;
+  x.right <- y;
+  y.parent <- x;
+  x.size <- y.size;
+  update_size t y
+
+let rec insert_fixup t z =
+  if z.parent.color = Red then begin
+    if z.parent == z.parent.parent.left then begin
+      let y = z.parent.parent.right in
+      if y.color = Red then begin
+        z.parent.color <- Black;
+        y.color <- Black;
+        z.parent.parent.color <- Red;
+        insert_fixup t z.parent.parent
+      end
+      else begin
+        (* After a possible rotation [z] is a left child. *)
+        let z = if z == z.parent.right then (left_rotate t z.parent; z.left) else z in
+        z.parent.color <- Black;
+        z.parent.parent.color <- Red;
+        right_rotate t z.parent.parent
+      end
+    end
+    else begin
+      let y = z.parent.parent.left in
+      if y.color = Red then begin
+        z.parent.color <- Black;
+        y.color <- Black;
+        z.parent.parent.color <- Red;
+        insert_fixup t z.parent.parent
+      end
+      else begin
+        let z = if z == z.parent.left then (right_rotate t z.parent; z.right) else z in
+        z.parent.color <- Black;
+        z.parent.parent.color <- Red;
+        left_rotate t z.parent.parent
+      end
+    end
+  end
+
+let insert t k =
+  let z =
+    { key = k; color = Red; left = t.nil; right = t.nil; parent = t.nil; size = 1 }
+  in
+  let y = ref t.nil and x = ref t.root in
+  while !x != t.nil do
+    y := !x;
+    if k = !x.key then invalid_arg "Ostree.insert: duplicate key";
+    (!x).size <- (!x).size + 1;
+    if k < !x.key then x := !x.left else x := !x.right
+  done;
+  z.parent <- !y;
+  if !y == t.nil then t.root <- z
+  else if k < !y.key then !y.left <- z
+  else !y.right <- z;
+  insert_fixup t z;
+  t.root.color <- Black
+
+let rec find_node t n k =
+  if n == t.nil then t.nil
+  else if k = n.key then n
+  else if k < n.key then find_node t n.left k
+  else find_node t n.right k
+
+let mem t k = find_node t t.root k != t.nil
+
+let rec tree_minimum t n = if n.left == t.nil then n else tree_minimum t n.left
+
+let min_key t = if t.root == t.nil then None else Some (tree_minimum t t.root).key
+
+let max_key t =
+  if t.root == t.nil then None
+  else begin
+    let rec loop n = if n.right == t.nil then n else loop n.right in
+    Some (loop t.root).key
+  end
+
+let transplant t u v =
+  if u.parent == t.nil then t.root <- v
+  else if u == u.parent.left then u.parent.left <- v
+  else u.parent.right <- v;
+  v.parent <- u.parent
+
+let rec delete_fixup t x =
+  if x != t.root && x.color = Black then begin
+    if x == x.parent.left then begin
+      let w = ref x.parent.right in
+      if !w.color = Red then begin
+        !w.color <- Black;
+        x.parent.color <- Red;
+        left_rotate t x.parent;
+        w := x.parent.right
+      end;
+      if !w.left.color = Black && !w.right.color = Black then begin
+        !w.color <- Red;
+        delete_fixup t x.parent
+      end
+      else begin
+        if !w.right.color = Black then begin
+          !w.left.color <- Black;
+          !w.color <- Red;
+          right_rotate t !w;
+          w := x.parent.right
+        end;
+        !w.color <- x.parent.color;
+        x.parent.color <- Black;
+        !w.right.color <- Black;
+        left_rotate t x.parent
+      end
+    end
+    else begin
+      let w = ref x.parent.left in
+      if !w.color = Red then begin
+        !w.color <- Black;
+        x.parent.color <- Red;
+        right_rotate t x.parent;
+        w := x.parent.left
+      end;
+      if !w.right.color = Black && !w.left.color = Black then begin
+        !w.color <- Red;
+        delete_fixup t x.parent
+      end
+      else begin
+        if !w.left.color = Black then begin
+          !w.right.color <- Black;
+          !w.color <- Red;
+          left_rotate t !w;
+          w := x.parent.left
+        end;
+        !w.color <- x.parent.color;
+        x.parent.color <- Black;
+        !w.left.color <- Black;
+        right_rotate t x.parent
+      end
+    end
+  end
+  else x.color <- Black
+
+let decrement_sizes_on_path t from =
+  (* Walk parents from [from] to the root decrementing sizes: the node being
+     physically unlinked leaves every subtree on that path. *)
+  let n = ref from in
+  while !n != t.nil do
+    (!n).size <- (!n).size - 1;
+    n := !n.parent
+  done
+
+let delete t k =
+  let z = find_node t t.root k in
+  if z == t.nil then raise Not_found;
+  (* Standard CLRS delete with size maintenance: first decrement sizes on
+     the path from z's parent up (z itself leaves the tree). *)
+  let y = ref z in
+  let y_original_color = ref !y.color in
+  let x = ref t.nil in
+  if z.left == t.nil then begin
+    decrement_sizes_on_path t z.parent;
+    x := z.right;
+    transplant t z z.right
+  end
+  else if z.right == t.nil then begin
+    decrement_sizes_on_path t z.parent;
+    x := z.left;
+    transplant t z z.left
+  end
+  else begin
+    let succ = tree_minimum t z.right in
+    y := succ;
+    y_original_color := succ.color;
+    (* Sizes: every node on the path from succ's parent up loses the
+       successor; then succ takes over z's slot and size is recomputed. *)
+    decrement_sizes_on_path t succ.parent;
+    x := succ.right;
+    if succ.parent == z then !x.parent <- succ
+    else begin
+      transplant t succ succ.right;
+      succ.right <- z.right;
+      succ.right.parent <- succ
+    end;
+    transplant t z succ;
+    succ.left <- z.left;
+    succ.left.parent <- succ;
+    succ.color <- z.color;
+    update_size t succ;
+    (* The path above succ already counted z's removal via the decrement
+       walk, except that succ replaced z: the decrement walk subtracted one
+       for succ's departure from the right spine, which is exactly z's net
+       removal from the tree. Nothing further to fix. *)
+    ()
+  end;
+  if !y_original_color = Black then delete_fixup t !x;
+  t.nil.parent <- t.nil;
+  t.nil.color <- Black
+
+let rank_above t k =
+  (* Count keys strictly greater than k. *)
+  let rec loop n acc =
+    if n == t.nil then acc
+    else if k < n.key then loop n.left (acc + n.right.size + 1)
+    else if k = n.key then acc + n.right.size
+    else loop n.right acc
+  in
+  loop t.root 0
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if t.root.color <> Black then fail "root is not black";
+  let rec go n lo hi =
+    if n == t.nil then 1 (* black height counting nil *)
+    else begin
+      (match lo with Some l when n.key <= l -> fail "BST order violated (low)" | _ -> ());
+      (match hi with Some h when n.key >= h -> fail "BST order violated (high)" | _ -> ());
+      if n.color = Red && (n.left.color = Red || n.right.color = Red) then
+        fail "red node with red child";
+      if n.size <> n.left.size + n.right.size + 1 then
+        fail "size bookkeeping broken at key %d (size=%d l=%d r=%d)" n.key n.size
+          n.left.size n.right.size;
+      let bl = go n.left lo (Some n.key) in
+      let br = go n.right (Some n.key) hi in
+      if bl <> br then fail "black heights differ at key %d" n.key;
+      bl + (if n.color = Black then 1 else 0)
+    end
+  in
+  ignore (go t.root None None)

@@ -1,0 +1,34 @@
+(** Order-statistic red-black tree over integer keys.
+
+    The paper's §II-F stack processing cites the Linux-kernel combination of
+    a linked list with a red-black tree for fast search. We use this tree to
+    compute LRU stack distances in O(log n): keys are last-access timestamps,
+    and [rank_above] counts how many currently resident blocks were touched
+    more recently than a given time — exactly the stack depth. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val insert : t -> int -> unit
+(** Insert a key. @raise Invalid_argument on duplicate keys; timestamps are
+    unique by construction. *)
+
+val delete : t -> int -> unit
+(** @raise Not_found if the key is absent. *)
+
+val mem : t -> int -> bool
+
+val rank_above : t -> int -> int
+(** [rank_above t k] is the number of keys strictly greater than [k]. *)
+
+val min_key : t -> int option
+
+val max_key : t -> int option
+
+val check_invariants : t -> unit
+(** Verify binary-search order, red-black coloring rules, black-height
+    balance and subtree-size bookkeeping. For tests. @raise Failure when an
+    invariant is broken. *)

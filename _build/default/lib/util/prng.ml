@@ -1,0 +1,94 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed64 = next_int64 t in
+  { state = mix seed64 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits before [to_int]: [Int64.to_int] truncates modulo 2^63,
+     so a 63-bit value could come out negative. *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 high-quality bits -> [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let bool t ~p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  if p >= 1.0 then 0
+  else
+    let u = float t in
+    (* Inverse CDF; [u < 1] so [log1p (-.u)] is finite. *)
+    int_of_float (floor (log1p (-.u) /. log1p (-.p)))
+
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 16
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf";
+  (* Rejection-inversion would be overkill for the block counts we use;
+     inverse-transform over the explicit harmonic CDF is exact and the
+     tables are tiny relative to trace sizes. A per-(n,s) memo avoids
+     recomputing the CDF on every draw. *)
+  let key = (n, s) in
+  let cdf =
+    match Hashtbl.find_opt zipf_tables key with
+    | Some c -> c
+    | None ->
+      let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let acc = ref 0.0 in
+      let c =
+        Array.map
+          (fun w ->
+            acc := !acc +. (w /. total);
+            !acc)
+          weights
+      in
+      Hashtbl.replace zipf_tables key c;
+      c
+  in
+  let u = float t in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo

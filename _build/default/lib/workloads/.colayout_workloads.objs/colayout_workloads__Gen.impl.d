@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Builder Colayout_ir Colayout_util Fun List Printf Prng Types

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Colayout_ir Gen Hashtbl List String

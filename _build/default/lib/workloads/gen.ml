@@ -1,0 +1,297 @@
+open Colayout_util
+open Colayout_ir
+
+type style =
+  | Phased
+  | Dispatch of { table : int; zipf_s : float }
+
+type profile = {
+  pname : string;
+  seed : int;
+  style : style;
+  phases : int;
+  funcs_per_phase : int;
+  shared_funcs : int;
+  arms : int;
+  arm_blocks : int;
+  arm_work : int;
+  cold_arms : int;
+  cold_work : int;
+  entry_work : int;
+  exit_work : int;
+  cold_funcs : int;
+  cold_func_blocks : int;
+  iters_per_phase : int;
+  phase_repeats : int;
+  fetch_rate : float;
+  uncorrelated_frac : float;
+  data_region_bytes : int;
+  loads_per_block : int;
+}
+
+let default_profile =
+  {
+    pname = "default";
+    seed = 1;
+    style = Phased;
+    phases = 4;
+    funcs_per_phase = 10;
+    shared_funcs = 2;
+    arms = 6;
+    arm_blocks = 2;
+    arm_work = 24;
+    cold_arms = 2;
+    cold_work = 32;
+    entry_work = 4;
+    exit_work = 3;
+    cold_funcs = 10;
+    cold_func_blocks = 4;
+    iters_per_phase = 40;
+    phase_repeats = 1000;
+    fetch_rate = 1.0;
+    uncorrelated_frac = 0.35;
+    data_region_bytes = 0;
+    loads_per_block = 2;
+  }
+
+(* Global variable roles used by generated code. *)
+let v_mode = 0
+
+let v_iter = 1
+
+let v_rep = 2
+
+let v_idx = 3
+
+let check p =
+  let pos what v = if v <= 0 then invalid_arg (Printf.sprintf "Gen: %s must be positive" what) in
+  pos "phases" p.phases;
+  pos "funcs_per_phase" p.funcs_per_phase;
+  pos "arms" p.arms;
+  pos "arm_blocks" p.arm_blocks;
+  pos "arm_work" p.arm_work;
+  pos "entry_work" p.entry_work;
+  pos "exit_work" p.exit_work;
+  pos "iters_per_phase" p.iters_per_phase;
+  pos "phase_repeats" p.phase_repeats;
+  if p.shared_funcs < 0 || p.cold_arms < 0 || p.cold_funcs < 0 then
+    invalid_arg "Gen: negative counts";
+  if p.uncorrelated_frac < 0.0 || p.uncorrelated_frac > 1.0 then
+    invalid_arg "Gen: uncorrelated_frac must be in [0,1]";
+  if p.data_region_bytes < 0 then invalid_arg "Gen: negative data region";
+  if p.data_region_bytes > 0 && p.loads_per_block <= 0 then
+    invalid_arg "Gen: loads_per_block must be positive when data is enabled";
+  (match p.style with
+  | Dispatch { table; zipf_s } ->
+    pos "dispatch table" table;
+    if zipf_s < 0.0 then invalid_arg "Gen: negative zipf exponent"
+  | Phased -> ())
+
+(* A callable "worker" function: entry switches on the shared mode variable
+   to one of [arms] hot arm chains; [cold_arms] never-reached arms are
+   interleaved between hot arms in declaration order. *)
+let declare_worker b p ~rng ~data_base ~name =
+  let fid = Builder.func b name in
+  let correlated = not (Prng.bool rng ~p:p.uncorrelated_frac) in
+  (* Data side: each hot arm block reads random indices of this function's
+     region, as array-walking numeric code would. *)
+  let arm_instrs =
+    if p.data_region_bytes = 0 then [ Types.Work p.arm_work ]
+    else
+      Types.Work p.arm_work
+      :: List.init p.loads_per_block (fun _ ->
+             Types.Load
+               (Types.Bin (Types.Add, Types.Const data_base, Types.Rand p.data_region_bytes)))
+  in
+  let entry = Builder.block b fid (name ^ ".entry") in
+  let arm_heads = Array.make p.arms 0 in
+  let cold_after = Array.make p.arms false in
+  (* Spread the cold arms evenly after the first [cold_arms] hot arms. *)
+  for i = 0 to min p.cold_arms p.arms - 1 do
+    let slot = i * p.arms / max 1 p.cold_arms in
+    cold_after.(min slot (p.arms - 1)) <- true
+  done;
+  let cold_heads = ref [] in
+  let arm_chains = Array.make p.arms [||] in
+  for a = 0 to p.arms - 1 do
+    let chain =
+      Array.init p.arm_blocks (fun j ->
+          Builder.block b fid (Printf.sprintf "%s.arm%d.%d" name a j))
+    in
+    arm_chains.(a) <- chain;
+    arm_heads.(a) <- chain.(0);
+    if cold_after.(a) then begin
+      let cb = Builder.block b fid (Printf.sprintf "%s.cold%d" name a) in
+      cold_heads := cb :: !cold_heads
+    end
+  done;
+  let exit = Builder.block b fid (name ^ ".exit") in
+  let sel = if correlated then Types.Var v_mode else Types.Rand p.arms in
+  Builder.set_body b entry
+    [ Types.Work p.entry_work ]
+    (Types.Switch { sel; targets = arm_heads; default = arm_heads.(0) });
+  for a = 0 to p.arms - 1 do
+    let chain = arm_chains.(a) in
+    Array.iteri
+      (fun j blk ->
+        let term =
+          if j + 1 < Array.length chain then Types.Jump chain.(j + 1) else Types.Jump exit
+        in
+        Builder.set_body b blk arm_instrs term)
+      chain
+  done;
+  List.iter
+    (fun cb -> Builder.set_body b cb [ Types.Work p.cold_work ] (Types.Jump exit))
+    !cold_heads;
+  Builder.set_body b exit [ Types.Work p.exit_work ] Types.Return;
+  fid
+
+let declare_cold_func b p ~name =
+  let fid = Builder.func b name in
+  let chain =
+    Array.init (max 1 p.cold_func_blocks) (fun j ->
+        Builder.block b fid (Printf.sprintf "%s.c%d" name j))
+  in
+  Array.iteri
+    (fun j blk ->
+      let term =
+        if j + 1 < Array.length chain then Types.Jump chain.(j + 1) else Types.Return
+      in
+      Builder.set_body b blk [ Types.Work (max 1 p.cold_work) ] term)
+    chain;
+  fid
+
+type decl =
+  | Worker of int * int (* phase, index *)
+  | Shared of int
+  | Cold of int
+
+let build p =
+  check p;
+  let rng = Prng.create ~seed:p.seed in
+  let b = Builder.create ~name:p.pname () in
+  (* Declaration (= original layout) order: all functions shuffled, so that
+     each phase's members are scattered among other phases' members and the
+     cold functions — the bad layout the optimizers start from. *)
+  let decls =
+    Array.of_list
+      (List.concat
+         [
+           List.concat_map
+             (fun i -> List.init p.phases (fun ph -> Worker (ph, i)))
+             (List.init p.funcs_per_phase Fun.id);
+           List.init p.shared_funcs (fun i -> Shared i);
+           List.init p.cold_funcs (fun i -> Cold i);
+         ])
+  in
+  Prng.shuffle rng decls;
+  let data_cursor = ref 0 in
+  let next_data_base () =
+    let base = !data_cursor in
+    data_cursor := base + max 64 p.data_region_bytes;
+    base
+  in
+  let phase_fn = Array.make_matrix p.phases p.funcs_per_phase (-1) in
+  let shared_fn = Array.make (max 1 p.shared_funcs) (-1) in
+  Array.iter
+    (fun d ->
+      match d with
+      | Worker (ph, i) ->
+        phase_fn.(ph).(i) <-
+          declare_worker b p ~rng ~data_base:(next_data_base ())
+            ~name:(Printf.sprintf "f_p%d_%d" ph i)
+      | Shared i ->
+        shared_fn.(i) <-
+          declare_worker b p ~rng ~data_base:(next_data_base ())
+            ~name:(Printf.sprintf "shared_%d" i)
+      | Cold i -> ignore (declare_cold_func b p ~name:(Printf.sprintf "cold_%d" i)))
+    decls;
+  let shared_list = List.filter (fun f -> f >= 0) (Array.to_list shared_fn) in
+  let main = Builder.func b "main" in
+  Builder.set_main b main;
+  let blk name = Builder.block b main name in
+  let bf = Printf.sprintf in
+  let incr_of v = Types.Assign (v, Types.Bin (Types.Add, Types.Var v, Types.Const 1)) in
+  let lt v bound = Types.Bin (Types.Lt, Types.Var v, Types.Const bound) in
+  (match p.style with
+  | Phased ->
+    (* main.entry must be declared first: Builder takes the first declared
+       block of a function as its entry. *)
+    let entry = blk "main.entry" in
+    let phase_head = Array.init p.phases (fun ph -> blk (bf "main.p%d.head" ph)) in
+    let phase_calls =
+      Array.init p.phases (fun ph ->
+          let members = Array.to_list phase_fn.(ph) @ shared_list in
+          let cbs = Array.of_list (List.mapi (fun j _ -> blk (bf "main.p%d.call%d" ph j)) members) in
+          (cbs, members))
+    in
+    let phase_tail = Array.init p.phases (fun ph -> blk (bf "main.p%d.tail" ph)) in
+    let rep_tail = blk "main.rep" in
+    let exit_blk = blk "main.exit" in
+    Builder.set_body b entry
+      [ Types.Assign (v_rep, Types.Const 0) ]
+      (Types.Jump phase_head.(0));
+    for ph = 0 to p.phases - 1 do
+      let cbs, members = phase_calls.(ph) in
+      Builder.set_body b phase_head.(ph)
+        [ Types.Assign (v_iter, Types.Const 0) ]
+        (Types.Jump cbs.(0));
+      List.iteri
+        (fun j f ->
+          let return_to = if j + 1 < Array.length cbs then cbs.(j + 1) else phase_tail.(ph) in
+          let instrs = if j = 0 then [ Types.Assign (v_mode, Types.Rand p.arms) ] else [] in
+          Builder.set_body b cbs.(j) instrs (Types.Call { callee = f; return_to }))
+        members;
+      let next = if ph + 1 < p.phases then phase_head.(ph + 1) else rep_tail in
+      Builder.set_body b phase_tail.(ph)
+        [ incr_of v_iter ]
+        (Types.Branch { cond = lt v_iter p.iters_per_phase; if_true = cbs.(0); if_false = next })
+    done;
+    Builder.set_body b rep_tail
+      [ incr_of v_rep ]
+      (Types.Branch
+         { cond = lt v_rep p.phase_repeats; if_true = phase_head.(0); if_false = exit_blk });
+    Builder.set_body b exit_blk [] Types.Halt
+  | Dispatch { table; zipf_s } ->
+    let hot =
+      Array.of_list (List.concat_map Array.to_list (Array.to_list phase_fn))
+    in
+    let entry = blk "main.entry" in
+    let loop_head = blk "main.loop" in
+    let table_funcs =
+      Array.init table (fun _ -> hot.(Prng.zipf rng ~n:(Array.length hot) ~s:zipf_s))
+    in
+    let call_blks = Array.init table (fun e -> blk (bf "main.d%d" e)) in
+    let shared_blks = Array.of_list (List.mapi (fun j _ -> blk (bf "main.s%d" j)) shared_list) in
+    let tail = blk "main.tail" in
+    let exit_blk = blk "main.exit" in
+    let after_dispatch = if Array.length shared_blks > 0 then shared_blks.(0) else tail in
+    Builder.set_body b entry
+      [ Types.Assign (v_rep, Types.Const 0) ]
+      (Types.Jump loop_head);
+    Builder.set_body b loop_head
+      [ Types.Assign (v_mode, Types.Rand p.arms); Types.Assign (v_idx, Types.Rand table) ]
+      (Types.Switch { sel = Types.Var v_idx; targets = call_blks; default = tail });
+    Array.iteri
+      (fun e cb ->
+        Builder.set_body b cb []
+          (Types.Call { callee = table_funcs.(e); return_to = after_dispatch }))
+      call_blks;
+    List.iteri
+      (fun j f ->
+        let return_to = if j + 1 < Array.length shared_blks then shared_blks.(j + 1) else tail in
+        Builder.set_body b shared_blks.(j) [] (Types.Call { callee = f; return_to }))
+      shared_list;
+    let total_iters = p.iters_per_phase * p.phases * p.phase_repeats in
+    Builder.set_body b tail
+      [ incr_of v_rep ]
+      (Types.Branch { cond = lt v_rep total_iters; if_true = loop_head; if_false = exit_blk });
+    Builder.set_body b exit_blk [] Types.Halt);
+  Builder.finish b
+
+let hot_code_bytes p =
+  let callable = (p.phases * p.funcs_per_phase) + p.shared_funcs in
+  let entry = (4 * p.entry_work) + 12 + (4 * p.arms) in
+  let arms = p.arms * p.arm_blocks * ((4 * p.arm_work) + 5) in
+  let exit = (4 * p.exit_work) + 1 in
+  callable * (entry + arms + exit)

@@ -1,0 +1,78 @@
+(** Synthetic workload generator.
+
+    SPEC CPU2006 binaries are not available in this environment; these
+    generators produce programs with the code-reuse structure that drives
+    the paper's evaluation (see DESIGN.md, substitution table):
+
+    - {b phased execution}: main cycles through phases; each phase's
+      iterations call that phase's member functions plus a few functions
+      shared by all phases. Phase members co-occur tightly — the reference
+      affinity the optimizers exploit. Function declaration order interleaves
+      the phases (and sprinkles never-called cold functions between them), so
+      the {e original} layout scatters each phase's working set — the
+      situation Figure 3 motivates.
+    - {b correlated branching}: each iteration draws a [mode]; every function
+      switches on the shared [mode] variable, executing one arm out of many.
+      Arms of the same mode across different functions always execute
+      together — inter-procedural basic-block affinity that function
+      reordering cannot capture (the paper's X2/Y2, X3/Y3 example).
+    - {b cold code}: never-executed arms sit between hot arms inside each
+      function, and never-called functions sit between hot functions.
+    - {b dispatch style}: alternatively main is one interpreter-style
+      dispatch loop over a Zipf-weighted function table (the
+      perlbench/gcc-like shape), with weaker phase structure.
+
+    All randomness is drawn from the profile's seed; builds are
+    deterministic. *)
+
+type style =
+  | Phased
+  | Dispatch of { table : int; zipf_s : float }
+
+type profile = {
+  pname : string;
+  seed : int;
+  style : style;
+  phases : int;
+  funcs_per_phase : int;
+  shared_funcs : int;  (** Called every iteration, independent of phase. *)
+  arms : int;  (** Hot arms per function; [mode] ranges over these. *)
+  arm_blocks : int;  (** Blocks per arm. *)
+  arm_work : int;  (** [Work] units per arm block (4 bytes each). *)
+  cold_arms : int;  (** Never-executed arms per function. *)
+  cold_work : int;
+  entry_work : int;
+  exit_work : int;
+  cold_funcs : int;  (** Never-called functions. *)
+  cold_func_blocks : int;
+  iters_per_phase : int;
+  phase_repeats : int;  (** Outer sweeps over all phases. *)
+  fetch_rate : float;
+      (** Relative instruction-fetch speed in shared-cache co-run (1.0 =
+          compute-bound; lower = data-bound, fetching instructions more
+          slowly). Consumed by the experiment harness, not by [build]. *)
+  uncorrelated_frac : float;
+      (** Fraction of worker functions whose arm choice ignores the shared
+          [mode] variable and draws independently. Real programs' branch
+          correlations are imperfect; this is the dial. *)
+  data_region_bytes : int;
+      (** When positive, every hot arm block issues [loads_per_block]
+          random-index loads into a per-function data region of this many
+          bytes — the data stream of the unified-cache model (Eq 1). 0
+          disables data accesses (the default; the L1I calibration assumes
+          it). *)
+  loads_per_block : int;
+}
+
+val default_profile : profile
+(** A medium-size phased program; fields are meant to be overridden with
+    [{ default_profile with ... }]. *)
+
+val build : profile -> Colayout_ir.Program.t
+(** @raise Invalid_argument on non-positive structural fields. The result is
+    validated. *)
+
+val hot_code_bytes : profile -> int
+(** Rough size of the per-sweep hot working set (entry/exit plus all hot
+    arms of all callable functions) — the knob that positions a program's
+    solo miss ratio relative to the 32 KB L1I. *)

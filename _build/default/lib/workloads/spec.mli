@@ -1,0 +1,30 @@
+(** The 29 SPEC CPU2006 analog programs.
+
+    Real SPEC binaries are unavailable here; each analog is a {!Gen.profile}
+    whose structure (hot working set vs the 32 KB L1I, phase count, branch
+    fan-out, dispatch style) is sized so the program's *solo* L1I miss ratio
+    and its co-run sensitivity land in the band the paper reports for its
+    namesake (Table I and Figure 4). Names keep the SPEC numbering so
+    experiment output reads like the paper's.
+
+    The paper studies 8 programs in depth (Table I) and uses gcc and gamess
+    as contention probes. *)
+
+val names : string list
+(** All 29, in Figure 4's x-axis order. *)
+
+val profile : string -> Gen.profile
+(** @raise Not_found for unknown names. *)
+
+val build : string -> Colayout_ir.Program.t
+(** Build the analog program. Results are memoized: profiles are
+    deterministic, and experiments reuse programs heavily. *)
+
+val deep_eight : string list
+(** perlbench, gcc, mcf, gobmk, povray, sjeng, omnetpp, xalancbmk. *)
+
+val probes : string list
+(** gcc and gamess, the paper's co-run probes. *)
+
+val short_name : string -> string
+(** ["400.perlbench" -> "perlbench"]. *)

@@ -1,0 +1,1 @@
+test/test_affinity.ml: Affinity Affinity_hierarchy Alcotest Array Colayout Colayout_trace Format Gen List QCheck QCheck_alcotest String Trace Trim

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache_stats Colayout_cache Colayout_util Fully_assoc Icache List Params Prefetch QCheck QCheck_alcotest Set_assoc

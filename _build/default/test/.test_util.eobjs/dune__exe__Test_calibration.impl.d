@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Colayout Colayout_cache Colayout_exec Colayout_workloads Layout List Pipeline

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Builder Cfg Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_workloads Fun List Program Types

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Colayout_cache Colayout_exec Colayout_ir Colayout_trace Colayout_util Colayout_workloads List Types

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace Colayout_workloads Fun Layout List Optimal Optimizer Pipeline Printf Program Trg Trg_place

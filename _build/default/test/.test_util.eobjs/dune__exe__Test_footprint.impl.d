@@ -1,0 +1,1 @@
+test/test_footprint.ml: Alcotest Colayout Colayout_trace Footprint Fun Gen List Miss_prob QCheck QCheck_alcotest Trace

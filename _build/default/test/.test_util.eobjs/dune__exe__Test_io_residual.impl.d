@@ -1,0 +1,1 @@
+test/test_io_residual.ml: Alcotest Array Buffer Colayout Colayout_exec Colayout_ir Colayout_trace Colayout_workloads Filename Fun List Printf QCheck QCheck_alcotest Residual Sys Trace Trace_io Unix

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Colayout_ir Format Program Size_model String Types Validate

@@ -1,0 +1,1 @@
+test/test_ir_text.ml: Alcotest Colayout_exec Colayout_ir Colayout_trace Colayout_util Colayout_workloads Ir_text List Printf Program

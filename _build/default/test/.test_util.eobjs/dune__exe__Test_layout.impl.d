@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Builder Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace Colayout_util Fun Layout Program QCheck QCheck_alcotest Types

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Colayout Colayout_cache Colayout_exec Colayout_ir Colayout_trace Colayout_workloads Fun Hashtbl Layout List Optimizer Pipeline

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Colayout_cache Colayout_trace Colayout_util Fun Gen Histogram List Lru_stack Prune QCheck QCheck_alcotest Sample Stack_dist Trace Trim

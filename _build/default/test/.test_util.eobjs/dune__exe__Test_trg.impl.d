@@ -1,0 +1,1 @@
+test/test_trg.ml: Alcotest Array Colayout Colayout_cache Colayout_trace List QCheck QCheck_alcotest Trace Trg Trg_reduce

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Colayout_util Dlist Fun Hashtbl Heap Int_vec List Ostree Prng QCheck QCheck_alcotest Stats String Table Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Colayout_exec Colayout_ir Colayout_trace Colayout_workloads List Program String Validate

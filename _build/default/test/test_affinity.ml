@@ -1,0 +1,196 @@
+open Colayout
+open Colayout_trace
+
+let check = Alcotest.check
+
+(* The paper's Figure 1 trace: B1 B4 B2 B4 B2 B3 B5 B1 B4 with B1..B5 as
+   symbols 0..4. *)
+let fig1_trace () = Trace.of_list ~num_symbols:5 [ 0; 3; 1; 3; 1; 2; 4; 0; 3 ]
+
+let test_window_footprint () =
+  let t = Trace.of_list ~num_symbols:5 [ 0; 2; 1; 2; 3 ] in
+  (* Paper's example: fp<B1,B2> = 3 in trace B1 B3 B2 B3 B4. *)
+  check Alcotest.int "paper fp example" 3 (Affinity.window_footprint t 0 2);
+  check Alcotest.int "single" 1 (Affinity.window_footprint t 1 1);
+  check Alcotest.int "order irrelevant" (Affinity.window_footprint t 0 4)
+    (Affinity.window_footprint t 4 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Affinity.window_footprint") (fun () ->
+      ignore (Affinity.window_footprint t 0 5))
+
+let test_fig1_pairs_naive () =
+  let t = fig1_trace () in
+  (* w=2: only (B3,B5) = (2,4). *)
+  let p2 = Affinity.affine_pairs_naive t ~w:2 in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "w=2 pairs" [ (2, 4) ]
+    (Affinity.pair_list p2);
+  (* w=3 adds (B1,B4)=(0,3) and (B2,B3)=(1,2). *)
+  let p3 = Affinity.affine_pairs_naive t ~w:3 in
+  check Alcotest.bool "w=3 B1B4" true (Affinity.is_affine p3 0 3);
+  check Alcotest.bool "w=3 B2B3" true (Affinity.is_affine p3 1 2);
+  check Alcotest.bool "w=3 not B2B5" false (Affinity.is_affine p3 1 4);
+  check Alcotest.bool "self affine" true (Affinity.is_affine p3 2 2)
+
+let test_requires_trimmed () =
+  let t = Trace.of_list ~num_symbols:2 [ 0; 0; 1 ] in
+  Alcotest.check_raises "efficient"
+    (Invalid_argument "Affinity: trace must be trimmed (no two consecutive equal blocks)")
+    (fun () -> ignore (Affinity.affine_pairs t ~w:2));
+  Alcotest.check_raises "naive"
+    (Invalid_argument "Affinity: trace must be trimmed (no two consecutive equal blocks)")
+    (fun () -> ignore (Affinity.affine_pairs_naive t ~w:2))
+
+let efficient_is_sound =
+  (* The stack algorithm may miss affinities (documented approximation) but
+     must never report a pair the definition rejects. *)
+  QCheck.Test.make ~name:"efficient affinity is a subset of Definition 3" ~count:150
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 2 40) (int_bound 6)))
+    (fun (w, xs) ->
+      let t = Trim.trim (Trace.of_list ~num_symbols:7 xs) in
+      QCheck.assume (Trace.length t >= 2);
+      let eff = Affinity.affine_pairs t ~w in
+      let exact = Affinity.affine_pairs_naive t ~w in
+      List.for_all (fun (x, y) -> Affinity.is_affine exact x y) (Affinity.pair_list eff))
+
+let partition_groups_are_affine =
+  QCheck.Test.make ~name:"Algorithm 1 groups are pairwise affine" ~count:100
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 2 40) (int_bound 6)))
+    (fun (w, xs) ->
+      let t = Trim.trim (Trace.of_list ~num_symbols:7 xs) in
+      QCheck.assume (Trace.length t >= 2);
+      let ps = Affinity.affine_pairs t ~w in
+      let groups = Affinity.partition t ~w in
+      List.for_all
+        (fun g ->
+          List.for_all (fun a -> List.for_all (fun b -> Affinity.is_affine ps a b) g) g)
+        groups)
+
+let partition_covers_all_symbols =
+  QCheck.Test.make ~name:"Algorithm 1 partitions exactly the occurring symbols" ~count:100
+    QCheck.(list_of_size Gen.(int_range 2 40) (int_bound 6))
+    (fun xs ->
+      let t = Trim.trim (Trace.of_list ~num_symbols:7 xs) in
+      QCheck.assume (Trace.length t >= 2);
+      let groups = Affinity.partition t ~w:3 in
+      let members = List.sort compare (List.concat groups) in
+      let occurring =
+        Trace.occurrences t |> Array.to_list
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter_map (fun (i, c) -> if c > 0 then Some i else None)
+      in
+      members = occurring)
+
+(* --------------------------------------------------- Hierarchy (Fig 1b) *)
+
+let test_fig1_hierarchy_exact () =
+  let t = fig1_trace () in
+  let h = Affinity_hierarchy.build ~algo:Affinity_hierarchy.Exact ~ws:[ 1; 2; 3; 4; 5 ] t in
+  let partition w = List.map (List.sort compare) (Affinity_hierarchy.partition_at h ~w) in
+  let sorted p = List.sort compare p in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "w=1 singletons"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ]
+    (sorted (partition 1));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "w=2" [ [ 0 ]; [ 1 ]; [ 2; 4 ]; [ 3 ] ] (sorted (partition 2));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "w=3" [ [ 0; 3 ]; [ 1 ]; [ 2; 4 ] ] (sorted (partition 3));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "w=4" [ [ 0; 3 ]; [ 1; 2; 4 ] ] (sorted (partition 4));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "w=5 one group" [ [ 0; 1; 2; 3; 4 ] ] (sorted (partition 5));
+  (* The paper's output sequence: B1 B4 B2 B3 B5. *)
+  check (Alcotest.list Alcotest.int) "bottom-up order" [ 0; 3; 1; 2; 4 ]
+    (Affinity_hierarchy.order h)
+
+let test_fig1_efficient_order_matches () =
+  let t = fig1_trace () in
+  let h = Affinity_hierarchy.build ~algo:Affinity_hierarchy.Efficient ~ws:[ 1; 2; 3; 4; 5 ] t in
+  check (Alcotest.list Alcotest.int) "efficient order" [ 0; 3; 1; 2; 4 ]
+    (Affinity_hierarchy.order h)
+
+let hierarchy_partitions_nest =
+  QCheck.Test.make ~name:"hierarchy partitions nest as w grows" ~count:80
+    QCheck.(list_of_size Gen.(int_range 2 40) (int_bound 6))
+    (fun xs ->
+      let t = Trim.trim (Trace.of_list ~num_symbols:7 xs) in
+      QCheck.assume (Trace.length t >= 2);
+      let ws = [ 2; 3; 4; 6 ] in
+      let h = Affinity_hierarchy.build ~ws t in
+      let rec pairs_of = function
+        | [] -> []
+        | w1 :: (w2 :: _ as rest) -> (w1, w2) :: pairs_of rest
+        | [ _ ] -> []
+      in
+      List.for_all
+        (fun (w1, w2) ->
+          let p1 = Affinity_hierarchy.partition_at h ~w:w1 in
+          let p2 = Affinity_hierarchy.partition_at h ~w:w2 in
+          (* Every w1 group is contained in some w2 group. *)
+          List.for_all
+            (fun g1 ->
+              List.exists (fun g2 -> List.for_all (fun x -> List.mem x g2) g1) p2)
+            p1)
+        (pairs_of ws))
+
+let order_is_permutation_of_occurring =
+  QCheck.Test.make ~name:"hierarchy order covers occurring symbols once" ~count:80
+    QCheck.(list_of_size Gen.(int_range 2 40) (int_bound 6))
+    (fun xs ->
+      let t = Trim.trim (Trace.of_list ~num_symbols:7 xs) in
+      QCheck.assume (Trace.length t >= 2);
+      let h = Affinity_hierarchy.build ~ws:[ 2; 4 ] t in
+      let order = List.sort compare (Affinity_hierarchy.order h) in
+      let occurring =
+        Trace.occurrences t |> Array.to_list
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter_map (fun (i, c) -> if c > 0 then Some i else None)
+      in
+      order = occurring)
+
+let test_bad_ws () =
+  let t = fig1_trace () in
+  Alcotest.check_raises "descending ws"
+    (Invalid_argument "Affinity_hierarchy: ws must be positive and strictly ascending")
+    (fun () -> ignore (Affinity_hierarchy.build ~ws:[ 3; 2 ] t));
+  Alcotest.check_raises "empty ws"
+    (Invalid_argument "Affinity_hierarchy: ws must be positive and strictly ascending")
+    (fun () -> ignore (Affinity_hierarchy.build ~ws:[] t))
+
+let test_members_and_pp () =
+  let t = fig1_trace () in
+  let h = Affinity_hierarchy.build ~algo:Affinity_hierarchy.Exact ~ws:[ 2; 3; 4; 5 ] t in
+  let all = List.concat_map Affinity_hierarchy.members h.Affinity_hierarchy.roots in
+  check Alcotest.int "members count" 5 (List.length all);
+  let s = Format.asprintf "%a" Affinity_hierarchy.pp h in
+  check Alcotest.bool "pp nonempty" true (String.length s > 0)
+
+let () =
+  Alcotest.run "affinity"
+    [
+      ( "definitions",
+        [
+          Alcotest.test_case "window footprint" `Quick test_window_footprint;
+          Alcotest.test_case "fig1 pairs (naive)" `Quick test_fig1_pairs_naive;
+          Alcotest.test_case "requires trimmed" `Quick test_requires_trimmed;
+        ] );
+      ( "efficient-vs-exact",
+        [
+          QCheck_alcotest.to_alcotest efficient_is_sound;
+          QCheck_alcotest.to_alcotest partition_groups_are_affine;
+          QCheck_alcotest.to_alcotest partition_covers_all_symbols;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "figure 1 exact" `Quick test_fig1_hierarchy_exact;
+          Alcotest.test_case "figure 1 efficient order" `Quick test_fig1_efficient_order_matches;
+          QCheck_alcotest.to_alcotest hierarchy_partitions_nest;
+          QCheck_alcotest.to_alcotest order_is_permutation_of_occurring;
+          Alcotest.test_case "bad ws" `Quick test_bad_ws;
+          Alcotest.test_case "members/pp" `Quick test_members_and_pp;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+open Colayout_cache
+
+let check = Alcotest.check
+
+let test_params () =
+  let p = Params.default_l1i in
+  check Alcotest.int "sets" 128 p.Params.num_sets;
+  check Alcotest.int "lines" 512 (Params.lines_total p);
+  check Alcotest.int "line_of_addr" 2 (Params.line_of_addr p 128);
+  check Alcotest.int "set wraps" 0 (Params.set_of_line p 128);
+  check Alcotest.int "set_of_addr" 1 (Params.set_of_addr p 64);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "lines spanned" (1, 2)
+    (Params.lines_spanned p ~addr:100 ~bytes:64);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "single line" (0, 0)
+    (Params.lines_spanned p ~addr:0 ~bytes:64);
+  check Alcotest.string "to_string" "32KB/4-way/64B (128 sets)" (Params.to_string p);
+  check Alcotest.string "small to_string" "512B/1-way/64B (8 sets)"
+    (Params.to_string (Params.make ~size_bytes:512 ~assoc:1 ~line_bytes:64));
+  Alcotest.check_raises "non pow2" (Invalid_argument "Params.make: size must be a power of two")
+    (fun () -> ignore (Params.make ~size_bytes:1000 ~assoc:4 ~line_bytes:64))
+
+let test_cache_stats () =
+  let s = Cache_stats.create ~threads:2 () in
+  Cache_stats.record s ~thread:0 ~hit:true;
+  Cache_stats.record s ~thread:0 ~hit:false;
+  Cache_stats.record s ~thread:1 ~hit:false;
+  Cache_stats.record_prefetch s;
+  check Alcotest.int "accesses" 3 (Cache_stats.accesses s);
+  check Alcotest.int "misses" 2 (Cache_stats.misses s);
+  check Alcotest.int "hits" 1 (Cache_stats.hits s);
+  check Alcotest.int "prefetches" 1 (Cache_stats.prefetches s);
+  check (Alcotest.float 1e-9) "thread 0 ratio" 0.5 (Cache_stats.thread_miss_ratio s 0);
+  check (Alcotest.float 1e-9) "thread 1 ratio" 1.0 (Cache_stats.thread_miss_ratio s 1);
+  let s2 = Cache_stats.create ~threads:2 () in
+  Cache_stats.record s2 ~thread:0 ~hit:false;
+  Cache_stats.merge_into ~dst:s s2;
+  check Alcotest.int "merged accesses" 4 (Cache_stats.accesses s)
+
+let test_set_assoc_lru () =
+  (* 1 set, 2 ways: a tiny cache with observable LRU. *)
+  let p = Params.make ~size_bytes:128 ~assoc:2 ~line_bytes:64 in
+  let c = Set_assoc.create p in
+  check Alcotest.bool "cold miss" false (Set_assoc.access_line c 1);
+  check Alcotest.bool "hit" true (Set_assoc.access_line c 1);
+  check Alcotest.bool "second line" false (Set_assoc.access_line c 2);
+  check Alcotest.bool "1 still resident" true (Set_assoc.access_line c 1);
+  (* Insert 3: evicts LRU = 2. *)
+  check Alcotest.bool "3 misses" false (Set_assoc.access_line c 3);
+  check Alcotest.bool "2 evicted" false (Set_assoc.probe_line c 2);
+  check Alcotest.bool "1 survived" true (Set_assoc.probe_line c 1);
+  check Alcotest.int "occupancy" 2 (Set_assoc.occupancy c);
+  Set_assoc.invalidate_all c;
+  check Alcotest.int "after invalidate" 0 (Set_assoc.occupancy c)
+
+let test_set_mapping_isolation () =
+  let p = Params.make ~size_bytes:512 ~assoc:1 ~line_bytes:64 in
+  (* 8 sets, direct-mapped: lines 0 and 8 collide; 0 and 1 do not. *)
+  let c = Set_assoc.create p in
+  ignore (Set_assoc.access_line c 0);
+  ignore (Set_assoc.access_line c 1);
+  check Alcotest.bool "no conflict different sets" true (Set_assoc.probe_line c 0);
+  ignore (Set_assoc.access_line c 8);
+  check Alcotest.bool "conflict same set" false (Set_assoc.probe_line c 0);
+  check Alcotest.bool "line 1 untouched" true (Set_assoc.probe_line c 1)
+
+let set_assoc_matches_fully_assoc =
+  QCheck.Test.make
+    ~name:"single-set set-assoc equals fully-associative LRU" ~count:100
+    QCheck.(list (int_bound 10))
+    (fun xs ->
+      let p = Params.make ~size_bytes:(4 * 64) ~assoc:4 ~line_bytes:64 in
+      (* All lines map to set 0 when we multiply by num_sets (=1 here). *)
+      let sa = Set_assoc.create p in
+      let fa = Fully_assoc.create ~capacity:4 in
+      List.for_all (fun x -> Set_assoc.access_line sa x = Fully_assoc.access_line fa x) xs)
+
+let test_fully_assoc_eviction () =
+  let c = Fully_assoc.create ~capacity:2 in
+  ignore (Fully_assoc.access_line c 1);
+  ignore (Fully_assoc.access_line c 2);
+  ignore (Fully_assoc.access_line c 1);
+  (* MRU order: 1, 2. Adding 3 evicts 2. *)
+  ignore (Fully_assoc.access_line c 3);
+  check Alcotest.bool "2 evicted" false (Fully_assoc.access_line c 2);
+  check (Alcotest.list Alcotest.int) "resident" [ 2; 3 ]
+    (Fully_assoc.resident_lines c |> List.filteri (fun i _ -> i < 2));
+  check Alcotest.int "occupancy" 2 (Fully_assoc.occupancy c)
+
+let test_prefetch () =
+  let p = Params.default_l1i in
+  let c = Set_assoc.create p in
+  let s = Cache_stats.create () in
+  let pf = Prefetch.create ~degree:2 () in
+  check Alcotest.int "degree" 2 (Prefetch.degree pf);
+  Prefetch.on_miss pf c s 10;
+  check Alcotest.int "prefetched" 2 (Cache_stats.prefetches s);
+  check Alcotest.bool "line 11 filled" true (Set_assoc.probe_line c 11);
+  check Alcotest.bool "line 12 filled" true (Set_assoc.probe_line c 12);
+  check Alcotest.bool "line 10 NOT filled by prefetch" false (Set_assoc.probe_line c 10);
+  (* Prefetching an already-resident line is not recounted. *)
+  Prefetch.on_miss pf c s 10;
+  check Alcotest.int "no double prefetch" 2 (Cache_stats.prefetches s)
+
+let layout_of_blocks specs : Icache.layout =
+  let addr = Array.map fst specs and bytes = Array.map snd specs in
+  { Icache.addr; bytes }
+
+let test_icache_solo () =
+  let params = Params.default_l1i in
+  (* Two blocks in the same line; one spanning two lines. *)
+  let layout = layout_of_blocks [| (0, 32); (32, 32); (100, 64) |] in
+  let trace = Colayout_util.Int_vec.of_list [ 0; 1; 2; 0; 1; 2 ] in
+  let stats = Icache.solo ~params ~layout trace in
+  (* Fetches: blk0 -> line 0 (miss); blk1 -> line 0 (hit); blk2 -> lines 1,2
+     (2 misses); then all hits: 3 misses, 8 accesses. *)
+  check Alcotest.int "accesses" 8 (Cache_stats.accesses stats);
+  check Alcotest.int "misses" 3 (Cache_stats.misses stats)
+
+let test_icache_lines_of_block () =
+  let params = Params.default_l1i in
+  let layout = layout_of_blocks [| (60, 10) |] in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "straddles" (0, 1)
+    (Icache.lines_of_block ~params ~layout 0)
+
+let test_icache_shared_threads_isolated_addresses () =
+  let params = Params.default_l1i in
+  let layout = layout_of_blocks [| (0, 64) |] in
+  let t0 = Colayout_util.Int_vec.of_list [ 0; 0; 0; 0 ] in
+  let t1 = Colayout_util.Int_vec.of_list [ 0; 0; 0; 0 ] in
+  let stats = Icache.shared ~params ~layouts:(layout, layout) (t0, t1) in
+  (* Same virtual line but different processes: each thread misses once. *)
+  check Alcotest.int "thread0 misses" 1 (Cache_stats.thread_misses stats 0);
+  check Alcotest.int "thread1 misses" 1 (Cache_stats.thread_misses stats 1);
+  check Alcotest.bool "both ran" true
+    (Cache_stats.thread_accesses stats 0 >= 4 && Cache_stats.thread_accesses stats 1 >= 4)
+
+let test_icache_shared_rates () =
+  let params = Params.default_l1i in
+  let layout = layout_of_blocks [| (0, 64); (64, 64) |] in
+  let mk () = Colayout_util.Int_vec.of_list (List.init 100 (fun i -> i mod 2)) in
+  let stats = Icache.shared ~rates:(1.0, 0.25) ~params ~layouts:(layout, layout) (mk (), mk ()) in
+  (* Both complete a pass regardless of rate. *)
+  check Alcotest.bool "slow thread still completes" true (Cache_stats.thread_accesses stats 1 >= 100);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Icache.shared: rates must be positive")
+    (fun () -> ignore (Icache.shared ~rates:(0.0, 1.0) ~params ~layouts:(layout, layout) (mk (), mk ())))
+
+let test_icache_shared_contention () =
+  let params = Params.make ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  (* Working set of each thread = 8 lines; cache holds 16: alone each fits,
+     together they collide in sets. *)
+  let layout = layout_of_blocks (Array.init 8 (fun i -> (i * 64, 64))) in
+  let mk () = Colayout_util.Int_vec.of_list (List.init 400 (fun i -> i mod 8)) in
+  let solo = Icache.solo ~params ~layout (mk ()) in
+  let shared = Icache.shared ~params ~layouts:(layout, layout) (mk (), mk ()) in
+  (* The shared run may execute a handful of extra (hit) accesses past its
+     first pass while the peer drains, so allow a sliver of slack. *)
+  check Alcotest.bool "corun miss ratio >= solo" true
+    (Cache_stats.thread_miss_ratio shared 0 >= Cache_stats.miss_ratio solo -. 0.005)
+
+let () =
+  Alcotest.run "cache"
+    [
+      ("params", [ Alcotest.test_case "geometry" `Quick test_params ]);
+      ("stats", [ Alcotest.test_case "counters" `Quick test_cache_stats ]);
+      ( "set_assoc",
+        [
+          Alcotest.test_case "lru" `Quick test_set_assoc_lru;
+          Alcotest.test_case "set mapping" `Quick test_set_mapping_isolation;
+          QCheck_alcotest.to_alcotest set_assoc_matches_fully_assoc;
+        ] );
+      ("fully_assoc", [ Alcotest.test_case "eviction" `Quick test_fully_assoc_eviction ]);
+      ("prefetch", [ Alcotest.test_case "next line" `Quick test_prefetch ]);
+      ( "icache",
+        [
+          Alcotest.test_case "solo" `Quick test_icache_solo;
+          Alcotest.test_case "lines_of_block" `Quick test_icache_lines_of_block;
+          Alcotest.test_case "shared isolation" `Quick test_icache_shared_threads_isolated_addresses;
+          Alcotest.test_case "shared rates" `Quick test_icache_shared_rates;
+          Alcotest.test_case "shared contention" `Quick test_icache_shared_contention;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the control-flow analyses (dominators, loops, static
+   frequencies) and the profile-free static layout built on them. *)
+
+open Colayout_ir
+module W = Colayout_workloads
+module E = Colayout_exec
+module C = Colayout_cache
+
+let check = Alcotest.check
+
+(* A diamond followed by a loop:
+
+       entry
+       /   \
+      a     b
+       \   /
+        join
+         |
+        loop <--+
+         | \____|   (branch back)
+        exit
+*)
+let diamond_loop () =
+  let b = Builder.create ~name:"dl" () in
+  let f = Builder.func b "main" in
+  let entry = Builder.block b f "entry" in
+  let a = Builder.block b f "a" in
+  let bb = Builder.block b f "b" in
+  let join = Builder.block b f "join" in
+  let loop = Builder.block b f "loop" in
+  let exit_ = Builder.block b f "exit" in
+  let dead = Builder.block b f "dead" in
+  Builder.set_body b entry []
+    (Types.Branch { cond = Types.Rand 2; if_true = a; if_false = bb });
+  Builder.set_body b a [ Types.Work 1 ] (Types.Jump join);
+  Builder.set_body b bb [ Types.Work 1 ] (Types.Jump join);
+  Builder.set_body b join [] (Types.Jump loop);
+  Builder.set_body b loop [ Types.Work 1 ]
+    (Types.Branch { cond = Types.Rand 2; if_true = loop; if_false = exit_ });
+  Builder.set_body b exit_ [] Types.Halt;
+  Builder.set_body b dead [ Types.Work 1 ] Types.Halt;
+  (Builder.finish b, entry, a, bb, join, loop, exit_, dead)
+
+let test_dominators () =
+  let p, entry, a, bb, join, loop, exit_, dead = diamond_loop () in
+  let cfg = Cfg.analyze p 0 in
+  check Alcotest.int "entry" entry (Cfg.entry cfg);
+  check (Alcotest.option Alcotest.int) "idom entry" None (Cfg.idom cfg entry);
+  check (Alcotest.option Alcotest.int) "idom a" (Some entry) (Cfg.idom cfg a);
+  check (Alcotest.option Alcotest.int) "idom b" (Some entry) (Cfg.idom cfg bb);
+  (* join is dominated by entry, not by either diamond arm. *)
+  check (Alcotest.option Alcotest.int) "idom join" (Some entry) (Cfg.idom cfg join);
+  check (Alcotest.option Alcotest.int) "idom loop" (Some join) (Cfg.idom cfg loop);
+  check (Alcotest.option Alcotest.int) "idom exit" (Some loop) (Cfg.idom cfg exit_);
+  check Alcotest.bool "entry dominates all" true (Cfg.dominates cfg entry exit_);
+  check Alcotest.bool "a does not dominate join" false (Cfg.dominates cfg a join);
+  check Alcotest.bool "reflexive" true (Cfg.dominates cfg join join);
+  check Alcotest.bool "dead unreachable" false (Cfg.reachable cfg dead);
+  check (Alcotest.option Alcotest.int) "idom dead" None (Cfg.idom cfg dead);
+  check Alcotest.bool "nothing dominates dead" false (Cfg.dominates cfg entry dead)
+
+let test_loops_and_frequency () =
+  let p, entry, a, _bb, join, loop, exit_, dead = diamond_loop () in
+  let cfg = Cfg.analyze p 0 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "one back edge" [ (loop, loop) ] (Cfg.back_edges cfg);
+  check Alcotest.int "loop depth of loop" 1 (Cfg.loop_depth cfg loop);
+  check Alcotest.int "loop depth of join" 0 (Cfg.loop_depth cfg join);
+  check Alcotest.int "loop depth of dead" 0 (Cfg.loop_depth cfg dead);
+  (* Frequencies: entry 1.0; arms 0.5; join 1.0; loop 10x its inflow. *)
+  check (Alcotest.float 1e-9) "entry freq" 1.0 (Cfg.static_frequency cfg entry);
+  check (Alcotest.float 1e-9) "arm freq" 0.5 (Cfg.static_frequency cfg a);
+  check (Alcotest.float 1e-9) "join freq" 1.0 (Cfg.static_frequency cfg join);
+  check Alcotest.bool "loop hotter than join" true
+    (Cfg.static_frequency cfg loop > Cfg.static_frequency cfg join);
+  check Alcotest.bool "exit cooler than loop" true
+    (Cfg.static_frequency cfg exit_ < Cfg.static_frequency cfg loop);
+  check (Alcotest.float 1e-9) "dead freq" 0.0 (Cfg.static_frequency cfg dead)
+
+let test_rpo () =
+  let p, entry, _, _, _, _, _, dead = diamond_loop () in
+  let cfg = Cfg.analyze p 0 in
+  let order = Cfg.rpo cfg in
+  check Alcotest.int "entry first" entry (List.hd order);
+  check Alcotest.bool "dead omitted" false (List.mem dead order);
+  check Alcotest.int "six reachable blocks" 6 (List.length order)
+
+let test_cfg_on_generated_workloads () =
+  let p = W.Gen.build { W.Gen.default_profile with pname = "cfgw"; seed = 51 } in
+  Array.iter
+    (fun (f : Program.func) ->
+      let cfg = Cfg.analyze p f.fid in
+      (* The entry dominates every reachable block. *)
+      Array.iter
+        (fun bid ->
+          if Cfg.reachable cfg bid then begin
+            if not (Cfg.dominates cfg f.entry bid) then
+              Alcotest.failf "entry of f%d does not dominate b%d" f.fid bid;
+            if Cfg.static_frequency cfg bid <= 0.0 then
+              Alcotest.failf "reachable b%d has zero frequency" bid
+          end)
+        f.blocks)
+    (Program.funcs p)
+
+(* -------------------------------------------------------- Static_layout *)
+
+let test_static_call_graph () =
+  let p = W.Gen.build { W.Gen.default_profile with pname = "scg"; seed = 52 } in
+  let edges = Colayout.Static_layout.static_call_graph p in
+  check Alcotest.bool "has edges" true (edges <> []);
+  let main_fid = (Program.main p).fid in
+  (* Every worker call comes from main in these workloads. *)
+  List.iter
+    (fun (caller, callee, w) ->
+      check Alcotest.int "caller is main" main_fid caller;
+      check Alcotest.bool "positive weight" true (w > 0);
+      check Alcotest.bool "callee in range" true (callee >= 0 && callee < Program.num_funcs p))
+    edges
+
+let test_static_layout_structure () =
+  let p = W.Gen.build { W.Gen.default_profile with pname = "sl"; seed = 53 } in
+  let l = Colayout.Static_layout.layout_for p in
+  let sorted = Array.copy l.Colayout.Layout.order in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation"
+    (Array.init (Program.num_blocks p) Fun.id) sorted
+
+let test_static_layout_beats_nothing_sanity () =
+  (* The static layout is a heuristic; at minimum it must simulate and not
+     be catastrophically worse than original on a phased workload. *)
+  let p =
+    W.Gen.build
+      { W.Gen.default_profile with pname = "slq"; seed = 54; phases = 4; funcs_per_phase = 6 }
+  in
+  let trace = Colayout.Pipeline.reference_trace p (E.Interp.ref_input ~max_blocks:60_000 ()) in
+  let params = C.Params.default_l1i in
+  let miss layout =
+    C.Cache_stats.miss_ratio (Colayout.Pipeline.miss_ratio_solo ~params ~layout trace)
+  in
+  let original = miss (Colayout.Layout.original p) in
+  let static = miss (Colayout.Static_layout.layout_for p) in
+  check Alcotest.bool "same order of magnitude" true (static < (4.0 *. original) +. 0.02)
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond+loop" `Quick test_dominators;
+          Alcotest.test_case "loops and frequency" `Quick test_loops_and_frequency;
+          Alcotest.test_case "rpo" `Quick test_rpo;
+          Alcotest.test_case "generated workloads" `Quick test_cfg_on_generated_workloads;
+        ] );
+      ( "static_layout",
+        [
+          Alcotest.test_case "call graph" `Quick test_static_call_graph;
+          Alcotest.test_case "structure" `Quick test_static_layout_structure;
+          Alcotest.test_case "quality sanity" `Quick test_static_layout_beats_nothing_sanity;
+        ] );
+    ]

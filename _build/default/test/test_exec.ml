@@ -1,0 +1,199 @@
+open Colayout_ir
+module E = Colayout_exec
+module T = Colayout_trace
+
+let check = Alcotest.check
+
+(* main: v0 = 0; loop 3 times calling callee; callee returns. *)
+let call_loop_program () =
+  let b = Builder.create ~name:"callloop" () in
+  let f = Builder.func b "main" in
+  let g = Builder.func b "callee" in
+  let entry = Builder.block b f "entry" in
+  let loop = Builder.block b f "loop" in
+  let tail = Builder.block b f "tail" in
+  let stop = Builder.block b f "stop" in
+  let g_entry = Builder.block b g "g.entry" in
+  Builder.set_body b entry [ Types.Assign (0, Types.Const 0) ] (Types.Jump loop);
+  Builder.set_body b loop [] (Types.Call { callee = g; return_to = tail });
+  Builder.set_body b tail
+    [ Types.Assign (0, Types.Bin (Types.Add, Types.Var 0, Types.Const 1)) ]
+    (Types.Branch
+       { cond = Types.Bin (Types.Lt, Types.Var 0, Types.Const 3); if_true = loop; if_false = stop });
+  Builder.set_body b stop [] Types.Halt;
+  Builder.set_body b g_entry [ Types.Work 5 ] Types.Return;
+  Builder.finish b
+
+let test_call_loop_trace () =
+  let p = call_loop_program () in
+  let r = E.Interp.run p (E.Interp.test_input ()) in
+  check Alcotest.bool "completed" true r.E.Interp.completed;
+  (* entry loop g tail | loop g tail | loop g tail | stop = 11 blocks. *)
+  check Alcotest.int "block execs" 11 r.E.Interp.block_execs;
+  check Alcotest.int "bb trace length" 11 (T.Trace.length r.E.Interp.bb_trace);
+  (* fn trace: main entry + 3 calls to callee. *)
+  check Alcotest.int "fn trace length" 4 (T.Trace.length r.E.Interp.fn_trace);
+  check (Alcotest.list Alcotest.int) "fn trace" [ 0; 1; 1; 1 ] (T.Trace.to_list r.E.Interp.fn_trace)
+
+let test_instr_count_matches_static () =
+  let p = call_loop_program () in
+  let r = E.Interp.run p (E.Interp.test_input ()) in
+  let counts = E.Interp.block_instr_counts p in
+  let expected =
+    T.Trace.to_list r.E.Interp.bb_trace |> List.fold_left (fun acc bid -> acc + counts.(bid)) 0
+  in
+  check Alcotest.int "instr count from trace" expected r.E.Interp.instr_count
+
+let test_fuel_cutoff () =
+  let b = Builder.create ~name:"inf" () in
+  let f = Builder.func b "main" in
+  let blk = Builder.block b f "spin" in
+  Builder.set_body b blk [ Types.Work 1 ] (Types.Jump blk);
+  let p = Builder.finish b in
+  let r = E.Interp.run p { seed = 1; params = [||]; max_blocks = 100 } in
+  check Alcotest.bool "not completed" false r.E.Interp.completed;
+  check Alcotest.int "fuel bound" 100 r.E.Interp.block_execs
+
+let test_switch_semantics () =
+  let b = Builder.create ~name:"sw" () in
+  let f = Builder.func b "main" in
+  let entry = Builder.block b f "entry" in
+  let c0 = Builder.block b f "c0" in
+  let c1 = Builder.block b f "c1" in
+  let dflt = Builder.block b f "default" in
+  let stop = Builder.block b f "stop" in
+  Builder.set_body b entry
+    [ Types.Assign (0, Types.Const 1) ]
+    (Types.Switch { sel = Types.Var 0; targets = [| c0; c1 |]; default = dflt });
+  Builder.set_body b c0 [] (Types.Jump stop);
+  Builder.set_body b c1 [] (Types.Jump stop);
+  Builder.set_body b dflt [] (Types.Jump stop);
+  Builder.set_body b stop [] Types.Halt;
+  let p = Builder.finish b in
+  let r = E.Interp.run p (E.Interp.test_input ()) in
+  check (Alcotest.list Alcotest.int) "takes case 1" [ entry; c1; stop ]
+    (T.Trace.to_list r.E.Interp.bb_trace)
+
+let test_switch_default_out_of_range () =
+  let b = Builder.create ~name:"sw2" () in
+  let f = Builder.func b "main" in
+  let entry = Builder.block b f "entry" in
+  let c0 = Builder.block b f "c0" in
+  let dflt = Builder.block b f "default" in
+  Builder.set_body b entry
+    [ Types.Assign (0, Types.Const 7) ]
+    (Types.Switch { sel = Types.Var 0; targets = [| c0 |]; default = dflt });
+  Builder.set_body b c0 [] Types.Halt;
+  Builder.set_body b dflt [] Types.Halt;
+  let p = Builder.finish b in
+  let r = E.Interp.run p (E.Interp.test_input ()) in
+  check (Alcotest.list Alcotest.int) "takes default" [ entry; dflt ]
+    (T.Trace.to_list r.E.Interp.bb_trace)
+
+let test_return_from_main_completes () =
+  let b = Builder.create ~name:"retmain" () in
+  let f = Builder.func b "main" in
+  let blk = Builder.block b f "entry" in
+  Builder.set_body b blk [] Types.Return;
+  let p = Builder.finish b in
+  let r = E.Interp.run p (E.Interp.test_input ()) in
+  check Alcotest.bool "completed" true r.E.Interp.completed
+
+let test_determinism_and_seed_sensitivity () =
+  let prof = { Colayout_workloads.Gen.default_profile with pname = "t"; seed = 99 } in
+  let p = Colayout_workloads.Gen.build prof in
+  let r1 = E.Interp.run p { seed = 5; params = [||]; max_blocks = 5000 } in
+  let r2 = E.Interp.run p { seed = 5; params = [||]; max_blocks = 5000 } in
+  check Alcotest.bool "same seed same trace" true
+    (T.Trace.equal r1.E.Interp.bb_trace r2.E.Interp.bb_trace);
+  let r3 = E.Interp.run p { seed = 6; params = [||]; max_blocks = 5000 } in
+  check Alcotest.bool "different seed different trace" false
+    (T.Trace.equal r1.E.Interp.bb_trace r3.E.Interp.bb_trace)
+
+let test_div_mod_by_zero () =
+  let b = Builder.create ~name:"div0" () in
+  let f = Builder.func b "main" in
+  let blk = Builder.block b f "entry" in
+  Builder.set_body b blk
+    [
+      Types.Assign (0, Types.Bin (Types.Div, Types.Const 7, Types.Const 0));
+      Types.Assign (1, Types.Bin (Types.Mod, Types.Const 7, Types.Const 0));
+    ]
+    Types.Halt;
+  let p = Builder.finish b in
+  let r = E.Interp.run p (E.Interp.test_input ()) in
+  check Alcotest.bool "no crash" true r.E.Interp.completed
+
+(* ----------------------------------------------------------------- Smt *)
+
+let straightline_code n =
+  (* n blocks of 64 bytes each, 16 instructions. *)
+  let layout : Colayout_cache.Icache.layout =
+    { addr = Array.init n (fun i -> i * 64); bytes = Array.make n 64 }
+  in
+  { E.Smt.layout; instr_counts = Array.make n 16 }
+
+let test_smt_solo_basics () =
+  let cfg = E.Smt.default_config () in
+  let code = straightline_code 4 in
+  let trace = Colayout_util.Int_vec.of_list [ 0; 1; 2; 3; 0; 1; 2; 3 ] in
+  let s = E.Smt.solo cfg code trace in
+  check Alcotest.int "instrs" (8 * 16) s.E.Smt.instrs;
+  check Alcotest.int "accesses" 8 s.E.Smt.fetch_accesses;
+  (* First pass misses all 4 lines; second pass hits. *)
+  check Alcotest.int "misses" 4 s.E.Smt.fetch_misses;
+  check Alcotest.bool "cycles sane" true (s.E.Smt.cycles > 0);
+  check Alcotest.bool "ipc bounded by ilp" true (E.Smt.ipc s <= cfg.E.Smt.ilp +. 1e-6)
+
+let test_smt_work_scale_slows () =
+  let cfg = E.Smt.default_config () in
+  let code = straightline_code 4 in
+  let trace = Colayout_util.Int_vec.of_list (List.init 100 (fun i -> i mod 4)) in
+  let fastt = E.Smt.solo cfg code trace in
+  let slow = E.Smt.solo ~work_scale:2.0 cfg code trace in
+  check Alcotest.bool "work scale slows thread" true (slow.E.Smt.cycles > fastt.E.Smt.cycles)
+
+let test_smt_corun_contention () =
+  let cfg = E.Smt.default_config () in
+  let code = straightline_code 16 in
+  let trace () = Colayout_util.Int_vec.of_list (List.init 2000 (fun i -> i mod 16)) in
+  let solo = E.Smt.solo cfg code (trace ()) in
+  let co = E.Smt.corun cfg ~mode:E.Smt.Finish_both (code, trace ()) (code, trace ()) in
+  (* Each thread must be slower than solo but the pair faster than 2x solo. *)
+  check Alcotest.bool "t0 slower than solo" true (co.E.Smt.t0.E.Smt.cycles >= solo.E.Smt.cycles);
+  check Alcotest.bool "SMT beats sequential" true
+    (co.E.Smt.total_cycles < 2 * solo.E.Smt.cycles);
+  check Alcotest.int "t0 instrs" solo.E.Smt.instrs co.E.Smt.t0.E.Smt.instrs
+
+let test_smt_measure_first_probe_restarts () =
+  let cfg = E.Smt.default_config () in
+  let code = straightline_code 4 in
+  let long = Colayout_util.Int_vec.of_list (List.init 4000 (fun i -> i mod 4)) in
+  let short = Colayout_util.Int_vec.of_list [ 0; 1 ] in
+  let co = E.Smt.corun cfg ~mode:E.Smt.Measure_first (code, long) (code, short) in
+  (* The probe loops: it must have executed far more blocks than its trace. *)
+  check Alcotest.bool "probe restarted" true (co.E.Smt.t1.E.Smt.blocks > 2);
+  check Alcotest.int "measured thread ran its pass" 4000 co.E.Smt.t0.E.Smt.blocks
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "call loop trace" `Quick test_call_loop_trace;
+          Alcotest.test_case "instr counts" `Quick test_instr_count_matches_static;
+          Alcotest.test_case "fuel" `Quick test_fuel_cutoff;
+          Alcotest.test_case "switch" `Quick test_switch_semantics;
+          Alcotest.test_case "switch default" `Quick test_switch_default_out_of_range;
+          Alcotest.test_case "return from main" `Quick test_return_from_main_completes;
+          Alcotest.test_case "determinism" `Quick test_determinism_and_seed_sensitivity;
+          Alcotest.test_case "div/mod by zero" `Quick test_div_mod_by_zero;
+        ] );
+      ( "smt",
+        [
+          Alcotest.test_case "solo basics" `Quick test_smt_solo_basics;
+          Alcotest.test_case "work scale" `Quick test_smt_work_scale_slows;
+          Alcotest.test_case "corun contention" `Quick test_smt_corun_contention;
+          Alcotest.test_case "probe restarts" `Quick test_smt_measure_first_probe_restarts;
+        ] );
+    ]

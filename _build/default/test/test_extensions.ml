@@ -1,0 +1,174 @@
+(* Tests for the extension modules: padded TPCM placement (Trg_place) and
+   exhaustive layout search (Optimal). *)
+
+open Colayout
+open Colayout_ir
+module W = Colayout_workloads
+module E = Colayout_exec
+module C = Colayout_cache
+
+let check = Alcotest.check
+
+let params = C.Params.default_l1i
+
+(* ------------------------------------------------------------ Trg_place *)
+
+let test_place_separates_conflicting_nodes () =
+  (* 8-set direct-mapped cache, three 4-line nodes. A and C are placed first
+     (heaviest edge) and naturally occupy disjoint sets; B conflicts with A
+     (weight 50), so its natural position (overlapping A) must be skipped in
+     favour of C's sets (no B-C edge) — which costs padding. *)
+  let trg = Trg.of_edges ~num_nodes:3 [ (0, 2, 100); (0, 1, 50) ] in
+  let p = C.Params.make ~size_bytes:512 ~assoc:1 ~line_bytes:64 in
+  let placement = Trg_place.place trg ~sizes:[| 256; 256; 256 |] ~params:p in
+  let set_of v = placement.Trg_place.base_addr.(v) / 64 mod 8 in
+  let overlap a b =
+    let a = set_of a and b = set_of b in
+    let inter x1 x2 = max 0 (min (x1 + 4) (x2 + 4) - max x1 x2) in
+    inter a b + inter a (b + 8) + inter (a + 8) b
+  in
+  check Alcotest.int "A and C disjoint" 0 (overlap 0 2);
+  check Alcotest.int "A and B disjoint" 0 (overlap 0 1);
+  check Alcotest.bool "padding inserted" true (placement.Trg_place.padding_bytes > 0)
+
+let test_place_no_padding_without_conflicts () =
+  let trg = Trg.of_edges ~num_nodes:3 [] in
+  let p = C.Params.make ~size_bytes:1024 ~assoc:1 ~line_bytes:64 in
+  let placement = Trg_place.place trg ~sizes:[| 100; 100; 100 |] ~params:p in
+  check Alcotest.int "no padding" 0 placement.Trg_place.padding_bytes;
+  check Alcotest.int "packed end" 300 placement.Trg_place.total_bytes;
+  (* Isolated nodes keep id order. *)
+  check Alcotest.bool "ordered" true
+    (placement.Trg_place.base_addr.(0) < placement.Trg_place.base_addr.(1)
+    && placement.Trg_place.base_addr.(1) < placement.Trg_place.base_addr.(2))
+
+let test_place_size_mismatch () =
+  let trg = Trg.of_edges ~num_nodes:2 [ (0, 1, 5) ] in
+  Alcotest.check_raises "sizes mismatch" (Invalid_argument "Trg_place.place: sizes length mismatch")
+    (fun () -> ignore (Trg_place.place trg ~sizes:[| 10 |] ~params))
+
+let small_workload =
+  {
+    W.Gen.default_profile with
+    pname = "ext-test";
+    seed = 55;
+    phases = 3;
+    funcs_per_phase = 5;
+    shared_funcs = 1;
+    cold_funcs = 3;
+    iters_per_phase = 40;
+  }
+
+let test_layout_for_is_well_formed () =
+  let program = W.Gen.build small_workload in
+  let analysis = Optimizer.analyze program (E.Interp.test_input ~max_blocks:40_000 ()) in
+  let l = Trg_place.layout_for program analysis in
+  check Alcotest.int "covers all blocks" (Program.num_blocks program)
+    (Array.length l.Layout.order);
+  (* Block address ranges must not overlap. *)
+  let ranges =
+    Array.to_list (Array.mapi (fun bid a -> (a, a + l.Layout.bytes.(bid))) l.Layout.addr)
+    |> List.sort compare
+  in
+  let rec disjoint = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+      if e1 > s2 then Alcotest.failf "overlap at %d > %d" e1 s2;
+      disjoint rest
+    | _ -> ()
+  in
+  disjoint ranges;
+  (* Functions stay internally contiguous. *)
+  Array.iter
+    (fun (f : Program.func) ->
+      Array.iteri
+        (fun i bid ->
+          if i > 0 then begin
+            let prev = f.blocks.(i - 1) in
+            check Alcotest.int
+              (Printf.sprintf "f%d block %d adjacent" f.fid i)
+              (l.Layout.addr.(prev) + l.Layout.bytes.(prev))
+              l.Layout.addr.(bid)
+          end)
+        f.blocks)
+    (Program.funcs program);
+  (* The layout must actually run through the cache simulator. *)
+  let tr = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks:50_000 ()) in
+  let stats = Pipeline.miss_ratio_solo ~params ~layout:l tr in
+  check Alcotest.bool "simulates" true (C.Cache_stats.accesses stats > 0)
+
+(* -------------------------------------------------------------- Optimal *)
+
+let tiny_program () =
+  (* 4 functions (incl. main): 24 permutations. *)
+  W.Gen.build
+    {
+      W.Gen.default_profile with
+      pname = "tiny-optimal";
+      seed = 8;
+      phases = 1;
+      funcs_per_phase = 2;
+      shared_funcs = 0;
+      cold_funcs = 1;
+      arms = 3;
+      arm_blocks = 2;
+      arm_work = 30;
+      iters_per_phase = 50;
+    }
+
+let test_optimal_search () =
+  let program = tiny_program () in
+  let nf = Program.num_funcs program in
+  check Alcotest.int "four functions" 4 nf;
+  let trace =
+    (E.Interp.run program (E.Interp.ref_input ~max_blocks:20_000 ())).E.Interp.bb_trace
+  in
+  let p = C.Params.make ~size_bytes:512 ~assoc:2 ~line_bytes:64 in
+  let r = Optimal.search ~params:p program trace in
+  check Alcotest.int "evaluated 4!" 24 r.Optimal.evaluated;
+  check Alcotest.bool "best <= worst" true (r.Optimal.best_miss_ratio <= r.Optimal.worst_miss_ratio);
+  (* The reported best order must reproduce the reported best ratio, and no
+     heuristic may beat the exhaustive optimum. *)
+  let replay = Optimal.miss_ratio_of_function_order ~params:p program trace r.Optimal.best_order in
+  check (Alcotest.float 1e-12) "best order replays" r.Optimal.best_miss_ratio replay;
+  let heuristic =
+    Optimal.miss_ratio_of_function_order ~params:p program trace
+      (Array.init nf Fun.id)
+  in
+  check Alcotest.bool "original not better than optimal" true
+    (heuristic >= r.Optimal.best_miss_ratio -. 1e-12)
+
+let test_optimal_cap () =
+  let program = tiny_program () in
+  let trace =
+    (E.Interp.run program (E.Interp.ref_input ~max_blocks:10_000 ())).E.Interp.bb_trace
+  in
+  let p = C.Params.make ~size_bytes:512 ~assoc:2 ~line_bytes:64 in
+  let r = Optimal.search ~max_layouts:5 ~params:p program trace in
+  check Alcotest.int "capped" 5 r.Optimal.evaluated;
+  Alcotest.check_raises "bad cap" (Invalid_argument "Optimal.search: max_layouts must be positive")
+    (fun () -> ignore (Optimal.search ~max_layouts:0 ~params:p program trace))
+
+let test_optimal_refuses_large_uncapped () =
+  let program = W.Gen.build small_workload in
+  let trace = Colayout_trace.Trace.create ~num_symbols:(Program.num_blocks program) () in
+  (match Optimal.search ~params program trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected refusal on large factorial")
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "trg_place",
+        [
+          Alcotest.test_case "separates conflicts" `Quick test_place_separates_conflicting_nodes;
+          Alcotest.test_case "no gratuitous padding" `Quick test_place_no_padding_without_conflicts;
+          Alcotest.test_case "size mismatch" `Quick test_place_size_mismatch;
+          Alcotest.test_case "well-formed layout" `Slow test_layout_for_is_well_formed;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "search" `Slow test_optimal_search;
+          Alcotest.test_case "cap" `Quick test_optimal_cap;
+          Alcotest.test_case "refuses huge" `Quick test_optimal_refuses_large_uncapped;
+        ] );
+    ]

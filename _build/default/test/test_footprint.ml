@@ -1,0 +1,138 @@
+open Colayout
+open Colayout_trace
+
+let check = Alcotest.check
+
+let curve_of xs ~num_symbols = Footprint.curve (Trace.of_list ~num_symbols xs)
+
+let test_tiny_curves () =
+  let c = curve_of [ 0; 1 ] ~num_symbols:2 in
+  check (Alcotest.float 1e-9) "fp(1) of ab" 1.0 (Footprint.fp c 1);
+  check (Alcotest.float 1e-9) "fp(2) of ab" 2.0 (Footprint.fp c 2);
+  let c2 = curve_of [ 0; 0 ] ~num_symbols:1 in
+  check (Alcotest.float 1e-9) "fp(1) of aa" 1.0 (Footprint.fp c2 1);
+  check (Alcotest.float 1e-9) "fp(2) of aa" 1.0 (Footprint.fp c2 2);
+  let c3 = curve_of [ 0; 1; 0 ] ~num_symbols:2 in
+  check (Alcotest.float 1e-9) "fp(2) of aba" 2.0 (Footprint.fp c3 2);
+  check (Alcotest.float 1e-9) "fp(1) of aba" 1.0 (Footprint.fp c3 1);
+  check Alcotest.int "distinct" 2 (Footprint.distinct c3);
+  check Alcotest.int "length" 3 (Footprint.trace_length c3)
+
+let test_fp_edges () =
+  let c = curve_of [ 0; 1; 2 ] ~num_symbols:3 in
+  check (Alcotest.float 1e-9) "fp(0)" 0.0 (Footprint.fp c 0);
+  check (Alcotest.float 1e-9) "fp beyond n clamps" 3.0 (Footprint.fp c 99)
+
+let formula_matches_naive =
+  QCheck.Test.make ~name:"closed-form footprint equals all-window enumeration" ~count:120
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_bound 8))
+    (fun xs ->
+      let t = Trace.of_list ~num_symbols:9 xs in
+      let c = Footprint.curve t in
+      let n = Trace.length t in
+      List.for_all
+        (fun w ->
+          w > n
+          || abs_float (Footprint.fp c w -. Footprint.average_naive t ~w) < 1e-9)
+        [ 1; 2; 3; 5; 8; 13; n ])
+
+(* NB: the footprint is monotone on every trace, but concave only under the
+   reuse-window hypothesis of the HOTL theory — [0;0;0;1] is a concrete
+   counterexample — so only monotonicity is universal. *)
+let fp_monotone =
+  QCheck.Test.make ~name:"footprint is monotone in the window length" ~count:100
+    QCheck.(list_of_size Gen.(int_range 3 60) (int_bound 8))
+    (fun xs ->
+      let t = Trace.of_list ~num_symbols:9 xs in
+      let c = Footprint.curve t in
+      let n = Trace.length t in
+      let ok = ref true in
+      for w = 1 to n - 1 do
+        if Footprint.fp c (w + 1) < Footprint.fp c w -. 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_inverse_deriv () =
+  let c = curve_of [ 0; 1; 2; 3; 0; 1; 2; 3 ] ~num_symbols:4 in
+  let w = Footprint.inverse c 2.5 in
+  check Alcotest.bool "inverse reaches target" true (Footprint.fp c w >= 2.5);
+  check Alcotest.bool "inverse minimal" true (w = 1 || Footprint.fp c (w - 1) < 2.5);
+  check Alcotest.int "unreachable target" 8 (Footprint.inverse c 100.0);
+  check Alcotest.bool "deriv nonneg" true (Footprint.deriv c 3 >= 0.0);
+  check (Alcotest.float 1e-9) "deriv at end" 0.0 (Footprint.deriv c 8)
+
+(* ------------------------------------------------------------ Miss_prob *)
+
+let test_solo_miss_ratio_zero_when_fits () =
+  let c = curve_of [ 0; 1; 0; 1; 0; 1 ] ~num_symbols:2 in
+  check (Alcotest.float 1e-9) "fits entirely" 0.0 (Miss_prob.solo_miss_ratio c ~capacity:10)
+
+let test_solo_miss_ratio_positive_when_thrashing () =
+  (* Cyclic sweep over 6 blocks, capacity 3: must predict misses. *)
+  let xs = List.concat (List.init 20 (fun _ -> [ 0; 1; 2; 3; 4; 5 ])) in
+  let c = curve_of xs ~num_symbols:6 in
+  check Alcotest.bool "positive" true (Miss_prob.solo_miss_ratio c ~capacity:3 > 0.0);
+  check Alcotest.bool "bounded" true (Miss_prob.solo_miss_ratio c ~capacity:3 <= 1.0)
+
+let corun_window_shrinks =
+  QCheck.Test.make
+    ~name:"Eq 1: the shared-cache window never exceeds the solo window" ~count:80
+    QCheck.(pair
+              (list_of_size Gen.(int_range 5 50) (int_bound 6))
+              (list_of_size Gen.(int_range 5 50) (int_bound 6)))
+    (fun (xs, ys) ->
+      let self = curve_of xs ~num_symbols:7 in
+      let peer = curve_of ys ~num_symbols:7 in
+      let capacity = 4 in
+      Miss_prob.split_window self peer ~capacity <= Miss_prob.solo_window self ~capacity
+      && Miss_prob.split_window self peer ~capacity <= Miss_prob.solo_window peer ~capacity)
+
+let test_exposure () =
+  let self = curve_of (List.concat (List.init 10 (fun _ -> [ 0; 1; 2; 3 ]))) ~num_symbols:4 in
+  let peer = curve_of (List.concat (List.init 10 (fun _ -> [ 0; 1; 2 ]))) ~num_symbols:4 in
+  let e = Miss_prob.exposure ~self ~peer ~capacity:5 in
+  check Alcotest.bool "defensiveness nonneg" true (e.Miss_prob.defensiveness >= -1e-9);
+  check Alcotest.bool "politeness nonneg" true (e.Miss_prob.politeness >= -1e-9);
+  check Alcotest.bool "corun = solo + defensiveness" true
+    (abs_float (e.Miss_prob.corun -. (e.Miss_prob.solo +. e.Miss_prob.defensiveness)) < 1e-12)
+
+let test_footprint_fraction () =
+  let c = curve_of [ 0; 1; 2; 0; 1; 2 ] ~num_symbols:3 in
+  check Alcotest.bool "fraction in range" true
+    (Miss_prob.footprint_fraction c ~q:0.5 <= 3.0 && Miss_prob.footprint_fraction c ~q:0.5 >= 1.0);
+  Alcotest.check_raises "bad q" (Invalid_argument "Miss_prob.footprint_fraction") (fun () ->
+      ignore (Miss_prob.footprint_fraction c ~q:0.0))
+
+let hotl_predicts_lru_order_of_magnitude =
+  (* The higher-order theory should broadly agree with a fully-associative
+     LRU simulation on cyclic workloads: both must flag thrashing. *)
+  QCheck.Test.make ~name:"HOTL prediction agrees with LRU on thrash-vs-fit" ~count:40
+    QCheck.(int_range 2 8)
+    (fun m ->
+      let xs = List.concat (List.init 30 (fun _ -> List.init m Fun.id)) in
+      let c = curve_of xs ~num_symbols:m in
+      let fits = Miss_prob.solo_miss_ratio c ~capacity:(m + 1) in
+      let thrash = Miss_prob.solo_miss_ratio c ~capacity:(max 1 (m - 1)) in
+      fits < 0.01 && (m < 3 || thrash > 0.1))
+
+let () =
+  Alcotest.run "footprint"
+    [
+      ( "curve",
+        [
+          Alcotest.test_case "tiny" `Quick test_tiny_curves;
+          Alcotest.test_case "edges" `Quick test_fp_edges;
+          QCheck_alcotest.to_alcotest formula_matches_naive;
+          QCheck_alcotest.to_alcotest fp_monotone;
+          Alcotest.test_case "inverse/deriv" `Quick test_inverse_deriv;
+        ] );
+      ( "miss_prob",
+        [
+          Alcotest.test_case "fits" `Quick test_solo_miss_ratio_zero_when_fits;
+          Alcotest.test_case "thrash" `Quick test_solo_miss_ratio_positive_when_thrashing;
+          QCheck_alcotest.to_alcotest corun_window_shrinks;
+          Alcotest.test_case "exposure" `Quick test_exposure;
+          Alcotest.test_case "footprint fraction" `Quick test_footprint_fraction;
+          QCheck_alcotest.to_alcotest hotl_predicts_lru_order_of_magnitude;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+open Colayout_ir
+
+let check = Alcotest.check
+
+(* A small two-function program used across the cases. *)
+let small_program () =
+  let b = Builder.create ~name:"small" () in
+  let f = Builder.func b "main" in
+  let g = Builder.func b "callee" in
+  let entry = Builder.block b f "entry" in
+  let loop = Builder.block b f "loop" in
+  let after = Builder.block b f "after" in
+  let done_ = Builder.block b f "done" in
+  let g_entry = Builder.block b g "g.entry" in
+  Builder.set_body b entry [ Types.Assign (0, Types.Const 0) ] (Types.Jump loop);
+  Builder.set_body b loop
+    [ Types.Assign (0, Types.Bin (Types.Add, Types.Var 0, Types.Const 1)) ]
+    (Types.Call { callee = g; return_to = after });
+  Builder.set_body b after []
+    (Types.Branch
+       { cond = Types.Bin (Types.Lt, Types.Var 0, Types.Const 5); if_true = loop; if_false = done_ });
+  Builder.set_body b done_ [] Types.Halt;
+  Builder.set_body b g_entry [ Types.Work 10 ] Types.Return;
+  Builder.finish b
+
+let test_size_model () =
+  check Alcotest.int "work bytes" 40 (Size_model.instr_bytes (Types.Work 10));
+  check Alcotest.int "work count" 10 (Size_model.instr_count (Types.Work 10));
+  check Alcotest.int "assign const" 4 (Size_model.instr_bytes (Types.Assign (0, Types.Const 1)));
+  let e = Types.Bin (Types.Add, Types.Var 0, Types.Const 1) in
+  check Alcotest.int "assign binop" 8 (Size_model.instr_bytes (Types.Assign (0, e)));
+  check Alcotest.int "expr ops" 1 (Size_model.expr_ops e);
+  check Alcotest.int "nested ops" 2 (Size_model.expr_ops (Types.Bin (Types.Mul, e, Types.Const 2)));
+  check Alcotest.int "jump" 5 (Size_model.terminator_bytes (Types.Jump 0));
+  check Alcotest.int "return" 1 (Size_model.terminator_bytes Types.Return);
+  check Alcotest.int "switch grows with table" 20
+    (Size_model.terminator_bytes (Types.Switch { sel = Types.Const 0; targets = [| 0; 1 |]; default = 0 }))
+
+let test_builder_program () =
+  let p = small_program () in
+  check Alcotest.int "funcs" 2 (Program.num_funcs p);
+  check Alcotest.int "blocks" 5 (Program.num_blocks p);
+  check Alcotest.string "main name" "main" (Program.main p).fname;
+  check Alcotest.string "find_func" "callee"
+    (match Program.find_func p "callee" with Some f -> f.fname | None -> "?");
+  check Alcotest.bool "find missing" true (Program.find_func p "nope" = None);
+  check Alcotest.int "entry is first block" (Program.main p).blocks.(0) (Program.main p).entry;
+  check Alcotest.bool "total bytes positive" true (Program.total_code_bytes p > 0);
+  check Alcotest.int "func size = sum of blocks"
+    (Array.fold_left (fun acc bid -> acc + (Program.block p bid).size_bytes) 0 (Program.main p).blocks)
+    (Program.func_size_bytes p (Program.main p).fid)
+
+let test_successors_fallthrough () =
+  let p = small_program () in
+  let entry = (Program.main p).entry in
+  check (Alcotest.list Alcotest.int) "jump succ" [ entry + 1 ] (Program.block_successors p entry);
+  let loop = entry + 1 in
+  (* Call successor is the return block, not the callee. *)
+  check (Alcotest.list Alcotest.int) "call succ" [ entry + 2 ] (Program.block_successors p loop);
+  check (Alcotest.option Alcotest.int) "call fallthrough" (Some (entry + 2))
+    (Program.fallthrough_target p loop);
+  let after = entry + 2 in
+  check (Alcotest.option Alcotest.int) "branch fallthrough is false edge" (Some (entry + 3))
+    (Program.fallthrough_target p after);
+  let done_ = entry + 3 in
+  check (Alcotest.option Alcotest.int) "halt no fallthrough" None (Program.fallthrough_target p done_);
+  check (Alcotest.list Alcotest.int) "halt no succ" [] (Program.block_successors p done_)
+
+let test_validate_rejects_cross_function_jump () =
+  let b = Builder.create ~name:"bad" () in
+  let f = Builder.func b "main" in
+  let g = Builder.func b "other" in
+  let fb = Builder.block b f "f.entry" in
+  let gb = Builder.block b g "g.entry" in
+  Builder.set_body b fb [] (Types.Jump gb);
+  Builder.set_body b gb [] Types.Halt;
+  (match Builder.finish b with
+  | exception Validate.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Invalid")
+
+let test_validate_rejects_bad_callee () =
+  let b = Builder.create ~name:"bad2" () in
+  let f = Builder.func b "main" in
+  let fb = Builder.block b f "f.entry" in
+  Builder.set_body b fb [] (Types.Call { callee = 99; return_to = fb });
+  (match Builder.finish b with
+  | exception Validate.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Invalid")
+
+let test_validate_rejects_empty_function () =
+  let b = Builder.create ~name:"bad3" () in
+  let f = Builder.func b "main" in
+  let fb = Builder.block b f "f.entry" in
+  Builder.set_body b fb [] Types.Halt;
+  let _g = Builder.func b "empty" in
+  (match Builder.finish b with
+  | exception Invalid_argument _ -> ()
+  | exception Validate.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected failure")
+
+let test_reachable_blocks () =
+  let b = Builder.create ~name:"reach" () in
+  let f = Builder.func b "main" in
+  let g = Builder.func b "called" in
+  let h = Builder.func b "never" in
+  let fe = Builder.block b f "f.entry" in
+  let fr = Builder.block b f "f.ret" in
+  let fdead = Builder.block b f "f.dead" in
+  let ge = Builder.block b g "g.entry" in
+  let he = Builder.block b h "h.entry" in
+  Builder.set_body b fe [] (Types.Call { callee = g; return_to = fr });
+  Builder.set_body b fr [] Types.Halt;
+  Builder.set_body b fdead [ Types.Work 1 ] Types.Halt;
+  Builder.set_body b ge [] Types.Return;
+  Builder.set_body b he [] Types.Return;
+  let p = Builder.finish b in
+  let r = Validate.reachable_blocks p in
+  check Alcotest.bool "entry reachable" true r.(fe);
+  check Alcotest.bool "return site reachable" true r.(fr);
+  check Alcotest.bool "callee reachable" true r.(ge);
+  check Alcotest.bool "dead block unreachable" false r.(fdead);
+  check Alcotest.bool "uncalled function unreachable" false r.(he)
+
+let test_pp_smoke () =
+  let p = small_program () in
+  let s = Format.asprintf "%a" Program.pp p in
+  check Alcotest.bool "pp mentions program name" true
+    (String.length s > 0 && String.exists (fun _ -> true) s)
+
+let test_builder_bad_args () =
+  let b = Builder.create ~name:"x" () in
+  Alcotest.check_raises "block of bad func" (Invalid_argument "Builder.block: bad func id")
+    (fun () -> ignore (Builder.block b 3 "nope"));
+  Alcotest.check_raises "set_body bad block" (Invalid_argument "Builder.set_body: bad block id")
+    (fun () -> Builder.set_body b 0 [] Types.Halt);
+  Alcotest.check_raises "set_main bad" (Invalid_argument "Builder.set_main: bad func id")
+    (fun () -> Builder.set_main b 1)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "size_model",
+        [ Alcotest.test_case "sizes" `Quick test_size_model ] );
+      ( "builder",
+        [
+          Alcotest.test_case "build program" `Quick test_builder_program;
+          Alcotest.test_case "bad args" `Quick test_builder_bad_args;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "successors/fallthrough" `Quick test_successors_fallthrough;
+          Alcotest.test_case "reachability" `Quick test_reachable_blocks;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "cross-function jump" `Quick test_validate_rejects_cross_function_jump;
+          Alcotest.test_case "bad callee" `Quick test_validate_rejects_bad_callee;
+          Alcotest.test_case "empty function" `Quick test_validate_rejects_empty_function;
+        ] );
+      ("pp", [ Alcotest.test_case "smoke" `Quick test_pp_smoke ]);
+    ]

@@ -1,0 +1,174 @@
+open Colayout
+open Colayout_ir
+
+let check = Alcotest.check
+
+(* Three functions, several blocks, with branches and calls, so that every
+   fall-through rule is exercised. *)
+let program () =
+  let b = Builder.create ~name:"layout-test" () in
+  let f = Builder.func b "main" in
+  let g = Builder.func b "g" in
+  let h = Builder.func b "h" in
+  let fe = Builder.block b f "f.entry" in
+  let fb = Builder.block b f "f.body" in
+  let fx = Builder.block b f "f.exit" in
+  let ge = Builder.block b g "g.entry" in
+  let gt = Builder.block b g "g.then" in
+  let gx = Builder.block b g "g.exit" in
+  let he = Builder.block b h "h.entry" in
+  Builder.set_body b fe [ Types.Work 4 ] (Types.Call { callee = g; return_to = fb });
+  Builder.set_body b fb [ Types.Work 4 ] (Types.Call { callee = h; return_to = fx });
+  Builder.set_body b fx [] Types.Halt;
+  (* The false edge is the fall-through: keep it adjacent (g.then) so the
+     declaration order needs no fixup jumps. *)
+  Builder.set_body b ge [ Types.Work 4 ]
+    (Types.Branch { cond = Types.Rand 2; if_true = gx; if_false = gt });
+  Builder.set_body b gt [ Types.Work 8 ] (Types.Jump gx);
+  Builder.set_body b gx [] Types.Return;
+  Builder.set_body b he [ Types.Work 2 ] Types.Return;
+  Builder.finish b
+
+let test_original_layout () =
+  let p = program () in
+  let l = Layout.original p in
+  check Alcotest.int "order covers all blocks" (Program.num_blocks p) (Array.length l.Layout.order);
+  (* Addresses in layout order are contiguous and non-overlapping. *)
+  let cursor = ref 0 in
+  Array.iter
+    (fun bid ->
+      check Alcotest.int "contiguous" !cursor l.Layout.addr.(bid);
+      cursor := !cursor + l.Layout.bytes.(bid))
+    l.Layout.order;
+  check Alcotest.int "total bytes" !cursor l.Layout.total_bytes;
+  (* Declaration order keeps every natural fall-through except the last
+     block's (no successor) and g.then's Jump target which IS adjacent. *)
+  check Alcotest.int "original needs no extra jumps" 0 l.Layout.added_jumps
+
+let test_block_reorder_adds_jumps () =
+  let p = program () in
+  let n = Program.num_blocks p in
+  (* Reverse order: breaks every fall-through. *)
+  let order = Array.init n (fun i -> n - 1 - i) in
+  let l = Layout.of_block_order p order in
+  check Alcotest.bool "jumps added" true (l.Layout.added_jumps > 0);
+  let original = Layout.original p in
+  check Alcotest.bool "reversed layout is bigger" true
+    (l.Layout.total_bytes > original.Layout.total_bytes);
+  (* Jump bytes are charged to blocks, not instructions. *)
+  Array.iteri
+    (fun bid c ->
+      check Alcotest.int "instr count unchanged" (Program.block p bid).instr_count c)
+    l.Layout.instr_counts
+
+let test_function_stubs () =
+  let p = program () in
+  let n = Program.num_blocks p in
+  let order = Array.init n Fun.id in
+  let without = Layout.of_block_order ~function_stubs:false p order in
+  let with_stubs = Layout.of_block_order ~function_stubs:true p order in
+  check Alcotest.int "one stub per function"
+    (without.Layout.added_jumps + Program.num_funcs p)
+    with_stubs.Layout.added_jumps
+
+let test_permutation_validation () =
+  let p = program () in
+  Alcotest.check_raises "short order" (Invalid_argument "Layout: block order has 2 entries, expected 7")
+    (fun () -> ignore (Layout.of_block_order p [| 0; 1 |]));
+  let dup = Array.make (Program.num_blocks p) 0 in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Layout: duplicate block id 0") (fun () ->
+      ignore (Layout.of_block_order p dup));
+  Alcotest.check_raises "bad func order" (Invalid_argument "Layout: function order has 1 entries, expected 3")
+    (fun () -> ignore (Layout.of_function_order p [| 0 |]))
+
+let test_function_order () =
+  let p = program () in
+  let l = Layout.of_function_order p [| 2; 0; 1 |] in
+  (* h's entry (block 6) must be first. *)
+  check Alcotest.int "h first" 6 l.Layout.order.(0);
+  check Alcotest.int "main next" 0 l.Layout.order.(1)
+
+let test_hot_list_completion () =
+  let p = program () in
+  let order = Layout.block_order_of_hot_list p ~hot:[ 5; 3 ] in
+  check Alcotest.int "hot first" 5 order.(0);
+  check Alcotest.int "hot second" 3 order.(1);
+  let sorted = Array.copy order in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 7 Fun.id) sorted;
+  Alcotest.check_raises "duplicate hot" (Invalid_argument "Layout: duplicate hot block id 3")
+    (fun () -> ignore (Layout.block_order_of_hot_list p ~hot:[ 3; 3 ]));
+  let forder = Layout.function_order_of_hot_list p ~hot:[ 1 ] in
+  check (Alcotest.array Alcotest.int) "func completion" [| 1; 0; 2 |] forder
+
+let test_line_trace () =
+  let p = program () in
+  let l = Layout.original p in
+  let params = Colayout_cache.Params.default_l1i in
+  let bb = Colayout_trace.Trace.of_list ~num_symbols:(Program.num_blocks p) [ 0; 1; 2 ] in
+  let lines = Layout.line_trace ~params ~layout:l bb in
+  check Alcotest.bool "nonempty" true (Colayout_trace.Trace.length lines >= 3);
+  (* Every line must be within the laid-out region. *)
+  let max_line = Colayout_cache.Params.line_of_addr params (l.Layout.total_bytes - 1) in
+  Colayout_trace.Trace.iter
+    (fun line -> if line < 0 || line > max_line then Alcotest.failf "line %d out of range" line)
+    lines
+
+let test_to_icache_to_smt () =
+  let p = program () in
+  let l = Layout.original p in
+  let ic = Layout.to_icache l in
+  check (Alcotest.array Alcotest.int) "addr shared" l.Layout.addr ic.Colayout_cache.Icache.addr;
+  let code = Layout.to_smt_code l in
+  check (Alcotest.array Alcotest.int) "instr counts shared" l.Layout.instr_counts
+    code.Colayout_exec.Smt.instr_counts
+
+let layouts_preserve_trace_semantics =
+  (* Reordering blocks must not change program semantics: the interpreter
+     never consults the layout, and the layout must accept any permutation,
+     assigning every block a unique, in-bounds address range. *)
+  QCheck.Test.make ~name:"any permutation yields a valid non-overlapping layout" ~count:100
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let p = program () in
+      let n = Program.num_blocks p in
+      let order = Array.init n Fun.id in
+      let rng = Colayout_util.Prng.create ~seed in
+      Colayout_util.Prng.shuffle rng order;
+      let l = Layout.of_block_order p order in
+      (* Ranges must tile [0, total). *)
+      let covered = Array.make l.Layout.total_bytes false in
+      Array.iter
+        (fun bid ->
+          for a = l.Layout.addr.(bid) to l.Layout.addr.(bid) + l.Layout.bytes.(bid) - 1 do
+            if covered.(a) then failwith "overlap";
+            covered.(a) <- true
+          done)
+        order;
+      Array.for_all Fun.id covered)
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "address assignment",
+        [
+          Alcotest.test_case "original" `Quick test_original_layout;
+          Alcotest.test_case "reorder adds jumps" `Quick test_block_reorder_adds_jumps;
+          Alcotest.test_case "function stubs" `Quick test_function_stubs;
+          QCheck_alcotest.to_alcotest layouts_preserve_trace_semantics;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "permutations" `Quick test_permutation_validation;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "function order" `Quick test_function_order;
+          Alcotest.test_case "hot list completion" `Quick test_hot_list_completion;
+        ] );
+      ( "bridges",
+        [
+          Alcotest.test_case "line trace" `Quick test_line_trace;
+          Alcotest.test_case "icache/smt" `Quick test_to_icache_to_smt;
+        ] );
+    ]

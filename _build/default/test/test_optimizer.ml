@@ -1,0 +1,164 @@
+open Colayout
+module W = Colayout_workloads
+module E = Colayout_exec
+
+let check = Alcotest.check
+
+let test_kind_names () =
+  List.iter
+    (fun k ->
+      match Optimizer.kind_of_name (Optimizer.kind_name k) with
+      | Some k' when k' = k -> ()
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Optimizer.kind_name k))
+    Optimizer.all_kinds;
+  check Alcotest.bool "unknown" true (Optimizer.kind_of_name "nope" = None);
+  check Alcotest.int "five kinds" 5 (List.length Optimizer.all_kinds)
+
+let small_profile =
+  {
+    W.Gen.default_profile with
+    pname = "opt-test";
+    seed = 77;
+    phases = 3;
+    funcs_per_phase = 4;
+    shared_funcs = 1;
+    cold_funcs = 4;
+    iters_per_phase = 20;
+  }
+
+let analysis_of p =
+  Optimizer.analyze p (E.Interp.test_input ~max_blocks:40_000 ())
+
+let test_analysis_contents () =
+  let p = W.Gen.build small_profile in
+  let a = analysis_of p in
+  check Alcotest.bool "bb trimmed" true (Colayout_trace.Trim.is_trimmed a.Optimizer.bb);
+  check Alcotest.bool "fn trimmed" true (Colayout_trace.Trim.is_trimmed a.Optimizer.fn);
+  check Alcotest.bool "bb nonempty" true (Colayout_trace.Trace.length a.Optimizer.bb > 0);
+  check Alcotest.bool "coverage high" true (a.Optimizer.prune.Colayout_trace.Prune.coverage > 0.9)
+
+let test_all_layouts_are_permutations () =
+  let p = W.Gen.build small_profile in
+  let a = analysis_of p in
+  let n = Colayout_ir.Program.num_blocks p in
+  List.iter
+    (fun kind ->
+      let l = Optimizer.layout_for kind p a in
+      let sorted = Array.copy l.Layout.order in
+      Array.sort compare sorted;
+      check (Alcotest.array Alcotest.int)
+        (Optimizer.kind_name kind ^ " permutation")
+        (Array.init n Fun.id) sorted)
+    Optimizer.all_kinds
+
+let test_function_granularity_keeps_functions_contiguous () =
+  let p = W.Gen.build small_profile in
+  let a = analysis_of p in
+  List.iter
+    (fun kind ->
+      let l = Optimizer.layout_for kind p a in
+      (* Walk the order; blocks of one function must be consecutive. *)
+      let seen_done = Hashtbl.create 16 in
+      let current = ref (-1) in
+      Array.iter
+        (fun bid ->
+          let fn = (Colayout_ir.Program.block p bid).Colayout_ir.Program.fn in
+          if fn <> !current then begin
+            if Hashtbl.mem seen_done fn then
+              Alcotest.failf "%s: function f%d split" (Optimizer.kind_name kind) fn;
+            Hashtbl.replace seen_done fn ();
+            current := fn
+          end)
+        l.Layout.order)
+    [ Optimizer.Original; Optimizer.Func_affinity; Optimizer.Func_trg ]
+
+let test_bb_granularity_moves_blocks_across_functions () =
+  let p = W.Gen.build small_profile in
+  let a = analysis_of p in
+  let l = Optimizer.layout_for Optimizer.Bb_affinity p a in
+  (* At least one function's blocks must be split apart (that is the point
+     of inter-procedural reordering). *)
+  let split = ref false in
+  let last_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun pos bid ->
+      let fn = (Colayout_ir.Program.block p bid).Colayout_ir.Program.fn in
+      (match Hashtbl.find_opt last_pos fn with
+      | Some prev when pos > prev + 1 -> split := true
+      | _ -> ());
+      Hashtbl.replace last_pos fn pos)
+    l.Layout.order;
+  check Alcotest.bool "some function split" true !split
+
+let test_deterministic_layouts () =
+  let p = W.Gen.build small_profile in
+  let a = analysis_of p in
+  List.iter
+    (fun kind ->
+      let l1 = Optimizer.layout_for kind p a in
+      let l2 = Optimizer.layout_for kind p a in
+      check (Alcotest.array Alcotest.int)
+        (Optimizer.kind_name kind ^ " deterministic")
+        l1.Layout.order l2.Layout.order)
+    Optimizer.all_kinds
+
+let test_optimizers_reduce_misses () =
+  (* End-to-end: on an affinity-structured workload, both affinity
+     optimizers must beat the shuffled original layout. *)
+  (* Long phases so within-phase conflict misses (which layout fixes)
+     dominate over phase-transition capacity misses (which it cannot). *)
+  let p =
+    W.Gen.build
+      { small_profile with funcs_per_phase = 8; phases = 5; iters_per_phase = 150; seed = 79 }
+  in
+  let a = Optimizer.analyze p (E.Interp.test_input ~max_blocks:100_000 ()) in
+  let tr = Pipeline.reference_trace p (E.Interp.ref_input ~max_blocks:200_000 ()) in
+  let params = Colayout_cache.Params.default_l1i in
+  let miss kind =
+    let layout = Optimizer.layout_for kind p a in
+    Colayout_cache.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout tr)
+  in
+  let original = miss Optimizer.Original in
+  check Alcotest.bool "baseline misses exist" true (original > 0.001);
+  check Alcotest.bool "func affinity improves" true (miss Optimizer.Func_affinity < original);
+  check Alcotest.bool "bb affinity improves" true (miss Optimizer.Bb_affinity < original)
+
+let test_config_ws_respected () =
+  let p = W.Gen.build small_profile in
+  let config = { Optimizer.default_config with ws = [ 2; 4 ] } in
+  let a = Optimizer.analyze ~config p (E.Interp.test_input ~max_blocks:40_000 ()) in
+  let l = Optimizer.layout_for ~config Optimizer.Bb_affinity p a in
+  check Alcotest.int "still a full layout" (Colayout_ir.Program.num_blocks p)
+    (Array.length l.Layout.order)
+
+let test_analysis_of_traces () =
+  let bb = Colayout_trace.Trace.of_list ~num_symbols:4 [ 0; 0; 1; 2; 1; 1; 3 ] in
+  let fn = Colayout_trace.Trace.of_list ~num_symbols:2 [ 0; 0; 1 ] in
+  let a = Optimizer.analysis_of_traces ~bb ~fn () in
+  check (Alcotest.list Alcotest.int) "bb trimmed+pruned" [ 0; 1; 2; 1; 3 ]
+    (Colayout_trace.Trace.to_list a.Optimizer.bb);
+  check (Alcotest.list Alcotest.int) "fn trimmed" [ 0; 1 ]
+    (Colayout_trace.Trace.to_list a.Optimizer.fn)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ("kinds", [ Alcotest.test_case "names" `Quick test_kind_names ]);
+      ( "analysis",
+        [
+          Alcotest.test_case "contents" `Quick test_analysis_contents;
+          Alcotest.test_case "of traces" `Quick test_analysis_of_traces;
+        ] );
+      ( "layouts",
+        [
+          Alcotest.test_case "permutations" `Quick test_all_layouts_are_permutations;
+          Alcotest.test_case "function contiguity" `Quick test_function_granularity_keeps_functions_contiguous;
+          Alcotest.test_case "bb splits functions" `Quick test_bb_granularity_moves_blocks_across_functions;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_layouts;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "misses reduced" `Slow test_optimizers_reduce_misses;
+          Alcotest.test_case "config ws" `Quick test_config_ws_respected;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+open Colayout_ir
+module W = Colayout_workloads
+module E = Colayout_exec
+
+let check = Alcotest.check
+
+let test_default_profile_builds () =
+  let p = W.Gen.build W.Gen.default_profile in
+  check Alcotest.bool "funcs" true (Program.num_funcs p > 0);
+  check Alcotest.bool "blocks" true (Program.num_blocks p > 0)
+
+let test_build_is_deterministic () =
+  let p1 = W.Gen.build W.Gen.default_profile in
+  let p2 = W.Gen.build W.Gen.default_profile in
+  check Alcotest.int "same blocks" (Program.num_blocks p1) (Program.num_blocks p2);
+  let fingerprint p =
+    Array.map (fun (b : Program.block) -> (b.name, b.size_bytes, b.fn)) (Program.blocks p)
+  in
+  check Alcotest.bool "identical structure" true (fingerprint p1 = fingerprint p2);
+  (* Same program but different seed differs in declaration order. *)
+  let p3 = W.Gen.build { W.Gen.default_profile with seed = 999 } in
+  check Alcotest.bool "seed changes layout" false (fingerprint p1 = fingerprint p3)
+
+let test_profile_validation () =
+  Alcotest.check_raises "zero phases" (Invalid_argument "Gen: phases must be positive")
+    (fun () -> ignore (W.Gen.build { W.Gen.default_profile with phases = 0 }));
+  Alcotest.check_raises "bad frac" (Invalid_argument "Gen: uncorrelated_frac must be in [0,1]")
+    (fun () -> ignore (W.Gen.build { W.Gen.default_profile with uncorrelated_frac = 1.5 }));
+  Alcotest.check_raises "bad dispatch"
+    (Invalid_argument "Gen: dispatch table must be positive")
+    (fun () ->
+      ignore
+        (W.Gen.build
+           { W.Gen.default_profile with style = W.Gen.Dispatch { table = 0; zipf_s = 1.0 } }))
+
+let test_phased_program_runs_to_fuel () =
+  let p = W.Gen.build { W.Gen.default_profile with pname = "run-test"; seed = 5 } in
+  let r = E.Interp.run p { seed = 1; params = [||]; max_blocks = 50_000 } in
+  check Alcotest.int "uses all fuel" 50_000 r.E.Interp.block_execs;
+  (* Function trace must show many distinct functions (phases call their
+     members). *)
+  check Alcotest.bool "many functions executed" true
+    (Colayout_trace.Trace.distinct_count r.E.Interp.fn_trace > 10)
+
+let test_dispatch_program_runs () =
+  let p =
+    W.Gen.build
+      {
+        W.Gen.default_profile with
+        pname = "dispatch-test";
+        seed = 6;
+        style = W.Gen.Dispatch { table = 32; zipf_s = 1.0 };
+      }
+  in
+  let r = E.Interp.run p { seed = 1; params = [||]; max_blocks = 50_000 } in
+  check Alcotest.int "uses fuel" 50_000 r.E.Interp.block_execs;
+  check Alcotest.bool "dispatch reaches many funcs" true
+    (Colayout_trace.Trace.distinct_count r.E.Interp.fn_trace > 5)
+
+let test_cold_code_never_executes () =
+  let prof = { W.Gen.default_profile with pname = "cold-test"; seed = 7 } in
+  let p = W.Gen.build prof in
+  let r = E.Interp.run p { seed = 2; params = [||]; max_blocks = 200_000 } in
+  let occ = Colayout_trace.Trace.occurrences r.E.Interp.bb_trace in
+  Array.iter
+    (fun (b : Program.block) ->
+      let is_cold_block =
+        (* cold arm blocks and cold functions carry ".cold" / "cold_" names *)
+        let has_sub sub s =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub ".cold" b.name || has_sub "cold_" b.name
+      in
+      if is_cold_block && occ.(b.id) > 0 then
+        Alcotest.failf "cold block %s executed %d times" b.name occ.(b.id))
+    (Program.blocks p)
+
+let test_hot_code_bytes_positive () =
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " hot bytes") true (W.Gen.hot_code_bytes (W.Spec.profile name) > 0))
+    W.Spec.names
+
+let test_spec_universe () =
+  check Alcotest.int "29 programs" 29 (List.length W.Spec.names);
+  check Alcotest.int "8 deep" 8 (List.length W.Spec.deep_eight);
+  check Alcotest.int "2 probes" 2 (List.length W.Spec.probes);
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " in names") true (List.mem n W.Spec.names))
+    (W.Spec.deep_eight @ W.Spec.probes);
+  (match W.Spec.profile "429.mcf" with
+  | p -> check Alcotest.string "profile name matches" "429.mcf" p.W.Gen.pname);
+  Alcotest.check_raises "unknown program" Not_found (fun () -> ignore (W.Spec.profile "999.nope"))
+
+let test_all_29_build_and_validate () =
+  List.iter
+    (fun name ->
+      let p = W.Spec.build name in
+      (* Spec.build memoizes; a second call must return the same program. *)
+      check Alcotest.bool (name ^ " memoized") true (p == W.Spec.build name);
+      Validate.check p;
+      check Alcotest.bool (name ^ " has code") true (Program.total_code_bytes p > 1000))
+    W.Spec.names
+
+let test_short_name () =
+  check Alcotest.string "short" "perlbench" (W.Spec.short_name "400.perlbench");
+  check Alcotest.string "no dot" "abc" (W.Spec.short_name "abc")
+
+let test_fetch_rates_sane () =
+  List.iter
+    (fun name ->
+      let r = (W.Spec.profile name).W.Gen.fetch_rate in
+      if r <= 0.0 || r > 1.0 then Alcotest.failf "%s fetch rate %f out of (0,1]" name r)
+    W.Spec.names
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "default builds" `Quick test_default_profile_builds;
+          Alcotest.test_case "deterministic" `Quick test_build_is_deterministic;
+          Alcotest.test_case "validation" `Quick test_profile_validation;
+          Alcotest.test_case "phased runs" `Quick test_phased_program_runs_to_fuel;
+          Alcotest.test_case "dispatch runs" `Quick test_dispatch_program_runs;
+          Alcotest.test_case "cold code stays cold" `Quick test_cold_code_never_executes;
+          Alcotest.test_case "hot bytes" `Quick test_hot_code_bytes_positive;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "universe" `Quick test_spec_universe;
+          Alcotest.test_case "all 29 build" `Slow test_all_29_build_and_validate;
+          Alcotest.test_case "short names" `Quick test_short_name;
+          Alcotest.test_case "fetch rates" `Quick test_fetch_rates_sane;
+        ] );
+    ]
