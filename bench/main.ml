@@ -1,13 +1,22 @@
 (* Benchmark harness.
 
-   Part 1 — Bechamel micro-benchmarks: one group per paper artifact, timing
-   the analysis/simulation kernel that regenerates it, plus the §II-F data
+   Part 0 — kernel micro-benchmarks with a machine-readable trajectory:
+   the packed-int/CSR analysis kernels (Trg.build, Affinity.affine_pairs,
+   Trg_reduce.reduce) are timed against the seed tuple-Hashtbl baselines
+   (Kernel_baseline) on the same trace, the TRG memory footprints are
+   compared, and the results are written to BENCH_kernels.json. Part 1 —
+   Bechamel micro-benchmarks: one group per paper artifact, timing the
+   analysis/simulation kernel that regenerates it, plus the §II-F data
    structures. Part 2 — printed ablation studies for the design choices
    DESIGN.md calls out (affinity w-range, trace pruning, TRG window scale).
    Part 3 — the full experiment suite: every table and figure of the paper,
    regenerated at full scale (this is the output EXPERIMENTS.md quotes).
 
-   Run with: dune exec bench/main.exe *)
+   Run with:
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- --kernels-only    # part 0 at full size
+     dune exec bench/main.exe -- --quick           # part 0, small (CI smoke)
+   The JSON path defaults to BENCH_kernels.json; override with --json. *)
 
 open Bechamel
 open Colayout
@@ -16,37 +25,150 @@ module E = Colayout_exec
 module C = Colayout_cache
 module U = Colayout_util
 module H = Colayout_harness
+module T = Colayout_trace
 
 let params = C.Params.default_l1i
 
-(* Shared inputs, prepared once: a mid-size workload and its traces. *)
-let program = W.Spec.build "445.gobmk"
+(* Shared inputs for parts 1-3, prepared once — lazily, so the kernel-only
+   modes never pay for the workload build and interpreter runs. *)
+let shared =
+  lazy
+    (let program = W.Spec.build "445.gobmk" in
+     let test_run = E.Interp.run program (E.Interp.test_input ~max_blocks:30_000 ()) in
+     let analysis =
+       Optimizer.analysis_of_traces ~bb:test_run.E.Interp.bb_trace
+         ~fn:test_run.E.Interp.fn_trace ()
+     in
+     let ref_trace = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks:60_000 ()) in
+     let original = Layout.original program in
+     let optimized = Optimizer.layout_for Optimizer.Bb_affinity program analysis in
+     (program, test_run, analysis, ref_trace, original, optimized))
 
-let test_run = E.Interp.run program (E.Interp.test_input ~max_blocks:30_000 ())
+(* ------------------------------------------------------------- Part 0 *)
 
-let test_trace_full = test_run.E.Interp.bb_trace
+(* A skewed-popularity trace with enough deep reuse to stress the w ≈ 512
+   window (32 KB / 64 B line): zipf-ranked symbols, seeded PRNG, trimmed. *)
+let kernel_trace ~num_symbols ~len ~seed =
+  let prng = U.Prng.create ~seed in
+  let t = T.Trace.create ~name:"bench-kernels" ~num_symbols () in
+  for _ = 1 to len do
+    T.Trace.push t (U.Prng.zipf prng ~n:num_symbols ~s:0.9)
+  done;
+  T.Trim.trim t
 
-let fn_trace = test_run.E.Interp.fn_trace
+(* Wall-time a thunk: warm once, then double the iteration count until the
+   measured batch exceeds [budget] seconds. The kernels are deterministic
+   and long-running (1e5..1e9 ns), so this is stable without OLS. *)
+let time_ns ~budget f =
+  f ();
+  let rec go iters =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt >= budget then dt *. 1e9 /. float_of_int iters else go (iters * 2)
+  in
+  go 1
 
-let analysis = Optimizer.analysis_of_traces ~bb:test_trace_full ~fn:fn_trace ()
+let json_escape s =
+  String.concat "" (List.map (fun c -> if c = '"' || c = '\\' then "\\" ^ String.make 1 c else String.make 1 c)
+       (List.init (String.length s) (String.get s)))
 
-let bb_trace = analysis.Optimizer.bb
+let write_kernels_json ~path ~mode ~num_symbols ~trace_len ~w ~slots ~kernels ~speedups
+    ~packed_words ~legacy_words =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"colayout/bench-kernels/v1\",\n";
+  out "  \"mode\": \"%s\",\n" (json_escape mode);
+  out "  \"params\": { \"num_symbols\": %d, \"trace_len\": %d, \"w\": %d, \"window\": %d, \"slots\": %d },\n"
+    num_symbols trace_len w w slots;
+  out "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"name\": \"%s\", \"ns_per_op\": %.1f }%s\n" (json_escape name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  out "  ],\n";
+  out "  \"speedup\": {\n";
+  List.iteri
+    (fun i (name, s) ->
+      out "    \"%s\": %.3f%s\n" (json_escape name) s
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  out "  },\n";
+  out "  \"memory_words\": { \"trg_packed_csr\": %d, \"trg_tuple_hashtbl\": %d, \"ratio\": %.3f }\n"
+    packed_words legacy_words
+    (float_of_int packed_words /. float_of_int legacy_words);
+  out "}\n";
+  close_out oc
 
-let fn_trimmed = analysis.Optimizer.fn
-
-let ref_trace = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks:60_000 ())
-
-let original = Layout.original program
-
-let optimized = Optimizer.layout_for Optimizer.Bb_affinity program analysis
-
-let smt_cfg = E.Smt.default_config ()
-
-let tiny_trace = Colayout_trace.Trace.of_list ~num_symbols:5 [ 0; 3; 1; 3; 1; 2; 4; 0; 3 ]
+let run_kernels ~quick ~json_path =
+  let num_symbols = if quick then 1024 else 4096 in
+  let len = if quick then 12_000 else 120_000 in
+  let w = 512 in
+  let slots = 256 in
+  let budget = if quick then 0.1 else 1.0 in
+  let trace = kernel_trace ~num_symbols ~len ~seed:0xC0DE in
+  Printf.printf
+    "== Kernel micro-benchmarks: packed-int/CSR vs seed tuple-Hashtbl ==\n\
+    \   (%d events over %d symbols, w = window = %d, slots = %d)\n%!"
+    (T.Trace.length trace) num_symbols w slots;
+  let bench name f =
+    let ns = time_ns ~budget f in
+    Printf.printf "  %-40s %12.1f us/run\n%!" name (ns /. 1e3);
+    (name, ns)
+  in
+  let trg_packed = bench "trg-build/packed-csr" (fun () -> ignore (Trg.build ~window:w trace)) in
+  let trg_legacy =
+    bench "trg-build/tuple-hashtbl-baseline" (fun () ->
+        ignore (Kernel_baseline.trg_build ~window:w trace))
+  in
+  let aff_packed = bench "affine-pairs/packed" (fun () -> ignore (Affinity.affine_pairs trace ~w)) in
+  let aff_legacy =
+    bench "affine-pairs/tuple-hashtbl-baseline" (fun () ->
+        ignore (Kernel_baseline.affine_pairs trace ~w))
+  in
+  let trg = Trg.build ~window:w trace in
+  let reduce = bench "trg-reduce/csr-heap" (fun () -> ignore (Trg_reduce.reduce trg ~slots)) in
+  let kernels = [ trg_packed; trg_legacy; aff_packed; aff_legacy; reduce ] in
+  let speedups =
+    [
+      ("trg-build", snd trg_legacy /. snd trg_packed);
+      ("affine-pairs", snd aff_legacy /. snd aff_packed);
+    ]
+  in
+  List.iter (fun (n, s) -> Printf.printf "  speedup %-32s %12.2fx\n%!" n s) speedups;
+  (* Memory-footprint ablation: the CSR stores each undirected edge once;
+     the seed adjacency stores it twice, in boxed hash-table cells. *)
+  let legacy = Kernel_baseline.trg_build ~window:w trace in
+  let packed_words = Obj.reachable_words (Obj.repr trg) in
+  let legacy_words = Obj.reachable_words (Obj.repr legacy) in
+  Printf.printf "  TRG resident memory: packed CSR %d words, tuple-hashtbl %d words (%.1f%%)\n%!"
+    packed_words legacy_words
+    (100.0 *. float_of_int packed_words /. float_of_int legacy_words);
+  if 2 * packed_words > legacy_words then begin
+    Printf.eprintf
+      "FATAL: CSR finalization no longer halves TRG resident memory (%d vs %d words)\n%!"
+      packed_words legacy_words;
+    exit 1
+  end;
+  write_kernels_json ~path:json_path
+    ~mode:(if quick then "quick" else "full")
+    ~num_symbols ~trace_len:(T.Trace.length trace) ~w ~slots ~kernels ~speedups ~packed_words
+    ~legacy_words;
+  Printf.printf "  wrote %s\n\n%!" json_path
 
 (* ------------------------------------------------------------- Part 1 *)
 
-let tests =
+let tests () =
+  let _program, test_run, analysis, ref_trace, original, optimized = Lazy.force shared in
+  let bb_trace = analysis.Optimizer.bb in
+  let fn_trimmed = analysis.Optimizer.fn in
+  let smt_cfg = E.Smt.default_config () in
+  let tiny_trace = T.Trace.of_list ~num_symbols:5 [ 0; 3; 1; 3; 1; 2; 4; 0; 3 ] in
+  ignore test_run;
   [
     (* Figure 1 / Figures 5-6 core: the w-window affinity analyses. *)
     Test.make ~name:"fig1/affinity-hierarchy (paper w-range)"
@@ -76,14 +198,13 @@ let tests =
     Test.make ~name:"fig5/smt-solo"
       (Staged.stage (fun () ->
            ignore
-             (E.Smt.solo smt_cfg (Layout.to_smt_code original)
-                (Colayout_trace.Trace.events ref_trace))));
+             (E.Smt.solo smt_cfg (Layout.to_smt_code original) (T.Trace.events ref_trace))));
     Test.make ~name:"fig6-7/smt-corun"
       (Staged.stage (fun () ->
            ignore
              (E.Smt.corun smt_cfg ~mode:E.Smt.Finish_both
-                (Layout.to_smt_code original, Colayout_trace.Trace.events ref_trace)
-                (Layout.to_smt_code optimized, Colayout_trace.Trace.events ref_trace))));
+                (Layout.to_smt_code original, T.Trace.events ref_trace)
+                (Layout.to_smt_code optimized, T.Trace.events ref_trace))));
     (* Eq 1/2: the footprint-theory model. *)
     Test.make ~name:"eq1/footprint-curve (line trace)"
       (Staged.stage (fun () ->
@@ -92,15 +213,14 @@ let tests =
        red-black tree. *)
     Test.make ~name:"stack/lru-list walk"
       (Staged.stage (fun () ->
-           let s = Colayout_trace.Lru_stack.create () in
-           Colayout_trace.Trace.iter
-             (fun x -> ignore (Colayout_trace.Lru_stack.access s x))
-             bb_trace));
+           let s = T.Lru_stack.create () in
+           T.Trace.iter (fun x -> ignore (T.Lru_stack.access s x)) bb_trace));
     Test.make ~name:"stack/rb-tree distances"
-      (Staged.stage (fun () -> ignore (Colayout_trace.Stack_dist.run bb_trace)));
+      (Staged.stage (fun () -> ignore (T.Stack_dist.run bb_trace)));
     (* The transformation itself. *)
     Test.make ~name:"transform/bb-layout assignment"
-      (let order = Optimizer.block_order_for Optimizer.Bb_affinity program analysis in
+      (let program, _, analysis, _, _, _ = Lazy.force shared in
+       let order = Optimizer.block_order_for Optimizer.Bb_affinity program analysis in
        Staged.stage (fun () ->
            ignore (Layout.of_block_order ~function_stubs:true program order)));
   ]
@@ -123,17 +243,22 @@ let run_benchmarks () =
             else Printf.printf "  %-48s %10.2f ns/run\n%!" name ns
           | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
         analyzed)
-    tests;
+    (tests ());
   print_newline ()
 
 (* ------------------------------------------------------------- Part 2 *)
 
 let miss_with_config config kind =
-  let a = Optimizer.analysis_of_traces ~config ~bb:test_trace_full ~fn:fn_trace () in
+  let program, test_run, _, ref_trace, _, _ = Lazy.force shared in
+  let a =
+    Optimizer.analysis_of_traces ~config ~bb:test_run.E.Interp.bb_trace
+      ~fn:test_run.E.Interp.fn_trace ()
+  in
   let layout = Optimizer.layout_for ~config kind program a in
   C.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout ref_trace)
 
 let ablations () =
+  let program, test_run, analysis, ref_trace, original, _ = Lazy.force shared in
   let base_config = Optimizer.default_config in
   let t =
     U.Table.create ~title:"Ablation: affinity window range (bb-affinity on 445.gobmk)"
@@ -162,13 +287,16 @@ let ablations () =
   List.iter
     (fun top ->
       let config = { base_config with Optimizer.prune_top = top } in
-      let a = Optimizer.analysis_of_traces ~config ~bb:test_trace_full ~fn:fn_trace () in
+      let a =
+        Optimizer.analysis_of_traces ~config ~bb:test_run.E.Interp.bb_trace
+          ~fn:test_run.E.Interp.fn_trace ()
+      in
       let layout = Optimizer.layout_for ~config Optimizer.Bb_affinity program a in
       let mr = C.Cache_stats.miss_ratio (Pipeline.miss_ratio_solo ~params ~layout ref_trace) in
       U.Table.add_row t2
         [
           string_of_int top;
-          U.Table.fmt_pct (100.0 *. a.Optimizer.prune.Colayout_trace.Prune.coverage);
+          U.Table.fmt_pct (100.0 *. a.Optimizer.prune.T.Prune.coverage);
           U.Table.fmt_pct (100.0 *. mr);
         ])
     [ 10_000; 1_000; 300; 100 ];
@@ -238,10 +366,24 @@ let ablations () =
 (* ------------------------------------------------------------- Part 3 *)
 
 let () =
-  run_benchmarks ();
-  Printf.printf "== Ablation studies (DESIGN.md section 5) ==\n\n%!";
-  ablations ();
-  Printf.printf "== Full experiment suite: every table and figure of the paper ==\n\n%!";
-  let ctx = H.Ctx.create ~scale:H.Ctx.Full () in
-  let results = H.Registry.run_by_ids ctx H.Registry.ids in
-  List.iter (fun (_, tables) -> List.iter U.Table.print tables) results
+  let quick = ref false in
+  let kernels_only = ref false in
+  let json = ref "BENCH_kernels.json" in
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " small kernel inputs, kernels only (CI smoke run)");
+      ("--kernels-only", Arg.Set kernels_only, " full-size kernel benchmarks only");
+      ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [--quick] [--kernels-only] [--json FILE]";
+  run_kernels ~quick:!quick ~json_path:!json;
+  if not (!quick || !kernels_only) then begin
+    run_benchmarks ();
+    Printf.printf "== Ablation studies (DESIGN.md section 5) ==\n\n%!";
+    ablations ();
+    Printf.printf "== Full experiment suite: every table and figure of the paper ==\n\n%!";
+    let ctx = H.Ctx.create ~scale:H.Ctx.Full () in
+    let results = H.Registry.run_by_ids ctx H.Registry.ids in
+    List.iter (fun (_, tables) -> List.iter U.Table.print tables) results
+  end

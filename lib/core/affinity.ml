@@ -1,49 +1,52 @@
+open Colayout_util
 open Colayout_trace
 
+(* Affine pairs live in a flat packed-key set: canonical (min, max) pairs
+   packed as [(lo lsl 31) lor hi], value unused. *)
 type pair_set = {
-  pairs : (int * int, unit) Hashtbl.t;
+  pairs : Int_pair_tbl.t;
 }
 
-let canon x y = if x < y then (x, y) else (y, x)
+let canon_key x y = if x < y then Int_pair_tbl.pack x y else Int_pair_tbl.pack y x
 
-let is_affine ps x y = x = y || Hashtbl.mem ps.pairs (canon x y)
+let is_affine ps x y = x = y || Int_pair_tbl.mem ps.pairs (canon_key x y)
 
 let pair_list ps =
-  Hashtbl.fold (fun k () acc -> k :: acc) ps.pairs [] |> List.sort compare
+  Int_pair_tbl.fold
+    (fun k _ acc -> (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k) :: acc)
+    ps.pairs []
+  |> List.sort compare
 
 let require_trimmed t =
   if not (Trim.is_trimmed t) then
     invalid_arg "Affinity: trace must be trimmed (no two consecutive equal blocks)"
 
+let check_universe trace =
+  if Trace.num_symbols trace > Int_pair_tbl.max_coord then
+    invalid_arg "Affinity: num_symbols >= 2^31 exceeds the packed-key coordinate bound";
+  if Trace.length trace > Int_pair_tbl.max_coord then
+    invalid_arg "Affinity: trace length >= 2^31 exceeds the packed-payload bound"
+
 (* Witness bookkeeping for the efficient algorithm: for the ordered pair
    (a, b), [sat] counts occurrences of [a] that have some occurrence of [b]
    within the w-window, and [last_occ] is the occurrence index of [a] most
-   recently counted (so one occurrence is never counted twice). *)
-type wit = {
-  mutable sat : int;
-  mutable last_occ : int;
-}
+   recently counted (so one occurrence is never counted twice). Both live in
+   one packed int payload, [(last_occ lsl 31) lor sat] — an absent entry
+   reads as 0, i.e. [sat = 0, last_occ = 0], exactly the old record's
+   initial state, so the table never allocates per witness. *)
 
 let affine_pairs trace ~w =
   if w < 1 then invalid_arg "Affinity.affine_pairs: w must be >= 1";
   require_trimmed trace;
+  check_universe trace;
   let occ = Trace.occurrences trace in
   let occ_idx = Array.make (Trace.num_symbols trace) 0 in
-  let wits : (int * int, wit) Hashtbl.t = Hashtbl.create 4096 in
+  let wits = Int_pair_tbl.create ~capacity:4096 () in
   let witness a b a_occ =
-    let key = (a, b) in
-    let rec_ =
-      match Hashtbl.find_opt wits key with
-      | Some r -> r
-      | None ->
-        let r = { sat = 0; last_occ = 0 } in
-        Hashtbl.replace wits key r;
-        r
-    in
-    if rec_.last_occ < a_occ then begin
-      rec_.last_occ <- a_occ;
-      rec_.sat <- rec_.sat + 1
-    end
+    let key = Int_pair_tbl.pack a b in
+    let p = Int_pair_tbl.find wits key ~default:0 in
+    if Int_pair_tbl.fst_of p < a_occ then
+      Int_pair_tbl.replace wits key (Int_pair_tbl.pack a_occ (Int_pair_tbl.snd_of p + 1))
   in
   let stack = Lru_stack.create () in
   Trace.iter
@@ -53,35 +56,34 @@ let affine_pairs trace ~w =
       (* Walk the stack top-down. A block [x] at 1-based depth [d] has
          fp<last(x), here> = d + 1, or d if [y]'s previous occurrence lies
          above [x] (then y is already among the d-1 more-recent blocks). *)
-      let d = ref 0 in
       let y_seen = ref false in
-      Lru_stack.iter_until stack (fun x ->
-          incr d;
+      Lru_stack.iter_until_depth stack (fun d x ->
           if x = y then begin
             y_seen := true;
             true
           end
           else begin
-            let fp = !d + if !y_seen then 0 else 1 in
+            let fp = d + if !y_seen then 0 else 1 in
             if fp <= w then begin
               (* This y-occurrence sees x (backward); x's latest occurrence
                  sees y (forward). *)
               witness y x ky;
               witness x y occ_idx.(x)
             end;
-            !d < w
+            d < w
           end);
-      ignore (Lru_stack.access stack y))
+      Lru_stack.touch stack y)
     trace;
-  let pairs = Hashtbl.create 1024 in
-  Hashtbl.iter
-    (fun (a, b) r ->
+  let pairs = Int_pair_tbl.create ~capacity:1024 () in
+  Int_pair_tbl.iter
+    (fun key p ->
+      let a = Int_pair_tbl.fst_of key in
+      let b = Int_pair_tbl.snd_of key in
       if a < b then begin
-        let back =
-          match Hashtbl.find_opt wits (b, a) with Some r' -> r'.sat | None -> 0
-        in
-        if r.sat = occ.(a) && back = occ.(b) && occ.(a) > 0 && occ.(b) > 0 then
-          Hashtbl.replace pairs (a, b) ()
+        let sat_ab = Int_pair_tbl.snd_of p in
+        let sat_ba = Int_pair_tbl.snd_of (Int_pair_tbl.find wits (Int_pair_tbl.pack b a) ~default:0) in
+        if sat_ab = occ.(a) && sat_ba = occ.(b) && occ.(a) > 0 && occ.(b) > 0 then
+          Int_pair_tbl.replace pairs key 1
       end)
     wits;
   { pairs }
@@ -103,6 +105,7 @@ let positions_by_symbol trace =
 let affine_pairs_naive trace ~w =
   if w < 1 then invalid_arg "Affinity.affine_pairs_naive: w must be >= 1";
   require_trimmed trace;
+  check_universe trace;
   let pos = positions_by_symbol trace in
   let present =
     List.filter (fun s -> pos.(s) <> []) (List.init (Trace.num_symbols trace) Fun.id)
@@ -116,11 +119,13 @@ let affine_pairs_naive trace ~w =
       (fun p -> List.exists (fun q -> window_footprint trace p q <= w) pos.(y))
       pos.(x)
   in
-  let pairs = Hashtbl.create 64 in
+  let pairs = Int_pair_tbl.create ~capacity:64 () in
   List.iter
     (fun x ->
       List.iter
-        (fun y -> if x < y && satisfied x y && satisfied y x then Hashtbl.replace pairs (x, y) ())
+        (fun y ->
+          if x < y && satisfied x y && satisfied y x then
+            Int_pair_tbl.replace pairs (Int_pair_tbl.pack x y) 1)
         present)
     present;
   { pairs }

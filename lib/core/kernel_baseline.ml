@@ -1,0 +1,138 @@
+open Colayout_trace
+
+(* ------------------------------------------------------------ TRG (seed) *)
+
+type legacy_trg = {
+  num_nodes : int;
+  adj : (int, int) Hashtbl.t array;
+}
+
+let bump t x y dw =
+  let upd a b =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.adj.(a) b) in
+    Hashtbl.replace t.adj.(a) b (cur + dw)
+  in
+  upd x y;
+  upd y x
+
+let trg_build ?(window = max_int) trace =
+  if window < 1 then invalid_arg "Kernel_baseline.trg_build: window must be >= 1";
+  if not (Trim.is_trimmed trace) then
+    invalid_arg "Kernel_baseline.trg_build: trace must be trimmed";
+  let t =
+    {
+      num_nodes = Trace.num_symbols trace;
+      adj = Array.init (Trace.num_symbols trace) (fun _ -> Hashtbl.create 8);
+    }
+  in
+  let stack = Lru_stack.create () in
+  Trace.iter
+    (fun x ->
+      (* If x recurs within the window, every block above it on the stack
+         occurred between its two successive occurrences: one potential
+         conflict each. *)
+      let d = ref 0 in
+      let betweens = ref [] in
+      let found = ref false in
+      Lru_stack.iter_until stack (fun y ->
+          incr d;
+          if y = x then begin
+            found := true;
+            false
+          end
+          else if !d >= window then false
+          else begin
+            betweens := y :: !betweens;
+            true
+          end);
+      (* Only count when x was actually found within the window: the walk
+         must have stopped on x, not on depth exhaustion. *)
+      if !found then List.iter (fun y -> bump t x y 1) !betweens;
+      ignore (Lru_stack.access stack x))
+    trace;
+  t
+
+let trg_weight t x y =
+  if x = y then 0
+  else
+    match Hashtbl.find_opt t.adj.(x) y with
+    | Some w -> w
+    | None -> 0
+
+let trg_edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun x h -> Hashtbl.iter (fun y w -> if x < y then acc := (x, y, w) :: !acc) h)
+    t.adj;
+  List.sort
+    (fun (x1, y1, w1) (x2, y2, w2) ->
+      if w1 <> w2 then compare w2 w1 else compare (x1, y1) (x2, y2))
+    !acc
+
+(* ------------------------------------------------------- Affinity (seed) *)
+
+let require_trimmed t =
+  if not (Trim.is_trimmed t) then
+    invalid_arg "Affinity: trace must be trimmed (no two consecutive equal blocks)"
+
+type wit = {
+  mutable sat : int;
+  mutable last_occ : int;
+}
+
+let affine_pairs trace ~w =
+  if w < 1 then invalid_arg "Kernel_baseline.affine_pairs: w must be >= 1";
+  require_trimmed trace;
+  let occ = Trace.occurrences trace in
+  let occ_idx = Array.make (Trace.num_symbols trace) 0 in
+  let wits : (int * int, wit) Hashtbl.t = Hashtbl.create 4096 in
+  let witness a b a_occ =
+    let key = (a, b) in
+    let rec_ =
+      match Hashtbl.find_opt wits key with
+      | Some r -> r
+      | None ->
+        let r = { sat = 0; last_occ = 0 } in
+        Hashtbl.replace wits key r;
+        r
+    in
+    if rec_.last_occ < a_occ then begin
+      rec_.last_occ <- a_occ;
+      rec_.sat <- rec_.sat + 1
+    end
+  in
+  let stack = Lru_stack.create () in
+  Trace.iter
+    (fun y ->
+      occ_idx.(y) <- occ_idx.(y) + 1;
+      let ky = occ_idx.(y) in
+      let d = ref 0 in
+      let y_seen = ref false in
+      Lru_stack.iter_until stack (fun x ->
+          incr d;
+          if x = y then begin
+            y_seen := true;
+            true
+          end
+          else begin
+            let fp = !d + if !y_seen then 0 else 1 in
+            if fp <= w then begin
+              witness y x ky;
+              witness x y occ_idx.(x)
+            end;
+            !d < w
+          end);
+      ignore (Lru_stack.access stack y))
+    trace;
+  let pairs = ref [] in
+  Hashtbl.iter
+    (fun (a, b) r ->
+      if a < b then begin
+        let back =
+          match Hashtbl.find_opt wits (b, a) with Some r' -> r'.sat | None -> 0
+        in
+        if r.sat = occ.(a) && back = occ.(b) && occ.(a) > 0 && occ.(b) > 0 then
+          pairs := (a, b) :: !pairs
+      end)
+    wits;
+  List.sort compare !pairs

@@ -1,0 +1,32 @@
+(** The seed tuple-[Hashtbl] analysis kernels, kept verbatim.
+
+    PR 1 rebuilt {!Trg.build} and {!Affinity.affine_pairs} on flat
+    packed-int tables ([Int_pair_tbl]) with CSR finalization. These are the
+    original implementations — per-node [(int, int) Hashtbl.t] adjacency
+    with symmetric double storage, and [(int * int)]-keyed witness records —
+    retained for two jobs:
+
+    - differential-test oracles: the packed kernels must produce identical
+      edge sets / pair sets on any trimmed trace;
+    - honest benchmark baselines: [bench/main.exe] times both paths in the
+      same run and reports the speedup in [BENCH_kernels.json]. *)
+
+type legacy_trg = {
+  num_nodes : int;
+  adj : (int, int) Hashtbl.t array; (* symmetric: each edge stored twice *)
+}
+
+val trg_build : ?window:int -> Colayout_trace.Trace.t -> legacy_trg
+(** The seed [Trg.build]: per-event [betweens] list accumulation, double
+    bump into the per-node hash tables. *)
+
+val trg_weight : legacy_trg -> int -> int -> int
+
+val trg_edges : legacy_trg -> (int * int * int) list
+(** [(x, y, w)] with [x < y], sorted by decreasing weight then ids — the
+    same order {!Trg.edges} promises. *)
+
+val affine_pairs : Colayout_trace.Trace.t -> w:int -> (int * int) list
+(** The seed [Affinity.affine_pairs] with tuple-keyed witness records,
+    returning the sorted [(x, y)], [x < y] pair list — directly comparable
+    to [Affinity.pair_list (Affinity.affine_pairs ...)]. *)

@@ -10,12 +10,26 @@
 
     The window [q] bounds how far apart (in distinct blocks) two successive
     occurrences may be and still count — Gloy & Smith recommend a window of
-    twice the cache size, which {!recommended_window} computes. *)
+    twice the cache size, which {!recommended_window} computes.
+
+    Representation: construction accumulates each undirected edge once into
+    a flat packed-key table ([Int_pair_tbl], key [(min lsl 31) lor max]);
+    {!finalize} converts to a CSR index (sorted neighbour/weight arrays)
+    that answers {!weight} by binary search in either argument order and
+    iterates edges over contiguous arrays. Both {!build} and {!of_edges}
+    return finalized graphs. The packed coordinates bound the symbol
+    universe: constructors raise [Invalid_argument] when
+    [num_symbols >= 2^31]. *)
 
 type t
 
 val build : ?window:int -> Colayout_trace.Trace.t -> t
 (** [window] in blocks; default unbounded. The trace must be trimmed. *)
+
+val finalize : t -> unit
+(** Convert to the CSR representation, dropping the construction-time
+    table. Idempotent; called implicitly by the edge iterators and by the
+    constructors, so ordinary callers never need it. *)
 
 val num_nodes : t -> int
 (** Size of the symbol universe (not all need occur). *)
@@ -25,6 +39,13 @@ val weight : t -> int -> int -> int
 
 val edges : t -> (int * int * int) list
 (** [(x, y, w)] with [x < y], sorted by decreasing weight then ids. *)
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+(** [iter_edges f t] applies [f x y w] to each undirected edge once
+    ([x < y]), in CSR (ascending [(x, y)]) order, without building a list. *)
+
+val iter_edges_by_weight : (int -> int -> int -> unit) -> t -> unit
+(** Like {!iter_edges} in the {!edges} order: decreasing weight, then ids. *)
 
 val degree : t -> int -> int
 

@@ -26,11 +26,15 @@ let reduce trg ~slots =
   in
   let cur_w x y = Option.value ~default:0 (Hashtbl.find_opt adj.(x) y) in
   let heap = Heap.create ~cmp:edge_cmp () in
-  List.iter
-    (fun (x, y, w) ->
+  (* Seed the working adjacency and the heap straight from the finalized CSR
+     arrays; the heap's total order on (w, x, y) makes the pop sequence
+     independent of insertion order, so no pre-sorted edge list is needed. *)
+  Trg.finalize trg;
+  Trg.iter_edges
+    (fun x y w ->
       set_w x y w;
       Heap.push heap (w, x, y))
-    (Trg.edges trg);
+    trg;
   let slot_of = Array.make n (-1) in
   let rep_of_slot = Array.make slots (-1) in
   let slot_vecs = Array.init slots (fun _ -> Vec.create ()) in

@@ -1,0 +1,206 @@
+(* Differential tests for the PR-1 packed-int kernels: the rewritten
+   [Trg.build] (flat packed table + CSR finalization) and
+   [Affinity.affine_pairs] (packed witness payloads) must produce results
+   identical to the seed tuple-Hashtbl implementations, which live on in
+   [Kernel_baseline] as oracles. Traces are randomized but seeded ([Prng]),
+   and the windows cover the paper-relevant range up to w ≈ 512
+   (32 KB / 64 B line). Also covers [Int_pair_tbl] itself against a
+   [Hashtbl] model, and the new bounded/no-depth LRU-stack entry points. *)
+
+open Colayout
+open Colayout_trace
+module U = Colayout_util
+
+let check = Alcotest.check
+
+(* Zipf-popularity trace: skewed like real block traces but with enough
+   deep reuse to exercise large windows. *)
+let random_trace ~seed ~num_symbols ~len =
+  let prng = U.Prng.create ~seed in
+  let t = Trace.create ~num_symbols () in
+  for _ = 1 to len do
+    Trace.push t (U.Prng.zipf prng ~n:num_symbols ~s:0.9)
+  done;
+  Trim.trim t
+
+let windows = [ 2; 8; 64; 512 ]
+
+let edge_list = Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+
+let pair_lst = Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+(* ------------------------------------------------- TRG: packed vs seed *)
+
+let test_trg_differential () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun seed ->
+          let t = random_trace ~seed ~num_symbols:700 ~len:4_000 in
+          let packed = Trg.build ~window:w t in
+          let legacy = Kernel_baseline.trg_build ~window:w t in
+          check edge_list
+            (Printf.sprintf "edge sets identical (w=%d seed=%d)" w seed)
+            (Kernel_baseline.trg_edges legacy) (Trg.edges packed);
+          (* Point queries through the CSR binary search, both argument
+             orders, plus degrees. *)
+          let prng = U.Prng.create ~seed:(seed + 1) in
+          for _ = 1 to 500 do
+            let x = U.Prng.int prng 700 and y = U.Prng.int prng 700 in
+            check Alcotest.int "weight" (Kernel_baseline.trg_weight legacy x y)
+              (Trg.weight packed x y);
+            check Alcotest.int "weight sym" (Trg.weight packed x y) (Trg.weight packed y x)
+          done;
+          for x = 0 to 699 do
+            check Alcotest.int "degree" (Hashtbl.length legacy.Kernel_baseline.adj.(x))
+              (Trg.degree packed x)
+          done)
+        [ 11; 42 ])
+    windows
+
+let test_trg_unbounded_differential () =
+  let t = random_trace ~seed:7 ~num_symbols:200 ~len:2_000 in
+  let packed = Trg.build t in
+  let legacy = Kernel_baseline.trg_build t in
+  check edge_list "unbounded edge sets identical" (Kernel_baseline.trg_edges legacy)
+    (Trg.edges packed)
+
+let test_trg_universe_guard () =
+  let t = Trace.create ~num_symbols:(1 lsl 31) () in
+  Alcotest.check_raises "2^31 symbols rejected"
+    (Invalid_argument "Trg: num_symbols >= 2^31 exceeds the packed-key coordinate bound")
+    (fun () -> ignore (Trg.build t))
+
+(* -------------------------------------------- Affinity: packed vs seed *)
+
+let test_affinity_differential () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun seed ->
+          let t = random_trace ~seed ~num_symbols:700 ~len:4_000 in
+          let packed = Affinity.affine_pairs t ~w in
+          check pair_lst
+            (Printf.sprintf "pair sets identical (w=%d seed=%d)" w seed)
+            (Kernel_baseline.affine_pairs t ~w)
+            (Affinity.pair_list packed))
+        [ 11; 42 ])
+    windows
+
+let test_affinity_universe_guard () =
+  let t = Trace.create ~num_symbols:(1 lsl 31) () in
+  Alcotest.check_raises "2^31 symbols rejected"
+    (Invalid_argument "Affinity: num_symbols >= 2^31 exceeds the packed-key coordinate bound")
+    (fun () -> ignore (Affinity.affine_pairs t ~w:4))
+
+(* The packed efficient algorithm must still agree with the naive oracle on
+   small traces (the seed property, re-stated against the new kernels). *)
+let packed_subset_of_naive =
+  QCheck.Test.make ~name:"packed efficient affinity is a subset of Definition 3" ~count:100
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 2 40) (int_bound 6)))
+    (fun (w, xs) ->
+      let t = Trim.trim (Trace.of_list ~num_symbols:7 xs) in
+      QCheck.assume (Trace.length t >= 2);
+      let eff = Affinity.affine_pairs t ~w in
+      let exact = Affinity.affine_pairs_naive t ~w in
+      List.for_all (fun (x, y) -> Affinity.is_affine exact x y) (Affinity.pair_list eff))
+
+(* ------------------------------------------- Int_pair_tbl vs a Hashtbl *)
+
+let test_pack_roundtrip () =
+  let m = U.Int_pair_tbl.max_coord in
+  List.iter
+    (fun (x, y) ->
+      let k = U.Int_pair_tbl.pack x y in
+      check Alcotest.int "fst" x (U.Int_pair_tbl.fst_of k);
+      check Alcotest.int "snd" y (U.Int_pair_tbl.snd_of k);
+      check Alcotest.bool "non-negative" true (k >= 0))
+    [ (0, 0); (1, 2); (m, m); (m, 0); (0, m); (12345, 67890) ]
+
+let tbl_matches_model =
+  QCheck.Test.make ~name:"Int_pair_tbl matches a Hashtbl model under random ops" ~count:200
+    QCheck.(list (triple (int_bound 3) (int_bound 40) (int_range (-5) 50)))
+    (fun ops ->
+      let t = U.Int_pair_tbl.create ~capacity:2 () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (op, key, v) ->
+          match op with
+          | 0 -> (
+            U.Int_pair_tbl.replace t key v;
+            Hashtbl.replace model key v)
+          | 1 ->
+            let got = U.Int_pair_tbl.add_to t key v in
+            let cur = Option.value ~default:0 (Hashtbl.find_opt model key) in
+            Hashtbl.replace model key (cur + v);
+            assert (got = cur + v)
+          | 2 -> (
+            U.Int_pair_tbl.remove t key;
+            Hashtbl.remove model key)
+          | _ ->
+            assert (
+              U.Int_pair_tbl.find t key ~default:min_int
+              = Option.value ~default:min_int (Hashtbl.find_opt model key)))
+        ops;
+      U.Int_pair_tbl.length t = Hashtbl.length model
+      && U.Int_pair_tbl.fold
+           (fun k v ok -> ok && Hashtbl.find_opt model k = Some v)
+           t true)
+
+let test_tbl_negative_key_rejected () =
+  let t = U.Int_pair_tbl.create () in
+  Alcotest.check_raises "negative key" (Invalid_argument "Int_pair_tbl: negative key")
+    (fun () -> U.Int_pair_tbl.replace t (-3) 1);
+  check Alcotest.bool "mem negative" false (U.Int_pair_tbl.mem t (-3));
+  check Alcotest.int "find negative" 0 (U.Int_pair_tbl.find t (-3) ~default:0)
+
+(* --------------------------------------- Lru_stack bounded entry points *)
+
+let test_access_bounded () =
+  let s = Lru_stack.create () in
+  List.iter (fun x -> ignore (Lru_stack.access s x)) [ 0; 1; 2; 3 ];
+  (* Stack is now 3 2 1 0; symbol 0 sits at depth 4. *)
+  check (Alcotest.option Alcotest.int) "too deep" None (Lru_stack.access_bounded s ~limit:3 0);
+  (* The bounded miss still moved 0 to the top. *)
+  check (Alcotest.option Alcotest.int) "moved to front" (Some 1)
+    (Lru_stack.access_bounded s ~limit:8 0);
+  check (Alcotest.option Alcotest.int) "within limit" (Some 4)
+    (Lru_stack.access_bounded s ~limit:4 1);
+  check (Alcotest.option Alcotest.int) "first access" None (Lru_stack.access_bounded s ~limit:8 9)
+
+let test_touch () =
+  let s = Lru_stack.create () in
+  Lru_stack.touch s 5;
+  Lru_stack.touch s 6;
+  Lru_stack.touch s 5;
+  check (Alcotest.list Alcotest.int) "touch orders like access" [ 5; 6 ] (Lru_stack.contents s);
+  check Alcotest.int "depth" 2 (Lru_stack.depth s);
+  check (Alcotest.option Alcotest.int) "access agrees" (Some 2) (Lru_stack.access s 6)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "trg-differential",
+        [
+          Alcotest.test_case "packed = seed across w" `Slow test_trg_differential;
+          Alcotest.test_case "packed = seed unbounded" `Quick test_trg_unbounded_differential;
+          Alcotest.test_case "2^31 guard" `Quick test_trg_universe_guard;
+        ] );
+      ( "affinity-differential",
+        [
+          Alcotest.test_case "packed = seed across w" `Slow test_affinity_differential;
+          Alcotest.test_case "2^31 guard" `Quick test_affinity_universe_guard;
+          QCheck_alcotest.to_alcotest packed_subset_of_naive;
+        ] );
+      ( "int-pair-tbl",
+        [
+          Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+          QCheck_alcotest.to_alcotest tbl_matches_model;
+          Alcotest.test_case "negative keys" `Quick test_tbl_negative_key_rejected;
+        ] );
+      ( "lru-stack",
+        [
+          Alcotest.test_case "access_bounded" `Quick test_access_bounded;
+          Alcotest.test_case "touch" `Quick test_touch;
+        ] );
+    ]
