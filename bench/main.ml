@@ -160,6 +160,96 @@ let run_kernels ~quick ~json_path =
     ~legacy_words;
   Printf.printf "  wrote %s\n\n%!" json_path
 
+(* ----------------------------------------------------------- Part 0.5 *)
+
+(* End-to-end pipeline stage-timing manifest (BENCH_harness.json, schema
+   colayout/bench-harness/v1): one Fast-scale pass through the Ctx seam —
+   workload build, reference interpretation, analysis, layout, solo and
+   co-run simulation — recorded as spans and aggregated per stage and per
+   category. This extends the machine-readable perf trajectory beyond the
+   two §II-F kernels of BENCH_kernels.json to the whole harness. *)
+
+let harness_program = "445.gobmk"
+
+let harness_probe = "403.gcc"
+
+let run_harness_manifest ~quick ~path =
+  Printf.printf "== Harness stage timings (end-to-end pipeline, fast scale) ==\n%!";
+  let ctx = H.Ctx.create ~scale:H.Ctx.Fast () in
+  let spans = H.Ctx.spans ctx in
+  ignore (H.Ctx.solo_stats ctx ~hw:false harness_program Optimizer.Bb_affinity);
+  ignore (H.Ctx.solo_stats ctx ~hw:false harness_program Optimizer.Original);
+  ignore
+    (H.Ctx.corun_stats ctx ~hw:false
+       ~self:(harness_program, Optimizer.Bb_affinity)
+       ~peer:(harness_probe, Optimizer.Original));
+  let stages =
+    List.map
+      (fun (cat, name, calls, total_ns) ->
+        U.Json.Obj
+          [
+            ("name", U.Json.Str name);
+            ("cat", U.Json.Str cat);
+            ("calls", U.Json.Int calls);
+            ("total_ns", U.Json.Int (Int64.to_int total_ns));
+          ])
+      (U.Span.aggregate spans)
+  in
+  let totals =
+    List.map
+      (fun (cat, total_ns) -> (cat, U.Json.Int (Int64.to_int total_ns)))
+      (U.Span.by_category spans)
+  in
+  let counters =
+    List.map (fun (k, v) -> (k, U.Json.Int v)) (U.Metrics.counters (H.Ctx.metrics ctx))
+  in
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-harness/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        ("scale", U.Json.Str "fast");
+        ("program", U.Json.Str harness_program);
+        ("probe", U.Json.Str harness_probe);
+        ("stages", U.Json.Arr stages);
+        ("category_totals_ns", U.Json.Obj totals);
+        ("counters", U.Json.Obj counters);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (cat, total_ns) ->
+      match total_ns with
+      | U.Json.Int ns -> Printf.printf "  %-12s %12.2f ms\n%!" cat (float_of_int ns /. 1e6)
+      | _ -> ())
+    totals;
+  (* Self-validation, relied on by @bench-smoke: the manifest must parse
+     and every recorded stage duration must be non-negative. *)
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match U.Json.parse text with
+  | json ->
+    let check_stage s =
+      match U.Json.(Option.bind (member "total_ns" s) to_int) with
+      | Some ns when ns >= 0 -> ()
+      | _ ->
+        Printf.eprintf "FATAL: %s has a stage with a negative or missing duration\n%!" path;
+        exit 1
+    in
+    (match U.Json.(Option.bind (member "stages" json) to_list) with
+    | Some (_ :: _ as stages) -> List.iter check_stage stages
+    | _ ->
+      Printf.eprintf "FATAL: %s has no stages\n%!" path;
+      exit 1)
+  | exception U.Json.Parse_error (pos, msg) ->
+    Printf.eprintf "FATAL: %s does not parse: %s at %d\n%!" path msg pos;
+    exit 1);
+  Printf.printf "  wrote %s\n\n%!" path
+
 (* ------------------------------------------------------------- Part 1 *)
 
 let tests () =
@@ -369,15 +459,21 @@ let () =
   let quick = ref false in
   let kernels_only = ref false in
   let json = ref "BENCH_kernels.json" in
+  let harness_json = ref "BENCH_harness.json" in
   Arg.parse
     [
-      ("--quick", Arg.Set quick, " small kernel inputs, kernels only (CI smoke run)");
+      ("--quick", Arg.Set quick, " small kernel inputs, kernels + harness manifest (CI smoke run)");
       ("--kernels-only", Arg.Set kernels_only, " full-size kernel benchmarks only");
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
+      ( "--harness-json",
+        Arg.Set_string harness_json,
+        "FILE path for the harness stage-timing manifest" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--json FILE] [--harness-json FILE]";
+  H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   run_kernels ~quick:!quick ~json_path:!json;
+  if not !kernels_only then run_harness_manifest ~quick:!quick ~path:!harness_json;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();
     Printf.printf "== Ablation studies (DESIGN.md section 5) ==\n\n%!";

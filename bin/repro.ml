@@ -5,6 +5,7 @@
 
 open Cmdliner
 module H = Colayout_harness
+module U = Colayout_util
 module Table = Colayout_util.Table
 
 let scale_conv =
@@ -18,6 +19,29 @@ let scale_conv =
   in
   Arg.conv (parse, print)
 
+let verbosity_conv =
+  let parse s =
+    match H.Report.verbosity_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown verbosity %S (quiet|normal|debug)" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (H.Report.verbosity_to_string v) in
+  Arg.conv (parse, print)
+
+let verbosity_arg =
+  Arg.(
+    value
+    & opt verbosity_conv H.Report.Normal
+    & info [ "verbosity" ] ~docv:"LEVEL" ~doc:"Stderr chatter: quiet, normal or debug")
+
+(* Write [contents] to [path], creating parent directories as needed. *)
+let write_file path contents =
+  U.Fsutil.mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
 let list_cmd =
   let doc = "List the available experiments." in
   let run () =
@@ -29,7 +53,7 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let write_csv dir id tables =
-  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  U.Fsutil.mkdir_p dir;
   List.iteri
     (fun i t ->
       let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" id i) in
@@ -56,7 +80,24 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv)")
   in
-  let run ids scale csv =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot (memo hit/miss, interp and cache counters)")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the run's spans (loadable by \
+             chrome://tracing / Perfetto)")
+  in
+  let run ids scale csv metrics_out trace_out verbosity =
+    H.Report.setup verbosity;
     let requested =
       if List.mem "all" ids then H.Registry.ids else ids
     in
@@ -66,9 +107,19 @@ let run_cmd =
       (fun (id, tables) ->
         List.iter Table.print tables;
         Option.iter (fun dir -> write_csv dir id tables) csv)
-      results
+      results;
+    Option.iter
+      (fun path ->
+        write_file path (U.Json.to_string ~pretty:true (U.Metrics.to_json (H.Ctx.metrics ctx))))
+      metrics_out;
+    Option.iter
+      (fun path ->
+        write_file path
+          (U.Json.to_string ~pretty:true (U.Span.to_chrome_json (H.Ctx.spans ctx))))
+      trace_out
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ scale $ csv)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ ids $ scale $ csv $ metrics_out $ trace_out $ verbosity_arg)
 
 module W = Colayout_workloads
 module Core = Colayout
@@ -173,7 +224,7 @@ let trace_cmd =
   let run name out fuel =
     let program = build_program name in
     let r = E.Interp.run program (E.Interp.test_input ~max_blocks:fuel ()) in
-    (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    U.Fsutil.mkdir_p out;
     let short = W.Spec.short_name name in
     let bb_path = Filename.concat out (short ^ ".bb.trc") in
     let fn_path = Filename.concat out (short ^ ".fn.trc") in

@@ -2,11 +2,12 @@ type t = {
   acc : int array;
   miss : int array;
   mutable pf : int;
+  mutable ev : int;
 }
 
 let create ?(threads = 1) () =
   if threads <= 0 then invalid_arg "Cache_stats.create";
-  { acc = Array.make threads 0; miss = Array.make threads 0; pf = 0 }
+  { acc = Array.make threads 0; miss = Array.make threads 0; pf = 0; ev = 0 }
 
 let check t thread =
   if thread < 0 || thread >= Array.length t.acc then
@@ -18,6 +19,10 @@ let record t ~thread ~hit =
   if not hit then t.miss.(thread) <- t.miss.(thread) + 1
 
 let record_prefetch t = t.pf <- t.pf + 1
+
+let set_evictions t n = t.ev <- n
+
+let evictions t = t.ev
 
 let sum = Array.fold_left ( + ) 0
 
@@ -50,8 +55,11 @@ let merge_into ~dst src =
     invalid_arg "Cache_stats.merge_into: thread count mismatch";
   Array.iteri (fun i v -> dst.acc.(i) <- dst.acc.(i) + v) src.acc;
   Array.iteri (fun i v -> dst.miss.(i) <- dst.miss.(i) + v) src.miss;
-  dst.pf <- dst.pf + src.pf
+  dst.pf <- dst.pf + src.pf;
+  dst.ev <- dst.ev + src.ev
 
 let to_string t =
-  Printf.sprintf "accesses=%d misses=%d (%.3f%%) prefetches=%d" (accesses t) (misses t)
-    (100.0 *. miss_ratio t) t.pf
+  Printf.sprintf "accesses=%d misses=%d (%.3f%%) prefetches=%d evictions=%d" (accesses t)
+    (misses t)
+    (100.0 *. miss_ratio t)
+    t.pf t.ev

@@ -9,6 +9,12 @@ val record : t -> thread:int -> hit:bool -> unit
 
 val record_prefetch : t -> unit
 
+val set_evictions : t -> int -> unit
+(** Record the simulator's cumulative eviction count (taken from the cache
+    model, which observes replacements; see {!Set_assoc.evictions}). *)
+
+val evictions : t -> int
+
 val accesses : t -> int
 
 val misses : t -> int

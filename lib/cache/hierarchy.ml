@@ -48,11 +48,19 @@ let access_data t ~thread ~addr =
   Cache_stats.record t.l1d_stats ~thread ~hit;
   if not hit then access_l2 t ~thread ~is_instr:false line
 
-let l1i_stats t = t.l1i_stats
+(* Stats accessors sync the eviction totals from the cache models, so a
+   snapshot taken at any point carries all four counters. *)
+let l1i_stats t =
+  Cache_stats.set_evictions t.l1i_stats (Set_assoc.evictions t.l1i);
+  t.l1i_stats
 
-let l1d_stats t = t.l1d_stats
+let l1d_stats t =
+  Cache_stats.set_evictions t.l1d_stats (Set_assoc.evictions t.l1d);
+  t.l1d_stats
 
-let l2_stats t = t.l2_stats
+let l2_stats t =
+  Cache_stats.set_evictions t.l2_stats (Set_assoc.evictions t.l2);
+  t.l2_stats
 
 let l2_instr_misses t = t.l2_instr_misses
 

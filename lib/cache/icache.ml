@@ -23,6 +23,7 @@ let solo ?prefetch ~params ~layout trace =
         access ?prefetch cache stats ~thread:0 line
       done)
     trace;
+  Cache_stats.set_evictions stats (Set_assoc.evictions cache);
   stats
 
 (* One SMT hardware thread's walk over its block trace, exposed one cache
@@ -96,4 +97,5 @@ let shared ?prefetch ?(rates = (1.0, 1.0)) ~params ~layouts (t0, t1) =
       Option.iter (access ?prefetch cache stats ~thread:1) (cursor_next ~params c1)
     done
   done;
+  Cache_stats.set_evictions stats (Set_assoc.evictions cache);
   stats

@@ -5,10 +5,17 @@ type t = {
      paper's configuration), so shifting an array segment on access is
      cheaper than pointer structures. *)
   ways : int array array;
+  mutable evictions : int;
 }
 
 let create params =
-  { params; ways = Array.init params.Params.num_sets (fun _ -> Array.make params.Params.assoc (-1)) }
+  {
+    params;
+    ways = Array.init params.Params.num_sets (fun _ -> Array.make params.Params.assoc (-1));
+    evictions = 0;
+  }
+
+let evictions t = t.evictions
 
 let params t = t.params
 
@@ -31,6 +38,7 @@ let access_line t line =
   end
   else begin
     (* Miss: evict LRU (last slot) by shifting everything down. *)
+    if set.(Array.length set - 1) >= 0 then t.evictions <- t.evictions + 1;
     Array.blit set 0 set 1 (Array.length set - 1);
     set.(0) <- line;
     false
@@ -45,6 +53,7 @@ let fill_line t line =
   let i = find_way set line in
   if i >= 0 then promote set i
   else begin
+    if set.(Array.length set - 1) >= 0 then t.evictions <- t.evictions + 1;
     Array.blit set 0 set 1 (Array.length set - 1);
     set.(0) <- line
   end

@@ -25,6 +25,10 @@ val fill_line : t -> int -> unit
 val access_range : t -> addr:int -> bytes:int -> hits:int ref -> misses:int ref -> unit
 (** Touch every line spanned by [bytes] at [addr], accumulating counts. *)
 
+val evictions : t -> int
+(** Cumulative count of valid lines replaced (by {!access_line} misses and
+    {!fill_line} inserts) since creation. *)
+
 val invalidate_all : t -> unit
 
 val resident_lines : t -> int list

@@ -63,7 +63,7 @@ let exec_instr vars rng data = function
   | Types.Load e | Types.Store e ->
     Int_vec.push data (eval_expr vars rng e land address_mask)
 
-let run program input =
+let run ?metrics program input =
   let nb = Program.num_blocks program in
   let nf = Program.num_funcs program in
   let bb_trace =
@@ -116,6 +116,13 @@ let run program input =
         running := false
     end
   done;
+  Option.iter
+    (fun m ->
+      Metrics.add m "interp.runs" 1;
+      Metrics.add m "interp.blocks" !block_execs;
+      Metrics.add m "interp.instrs" !instr_count;
+      Metrics.add m "interp.fn_events" (Colayout_trace.Trace.length fn_trace))
+    metrics;
   {
     bb_trace;
     fn_trace;

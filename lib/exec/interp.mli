@@ -35,10 +35,14 @@ type result = {
   completed : bool;  (** [Halt] reached before the fuel ran out. *)
 }
 
-val run : Colayout_ir.Program.t -> input -> result
+val run :
+  ?metrics:Colayout_util.Metrics.t -> Colayout_ir.Program.t -> input -> result
 (** @raise Invalid_argument on malformed programs (callers should have
     validated). A [Return] with an empty call stack halts, like returning
-    from [main]. *)
+    from [main].
+
+    When [metrics] is given, the run adds to the registry's [interp.runs],
+    [interp.blocks], [interp.instrs] and [interp.fn_events] counters. *)
 
 val block_instr_counts : Colayout_ir.Program.t -> int array
 (** Per-block static instruction counts, indexed by block id — the

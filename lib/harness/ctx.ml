@@ -1,9 +1,20 @@
 open Colayout
+module U = Colayout_util
 module W = Colayout_workloads
 module E = Colayout_exec
 module C = Colayout_cache
 
 type scale = Fast | Full
+
+(* A memoization table with lookup/hit/miss counters in the context's
+   metrics registry: every lookup is either a hit or a miss, so
+   hits + misses = lookups is an invariant tests can assert. *)
+type 'v memo_tbl = {
+  tbl : (string, 'v) Hashtbl.t;
+  lookups : U.Metrics.counter;
+  hits : U.Metrics.counter;
+  misses : U.Metrics.counter;
+}
 
 type t = {
   scale : scale;
@@ -11,32 +22,46 @@ type t = {
   opt_config : Optimizer.config;
   smt_cfg : E.Smt.config;
   hw_prefetch : C.Prefetch.t;
-  programs : (string, Colayout_ir.Program.t) Hashtbl.t;
-  ref_results : (string, E.Interp.result) Hashtbl.t;
-  analyses : (string, Optimizer.analysis) Hashtbl.t;
-  layouts : (string, Layout.t) Hashtbl.t;
-  solo_cache : (string, C.Cache_stats.t) Hashtbl.t;
-  corun_cache : (string, C.Cache_stats.t) Hashtbl.t;
-  smt_solo_cache : (string, E.Smt.thread_stats) Hashtbl.t;
-  smt_corun_cache : (string, E.Smt.corun_result) Hashtbl.t;
+  metrics : U.Metrics.t;
+  spans : U.Span.t;
+  programs : Colayout_ir.Program.t memo_tbl;
+  ref_results : E.Interp.result memo_tbl;
+  analyses : Optimizer.analysis memo_tbl;
+  layouts : Layout.t memo_tbl;
+  solo_cache : C.Cache_stats.t memo_tbl;
+  corun_cache : C.Cache_stats.t memo_tbl;
+  smt_solo_cache : E.Smt.thread_stats memo_tbl;
+  smt_corun_cache : E.Smt.corun_result memo_tbl;
 }
 
-let create ?(scale = Full) () =
+let memo_tbl metrics name size =
+  {
+    tbl = Hashtbl.create size;
+    lookups = U.Metrics.counter metrics (Printf.sprintf "ctx.memo.%s.lookups" name);
+    hits = U.Metrics.counter metrics (Printf.sprintf "ctx.memo.%s.hits" name);
+    misses = U.Metrics.counter metrics (Printf.sprintf "ctx.memo.%s.misses" name);
+  }
+
+let create ?(scale = Full) ?metrics ?spans () =
   let params = C.Params.default_l1i in
+  let metrics = match metrics with Some m -> m | None -> U.Metrics.create () in
+  let spans = match spans with Some s -> s | None -> U.Span.create () in
   {
     scale;
     params;
     opt_config = { Optimizer.default_config with params };
     smt_cfg = E.Smt.default_config ~prefetch:(C.Prefetch.create ~degree:1 ()) ();
     hw_prefetch = C.Prefetch.create ~degree:2 ();
-    programs = Hashtbl.create 32;
-    ref_results = Hashtbl.create 32;
-    analyses = Hashtbl.create 32;
-    layouts = Hashtbl.create 64;
-    solo_cache = Hashtbl.create 64;
-    corun_cache = Hashtbl.create 256;
-    smt_solo_cache = Hashtbl.create 64;
-    smt_corun_cache = Hashtbl.create 256;
+    metrics;
+    spans;
+    programs = memo_tbl metrics "programs" 32;
+    ref_results = memo_tbl metrics "ref_results" 32;
+    analyses = memo_tbl metrics "analyses" 32;
+    layouts = memo_tbl metrics "layouts" 64;
+    solo_cache = memo_tbl metrics "solo_cache" 64;
+    corun_cache = memo_tbl metrics "corun_cache" 256;
+    smt_solo_cache = memo_tbl metrics "smt_solo_cache" 64;
+    smt_corun_cache = memo_tbl metrics "smt_corun_cache" 256;
   }
 
 let scale t = t.scale
@@ -45,35 +70,60 @@ let params t = t.params
 
 let opt_config t = t.opt_config
 
+let metrics t = t.metrics
+
+let spans t = t.spans
+
 let ref_fuel t = match t.scale with Fast -> 200_000 | Full -> 600_000
 
 let test_fuel t = match t.scale with Fast -> 80_000 | Full -> 200_000
 
-let memo tbl key f =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
+let memo m key f =
+  U.Metrics.incr m.lookups;
+  match Hashtbl.find_opt m.tbl key with
+  | Some v ->
+    U.Metrics.incr m.hits;
+    v
   | None ->
+    U.Metrics.incr m.misses;
     let v = f () in
-    Hashtbl.replace tbl key v;
+    Hashtbl.replace m.tbl key v;
     v
 
-let progress _t msg = Printf.eprintf "  [harness] %s\n%!" msg
+let progress _t msg = Report.info "%s" msg
 
-let program t name = memo t.programs name (fun () -> W.Gen.build (W.Spec.profile name))
+let publish_cache_stats t ~mode stats =
+  let add name v =
+    U.Metrics.add t.metrics ("cache." ^ name) v;
+    U.Metrics.add t.metrics (Printf.sprintf "cache.%s.%s" mode name) v
+  in
+  add "accesses" (C.Cache_stats.accesses stats);
+  add "misses" (C.Cache_stats.misses stats);
+  add "evictions" (C.Cache_stats.evictions stats);
+  add "prefetches" (C.Cache_stats.prefetches stats)
+
+let program t name =
+  memo t.programs name (fun () ->
+      U.Span.with_span t.spans ~cat:"workload" ("build:" ^ name) (fun () ->
+          W.Gen.build (W.Spec.profile name)))
 
 let fetch_rate _t name = (W.Spec.profile name).W.Gen.fetch_rate
 
 let ref_result t name =
   memo t.ref_results name (fun () ->
-      E.Interp.run (program t name) (E.Interp.ref_input ~max_blocks:(ref_fuel t) ()))
+      let p = program t name in
+      U.Span.with_span t.spans ~cat:"interp" ("ref-run:" ^ name) (fun () ->
+          E.Interp.run ~metrics:t.metrics p (E.Interp.ref_input ~max_blocks:(ref_fuel t) ())))
 
 let ref_trace t name = (ref_result t name).E.Interp.bb_trace
 
 let analysis t name =
   memo t.analyses name (fun () ->
       progress t (Printf.sprintf "analyzing %s (test input)" name);
-      Optimizer.analyze ~config:t.opt_config (program t name)
-        (E.Interp.test_input ~max_blocks:(test_fuel t) ()))
+      let p = program t name in
+      U.Span.with_span t.spans ~cat:"optimizer" ("analyze:" ^ name) (fun () ->
+          Optimizer.analyze ~config:t.opt_config p
+            (E.Interp.test_input ~max_blocks:(test_fuel t) ())))
 
 let kname = Optimizer.kind_name
 
@@ -82,10 +132,18 @@ let layout t name kind =
     (name ^ "/" ^ kname kind)
     (fun () ->
       match kind with
-      | Optimizer.Original -> Layout.original (program t name)
+      | Optimizer.Original ->
+        let p = program t name in
+        U.Span.with_span t.spans ~cat:"optimizer"
+          ("layout:" ^ name ^ "/original")
+          (fun () -> Layout.original p)
       | _ ->
         progress t (Printf.sprintf "laying out %s with %s" name (kname kind));
-        Optimizer.layout_for ~config:t.opt_config kind (program t name) (analysis t name))
+        let p = program t name in
+        let a = analysis t name in
+        U.Span.with_span t.spans ~cat:"optimizer"
+          (Printf.sprintf "layout:%s/%s" name (kname kind))
+          (fun () -> Optimizer.layout_for ~config:t.opt_config kind p a))
 
 let smt_code t name kind = Layout.to_smt_code (layout t name kind)
 
@@ -95,30 +153,44 @@ let solo_stats t ~hw name kind =
   memo t.solo_cache
     (Printf.sprintf "%s/%s/%s" name (kname kind) (hw_tag hw))
     (fun () ->
-      let prefetch = if hw then Some t.hw_prefetch else None in
-      Pipeline.miss_ratio_solo ?prefetch ~params:t.params ~layout:(layout t name kind)
-        (ref_trace t name))
+      let lay = layout t name kind and trace = ref_trace t name in
+      U.Span.with_span t.spans ~cat:"cache-sim"
+        (Printf.sprintf "solo:%s/%s/%s" name (kname kind) (hw_tag hw))
+        (fun () ->
+          let prefetch = if hw then Some t.hw_prefetch else None in
+          let stats = Pipeline.miss_ratio_solo ?prefetch ~params:t.params ~layout:lay trace in
+          publish_cache_stats t ~mode:"solo" stats;
+          stats))
 
 let corun_stats t ~hw ~self ~peer =
   let sn, sk = self and pn, pk = peer in
   memo t.corun_cache
     (Printf.sprintf "%s/%s|%s/%s|%s" sn (kname sk) pn (kname pk) (hw_tag hw))
     (fun () ->
-      let prefetch = if hw then Some t.hw_prefetch else None in
-      Pipeline.miss_ratio_corun ?prefetch
-        ~rates:(fetch_rate t sn, fetch_rate t pn)
-        ~params:t.params
-        ~self:(layout t sn sk, ref_trace t sn)
-        ~peer:(layout t pn pk, ref_trace t pn)
-        ())
+      let self_lay = layout t sn sk and self_trace = ref_trace t sn in
+      let peer_lay = layout t pn pk and peer_trace = ref_trace t pn in
+      U.Span.with_span t.spans ~cat:"cache-sim"
+        (Printf.sprintf "corun:%s/%s|%s/%s|%s" sn (kname sk) pn (kname pk) (hw_tag hw))
+        (fun () ->
+          let prefetch = if hw then Some t.hw_prefetch else None in
+          let stats =
+            Pipeline.miss_ratio_corun ?prefetch
+              ~rates:(fetch_rate t sn, fetch_rate t pn)
+              ~params:t.params ~self:(self_lay, self_trace) ~peer:(peer_lay, peer_trace) ()
+          in
+          publish_cache_stats t ~mode:"corun" stats;
+          stats))
 
 let smt_solo t name kind =
   memo t.smt_solo_cache
     (name ^ "/" ^ kname kind)
     (fun () ->
-      let work_scale = 1.0 /. fetch_rate t name in
-      E.Smt.solo ~work_scale t.smt_cfg (smt_code t name kind)
-        (Colayout_trace.Trace.events (ref_trace t name)))
+      let code = smt_code t name kind and trace = ref_trace t name in
+      U.Span.with_span t.spans ~cat:"smt"
+        (Printf.sprintf "smt-solo:%s/%s" name (kname kind))
+        (fun () ->
+          let work_scale = 1.0 /. fetch_rate t name in
+          E.Smt.solo ~work_scale t.smt_cfg code (Colayout_trace.Trace.events trace)))
 
 let mode_tag = function E.Smt.Finish_both -> "fb" | E.Smt.Measure_first -> "mf"
 
@@ -139,12 +211,17 @@ let smt_corun ?(rotate_peer = false) t ~mode ~self ~peer =
     (Printf.sprintf "%s/%s|%s/%s|%s%s" sn (kname sk) pn (kname pk) (mode_tag mode)
        (if rotate_peer then "|rot" else ""))
     (fun () ->
-      let ws = (1.0 /. fetch_rate t sn, 1.0 /. fetch_rate t pn) in
-      let peer_events = Colayout_trace.Trace.events (ref_trace t pn) in
-      let peer_events = if rotate_peer then rotate_half peer_events else peer_events in
-      E.Smt.corun ~work_scales:ws t.smt_cfg ~mode
-        (smt_code t sn sk, Colayout_trace.Trace.events (ref_trace t sn))
-        (smt_code t pn pk, peer_events))
+      let self_code = smt_code t sn sk and self_trace = ref_trace t sn in
+      let peer_code = smt_code t pn pk and peer_trace = ref_trace t pn in
+      U.Span.with_span t.spans ~cat:"smt"
+        (Printf.sprintf "smt-corun:%s/%s|%s/%s|%s" sn (kname sk) pn (kname pk) (mode_tag mode))
+        (fun () ->
+          let ws = (1.0 /. fetch_rate t sn, 1.0 /. fetch_rate t pn) in
+          let peer_events = Colayout_trace.Trace.events peer_trace in
+          let peer_events = if rotate_peer then rotate_half peer_events else peer_events in
+          E.Smt.corun ~work_scales:ws t.smt_cfg ~mode
+            (self_code, Colayout_trace.Trace.events self_trace)
+            (peer_code, peer_events)))
 
 let solo_miss_ratio t ~hw name kind = C.Cache_stats.miss_ratio (solo_stats t ~hw name kind)
 

@@ -19,10 +19,24 @@ type scale =
 
 type t
 
-val create : ?scale:scale -> unit -> t
-(** Default [Full]. *)
+val create :
+  ?scale:scale -> ?metrics:Colayout_util.Metrics.t -> ?spans:Colayout_util.Span.t -> unit -> t
+(** Default [Full]. Each context owns its own metrics registry and span
+    recorder (fresh ones unless passed in) — no state is shared between two
+    contexts, so back-to-back runs are fully isolated. *)
 
 val scale : t -> scale
+
+val metrics : t -> Colayout_util.Metrics.t
+(** The context's metrics registry. Memo tables report
+    [ctx.memo.<table>.{hits,misses}] (hits + misses = lookups); interpreter
+    runs add [interp.*]; cache simulations add
+    [cache.{accesses,misses,evictions,prefetches}] totals plus
+    per-mode [cache.{solo,corun}.*] breakdowns. *)
+
+val spans : t -> Colayout_util.Span.t
+(** The context's span recorder: every program build, reference run,
+    analysis, layout and simulation runs inside a named span. *)
 
 val params : t -> Colayout_cache.Params.t
 
@@ -86,4 +100,6 @@ val corun_miss_ratio :
 (** Thread 0's miss ratio in the shared cache. *)
 
 val progress : t -> string -> unit
-(** Emit a progress note on stderr. *)
+(** Emit a progress note through the {!Report} logger ([Logs.Info] on the
+    harness source); silent unless a front-end installed a reporter via
+    [Report.setup]. *)

@@ -99,6 +99,10 @@ let run_by_ids ctx requested =
         invalid_arg
           (Printf.sprintf "unknown experiment %S (known: %s)" id (String.concat ", " ids))
       | Some e ->
-        Printf.eprintf "== running %s (%s) ==\n%!" e.id e.paper_ref;
-        (id, e.run ctx))
+        Report.info "== running %s (%s) ==" e.id e.paper_ref;
+        let tables =
+          Colayout_util.Span.with_span (Ctx.spans ctx) ~cat:"experiment" ("exp:" ^ e.id)
+            (fun () -> e.run ctx)
+        in
+        (id, tables))
     requested

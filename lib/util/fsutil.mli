@@ -1,0 +1,3 @@
+val mkdir_p : string -> unit
+(** Create a directory and all missing parents ([mkdir -p]). No-op when it
+    already exists; races with concurrent creators are tolerated. *)

@@ -1,0 +1,257 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+
+(* ------------------------------------------------------------ printing *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write b ~indent ~level v =
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let sep () = if indent then Buffer.add_string b "\n" in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if not (Float.is_finite f) then Buffer.add_string b "null"
+    else Buffer.add_string b (float_repr f)
+  | Str s ->
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr xs ->
+    Buffer.add_char b '[';
+    sep ();
+    List.iteri
+      (fun i x ->
+        if i > 0 then begin
+          Buffer.add_char b ',';
+          sep ()
+        end;
+        pad (level + 1);
+        write b ~indent ~level:(level + 1) x)
+      xs;
+    sep ();
+    pad level;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    sep ();
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then begin
+          Buffer.add_char b ',';
+          sep ()
+        end;
+        pad (level + 1);
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b "\": ";
+        write b ~indent ~level:(level + 1) x)
+      kvs;
+    sep ();
+    pad level;
+    Buffer.add_char b '}'
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  write b ~indent:pretty ~level:0 v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------- parsing *)
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (st.pos, msg))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    if c = '"' then Buffer.contents b
+    else if c = '\\' then begin
+      if st.pos >= String.length st.s then fail st "unterminated escape";
+      let e = st.s.[st.pos] in
+      st.pos <- st.pos + 1;
+      (match e with
+      | '"' -> Buffer.add_char b '"'
+      | '\\' -> Buffer.add_char b '\\'
+      | '/' -> Buffer.add_char b '/'
+      | 'b' -> Buffer.add_char b '\b'
+      | 'f' -> Buffer.add_char b '\012'
+      | 'n' -> Buffer.add_char b '\n'
+      | 'r' -> Buffer.add_char b '\r'
+      | 't' -> Buffer.add_char b '\t'
+      | 'u' ->
+        if st.pos + 4 > String.length st.s then fail st "bad \\u escape";
+        let hex = String.sub st.s st.pos 4 in
+        st.pos <- st.pos + 4;
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape"
+        in
+        (* Encode as UTF-8; surrogate pairs are not recombined (we never
+           emit them ourselves). *)
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> fail st "unknown escape");
+      go ()
+    end
+    else begin
+      Buffer.add_char b c;
+      go ()
+    end
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while st.pos < String.length st.s && is_num_char st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      Arr []
+    end
+    else begin
+      let acc = ref [] in
+      let rec items () =
+        acc := parse_value st :: !acc;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or ']'"
+      in
+      items ();
+      Arr (List.rev !acc)
+    end
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let acc = ref [] in
+      let rec items () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        acc := (k, v) :: !acc;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or '}'"
+      in
+      items ();
+      Obj (List.rev !acc)
+    end
+  | Some _ -> parse_number st
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ------------------------------------------------------------ accessors *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_list = function Arr xs -> Some xs | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,36 @@
+(** Minimal JSON tree: build, print, parse.
+
+    Small on purpose — just what the observability layer (metrics snapshots,
+    Chrome trace export, bench manifests) and its validators need. Integers
+    are kept distinct from floats so counters round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+(** Position (byte offset) and message. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default false) adds newlines and 2-space indent.
+    Non-finite floats print as [null]. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_list : t -> t list option
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option

@@ -1,0 +1,110 @@
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float }
+
+type timer = { mutable calls : int; mutable total_ns : int64 }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+  clock : unit -> int64;
+}
+
+let default_clock = Monotonic_clock.now
+
+let create ?(clock = default_clock) () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    timers = Hashtbl.create 8;
+    clock;
+  }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let count c = c.count
+
+let add t name by = incr ~by (counter t name)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { value = 0.0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let set g v = g.value <- v
+
+let set_gauge t name v = set (gauge t name) v
+
+let timer t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some x -> x
+  | None ->
+    let x = { calls = 0; total_ns = 0L } in
+    Hashtbl.replace t.timers name x;
+    x
+
+let time t name f =
+  let tm = timer t name in
+  let t0 = t.clock () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Int64.sub (t.clock ()) t0 in
+      let dt = if Int64.compare dt 0L < 0 then 0L else dt in
+      tm.calls <- tm.calls + 1;
+      tm.total_ns <- Int64.add tm.total_ns dt)
+    f
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = List.map (fun (k, c) -> (k, c.count)) (sorted_bindings t.counters)
+
+let gauges t = List.map (fun (k, g) -> (k, g.value)) (sorted_bindings t.gauges)
+
+let timers t =
+  List.map (fun (k, x) -> (k, x.calls, x.total_ns)) (sorted_bindings t.timers)
+
+let find_counter t name = Option.map (fun c -> c.count) (Hashtbl.find_opt t.counters name)
+
+(* Zero in place rather than clearing the tables: callers cache handles,
+   and a cleared table would leave those handles updating orphaned cells. *)
+let reset t =
+  Hashtbl.iter (fun _ c -> c.count <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.value <- 0.0) t.gauges;
+  Hashtbl.iter
+    (fun _ x ->
+      x.calls <- 0;
+      x.total_ns <- 0L)
+    t.timers
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "colayout/metrics/v1");
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)));
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (k, calls, total_ns) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("calls", Json.Int calls);
+                     ("total_ns", Json.Int (Int64.to_int total_ns));
+                   ] ))
+             (timers t)) );
+    ]

@@ -1,0 +1,54 @@
+(** Named counters, gauges and timers in an explicit registry.
+
+    The registry is a plain value — no process-global state — so each
+    {e handle} (a harness [Ctx], a benchmark run, a test) owns its own
+    metrics and two runs can never bleed into each other. Counter handles
+    are cached by the caller for hot paths; [add]/[set_gauge] are the
+    convenience forms. Snapshots serialize to JSON
+    (schema [colayout/metrics/v1]) with deterministically sorted keys. *)
+
+type t
+
+type counter
+
+type gauge
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [clock] (nanoseconds, monotonic) is used by {!time}; injectable for
+    deterministic tests. *)
+
+val counter : t -> string -> counter
+(** Find-or-create; the handle stays valid for the registry's lifetime. *)
+
+val incr : ?by:int -> counter -> unit
+
+val count : counter -> int
+
+val add : t -> string -> int -> unit
+(** [add t name by] = [incr ~by (counter t name)]. *)
+
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk under the named timer (accumulates call count and total
+    nanoseconds); exception-safe. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+
+val timers : t -> (string * int * int64) list
+(** [(name, calls, total_ns)], sorted by name. *)
+
+val find_counter : t -> string -> int option
+
+val reset : t -> unit
+(** Zero every counter, gauge and timer in place; existing handles remain
+    attached to their (now zeroed) cells. *)
+
+val to_json : t -> Json.t

@@ -1,10 +1,20 @@
-type t = { mutable state : int64 }
+type t = {
+  mutable state : int64;
+  (* Per-instance (n, s) -> CDF memo for [zipf]. A pure cache of a
+     deterministic function of the key, so it never influences drawn
+     sequences — but it must live inside [t]: a process-global table would
+     be shared mutable state across otherwise isolated PRNG instances (and
+     a data race under Domain-parallel use). *)
+  zipf_tables : (int * float, float array) Hashtbl.t;
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create ~seed = { state = Int64.of_int seed }
+let create ~seed = { state = Int64.of_int seed; zipf_tables = Hashtbl.create 4 }
 
-let copy t = { state = t.state }
+(* The copy gets a fresh (empty) memo: caches are derived data, and sharing
+   the table would couple the two instances through hidden mutable state. *)
+let copy t = { state = t.state; zipf_tables = Hashtbl.create 4 }
 
 (* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
 let mix z =
@@ -18,7 +28,7 @@ let next_int64 t =
 
 let split t =
   let seed64 = next_int64 t in
-  { state = mix seed64 }
+  { state = mix seed64; zipf_tables = Hashtbl.create 4 }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
@@ -58,8 +68,6 @@ let geometric t ~p =
     (* Inverse CDF; [u < 1] so [log1p (-.u)] is finite. *)
     int_of_float (floor (log1p (-.u) /. log1p (-.p)))
 
-let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 16
-
 let zipf t ~n ~s =
   if n <= 0 then invalid_arg "Prng.zipf";
   (* Rejection-inversion would be overkill for the block counts we use;
@@ -68,7 +76,7 @@ let zipf t ~n ~s =
      recomputing the CDF on every draw. *)
   let key = (n, s) in
   let cdf =
-    match Hashtbl.find_opt zipf_tables key with
+    match Hashtbl.find_opt t.zipf_tables key with
     | Some c -> c
     | None ->
       let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
@@ -81,7 +89,7 @@ let zipf t ~n ~s =
             !acc)
           weights
       in
-      Hashtbl.replace zipf_tables key c;
+      Hashtbl.replace t.zipf_tables key c;
       c
   in
   let u = float t in

@@ -41,4 +41,5 @@ val geometric : t -> p:float -> int
 val zipf : t -> n:int -> s:float -> int
 (** Zipf-distributed rank in [[0, n)] with exponent [s]; used to give
     synthetic workloads the skewed hot/cold block popularity that real
-    programs show. *)
+    programs show. The per-[(n, s)] CDF memo lives inside [t] — no state
+    is shared between instances. *)

@@ -1,0 +1,90 @@
+type span = {
+  name : string;
+  cat : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+}
+
+type t = {
+  clock : unit -> int64;
+  epoch_ns : int64;
+  mutable depth : int;
+  mutable closed : span list; (* most recently completed first *)
+}
+
+let create ?(clock = Monotonic_clock.now) () =
+  { clock; epoch_ns = clock (); depth = 0; closed = [] }
+
+let with_span t ?(cat = "default") name f =
+  let start_ns = t.clock () in
+  let depth = t.depth in
+  t.depth <- depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.depth <- depth;
+      let dur = Int64.sub (t.clock ()) start_ns in
+      let dur_ns = if Int64.compare dur 0L < 0 then 0L else dur in
+      t.closed <- { name; cat; start_ns; dur_ns; depth } :: t.closed)
+    f
+
+let spans t = List.rev t.closed
+
+let count t = List.length t.closed
+
+let aggregate t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let calls, total =
+        match Hashtbl.find_opt tbl (s.cat, s.name) with
+        | Some (c, tot) -> (c, tot)
+        | None -> (0, 0L)
+      in
+      Hashtbl.replace tbl (s.cat, s.name) (calls + 1, Int64.add total s.dur_ns))
+    t.closed;
+  Hashtbl.fold (fun (cat, name) (calls, total_ns) acc -> (cat, name, calls, total_ns) :: acc) tbl []
+  |> List.sort compare
+
+let by_category t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      (* Only top-level spans of each category: a nested span of the same
+         category would double-count its parent's time. *)
+      let nested_same_cat =
+        List.exists
+          (fun p ->
+            p.cat = s.cat && p.depth < s.depth
+            && Int64.compare p.start_ns s.start_ns <= 0
+            && Int64.compare (Int64.add s.start_ns s.dur_ns) (Int64.add p.start_ns p.dur_ns) <= 0)
+          t.closed
+      in
+      if not nested_same_cat then
+        let total = Option.value ~default:0L (Hashtbl.find_opt tbl s.cat) in
+        Hashtbl.replace tbl s.cat (Int64.add total s.dur_ns))
+    t.closed;
+  Hashtbl.fold (fun cat total acc -> (cat, total) :: acc) tbl [] |> List.sort compare
+
+let us_of_ns ns = Int64.to_int (Int64.div ns 1000L)
+
+(* Chrome trace_event format: an object with a "traceEvents" array of "X"
+   (complete) events; chrome://tracing and Perfetto load it directly.
+   Timestamps are microseconds relative to the recorder's creation. *)
+let to_chrome_json t =
+  let events =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.Str s.name);
+            ("cat", Json.Str s.cat);
+            ("ph", Json.Str "X");
+            ("ts", Json.Int (us_of_ns (Int64.sub s.start_ns t.epoch_ns)));
+            ("dur", Json.Int (us_of_ns s.dur_ns));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+          ])
+      (spans t)
+  in
+  Json.Obj [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]

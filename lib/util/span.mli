@@ -1,0 +1,42 @@
+(** Nested monotonic-clock spans with Chrome [trace_event] export.
+
+    A recorder is a plain value (one per harness [Ctx] or bench run —
+    never process-global). {!with_span} brackets a computation; spans may
+    nest arbitrarily and are recorded with their nesting depth, so the
+    exported trace reconstructs the flame graph. Durations are clamped
+    non-negative. *)
+
+type span = {
+  name : string;
+  cat : string;  (** Category, e.g. ["optimizer"], ["cache-sim"]. *)
+  start_ns : int64;  (** Raw clock reading (relative to nothing). *)
+  dur_ns : int64;  (** >= 0. *)
+  depth : int;  (** Nesting depth at entry; 0 = top level. *)
+}
+
+type t
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** Default clock: the monotonic nanosecond clock. Injectable for
+    deterministic tests. *)
+
+val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span; exception-safe (the span is closed
+    and recorded, then the exception re-raised). *)
+
+val spans : t -> span list
+(** Completed spans in completion order. *)
+
+val count : t -> int
+
+val aggregate : t -> (string * string * int * int64) list
+(** [(cat, name, calls, total_ns)] per distinct span, sorted. *)
+
+val by_category : t -> (string * int64) list
+(** Total nanoseconds per category, counting only spans not nested inside
+    another span of the same category (no double-counting). *)
+
+val to_chrome_json : t -> Json.t
+(** Chrome [trace_event] JSON ({["traceEvents"]} array of ["X"] complete
+    events, timestamps in microseconds since recorder creation); loadable
+    by chrome://tracing and Perfetto. *)

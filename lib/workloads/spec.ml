@@ -157,15 +157,12 @@ let profile name =
   | Some p -> p
   | None -> raise Not_found
 
-let cache : (string, Colayout_ir.Program.t) Hashtbl.t = Hashtbl.create 32
-
-let build name =
-  match Hashtbl.find_opt cache name with
-  | Some p -> p
-  | None ->
-    let p = Gen.build (profile name) in
-    Hashtbl.replace cache name p;
-    p
+(* Pure: a fresh program every call. The seed version kept a process-global
+   memo here, which silently double-cached with [Ctx.programs] and leaked
+   built programs across [Ctx] instances and test runs (and would race under
+   Domain parallelism). Callers that build repeatedly — the harness [Ctx],
+   the bench's lazy shared inputs — already memoize at their own scope. *)
+let build name = Gen.build (profile name)
 
 let deep_eight =
   [

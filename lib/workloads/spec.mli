@@ -17,8 +17,9 @@ val profile : string -> Gen.profile
 (** @raise Not_found for unknown names. *)
 
 val build : string -> Colayout_ir.Program.t
-(** Build the analog program. Results are memoized: profiles are
-    deterministic, and experiments reuse programs heavily. *)
+(** Build the analog program. Pure and deterministic: every call constructs
+    a fresh, structurally identical program — no hidden global memo.
+    Callers that rebuild heavily (the harness [Ctx]) memoize themselves. *)
 
 val deep_eight : string list
 (** perlbench, gcc, mcf, gobmk, povray, sjeng, omnetpp, xalancbmk. *)

@@ -1,0 +1,323 @@
+(* Observability layer: Json / Metrics / Span / Fsutil units, PRNG
+   differential tests against pre-refactor draw sequences, and the Ctx
+   isolation + determinism + memo-consistency properties from the issue. *)
+
+module U = Colayout_util
+module H = Colayout_harness
+module J = U.Json
+
+let check = Alcotest.check
+
+(* A deterministic nanosecond clock: returns 0, step, 2*step, ... *)
+let fake_clock ?(step = 1000L) () =
+  let tick = ref 0L in
+  fun () ->
+    let v = !tick in
+    tick := Int64.add v step;
+    v
+
+(* ---------- Json ---------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("t", J.Bool true);
+        ("f", J.Bool false);
+        ("int", J.Int (-42));
+        ("float", J.Float 1.5);
+        ("str", J.Str "a \"quoted\"\nline\t\\");
+        ("arr", J.Arr [ J.Int 1; J.Str "x"; J.Arr []; J.Obj [] ]);
+      ]
+  in
+  check Alcotest.bool "compact round-trip" true (J.parse (J.to_string v) = v);
+  check Alcotest.bool "pretty round-trip" true (J.parse (J.to_string ~pretty:true v) = v)
+
+let test_json_int_float_distinct () =
+  check Alcotest.bool "3 is Int" true (J.parse "3" = J.Int 3);
+  check Alcotest.bool "3.5 is Float" true (J.parse "3.5" = J.Float 3.5);
+  check Alcotest.bool "-2e2 is Float" true (J.parse "-2e2" = J.Float (-200.))
+
+let test_json_parse_errors () =
+  let rejects s =
+    match J.parse s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "empty" true (rejects "");
+  check Alcotest.bool "trailing garbage" true (rejects "{} x");
+  check Alcotest.bool "unterminated string" true (rejects "\"abc");
+  check Alcotest.bool "bad literal" true (rejects "treu");
+  check Alcotest.bool "missing colon" true (rejects "{\"a\" 1}");
+  check Alcotest.bool "unclosed array" true (rejects "[1, 2")
+
+let test_json_accessors () =
+  let v = J.parse {|{"a": {"b": [1, 2.5, "s"]}, "n": 7}|} in
+  check Alcotest.bool "member chain" true
+    (Option.bind (J.member "a" v) (J.member "b") <> None);
+  check (Alcotest.option Alcotest.int) "to_int" (Some 7)
+    (Option.bind (J.member "n" v) J.to_int);
+  check (Alcotest.option (Alcotest.float 0.0)) "to_float on Int" (Some 7.0)
+    (Option.bind (J.member "n" v) J.to_float);
+  check (Alcotest.option Alcotest.int) "missing member" None
+    (Option.bind (J.member "zz" v) J.to_int)
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_counters_gauges () =
+  let m = U.Metrics.create () in
+  let c = U.Metrics.counter m "a.count" in
+  U.Metrics.incr c;
+  U.Metrics.incr ~by:4 c;
+  U.Metrics.add m "a.count" 5;
+  check Alcotest.int "counter accumulates" 10 (U.Metrics.count c);
+  check (Alcotest.option Alcotest.int) "find_counter" (Some 10)
+    (U.Metrics.find_counter m "a.count");
+  check (Alcotest.option Alcotest.int) "find_counter missing" None
+    (U.Metrics.find_counter m "nope");
+  U.Metrics.set_gauge m "g" 2.5;
+  check Alcotest.bool "gauge listed" true (U.Metrics.gauges m = [ ("g", 2.5) ]);
+  (* Same name yields the same underlying cell. *)
+  let c' = U.Metrics.counter m "a.count" in
+  U.Metrics.incr c';
+  check Alcotest.int "handle aliases registry cell" 11 (U.Metrics.count c)
+
+let test_metrics_timer_and_json () =
+  let m = U.Metrics.create ~clock:(fake_clock ()) () in
+  let r = U.Metrics.time m "work" (fun () -> 42) in
+  check Alcotest.int "timer returns thunk value" 42 r;
+  ignore (U.Metrics.time m "work" (fun () -> 0));
+  (match U.Metrics.timers m with
+  | [ ("work", 2, total) ] ->
+    check Alcotest.bool "timer total positive" true (Int64.compare total 0L > 0)
+  | other -> Alcotest.failf "unexpected timers: %d entries" (List.length other));
+  (* Exception safety: the timer still records the failed call. *)
+  (try U.Metrics.time m "work" (fun () -> failwith "boom") with Failure _ -> ());
+  (match U.Metrics.timers m with
+  | [ ("work", 3, _) ] -> ()
+  | _ -> Alcotest.fail "timer lost a call on exception");
+  U.Metrics.add m "z" 1;
+  U.Metrics.add m "a" 2;
+  let json = U.Metrics.to_json m in
+  check (Alcotest.option Alcotest.string) "schema" (Some "colayout/metrics/v1")
+    (Option.bind (J.member "schema" json) J.to_str);
+  (* Snapshot JSON is itself parseable and key-sorted. *)
+  let reparsed = J.parse (J.to_string ~pretty:true json) in
+  (match J.member "counters" reparsed with
+  | Some (J.Obj kvs) ->
+    let keys = List.map fst kvs in
+    check Alcotest.bool "counters sorted" true (keys = List.sort compare keys)
+  | _ -> Alcotest.fail "no counters object");
+  U.Metrics.reset m;
+  check (Alcotest.option Alcotest.int) "reset zeroes counters" (Some 0)
+    (U.Metrics.find_counter m "a")
+
+(* ---------- Span ---------- *)
+
+let test_span_nesting () =
+  let t = U.Span.create ~clock:(fake_clock ()) () in
+  let r =
+    U.Span.with_span t ~cat:"outer" "a" (fun () ->
+        U.Span.with_span t ~cat:"inner" "b" (fun () -> 7))
+  in
+  check Alcotest.int "value threads through" 7 r;
+  match U.Span.spans t with
+  | [ b; a ] ->
+    (* Completion order: inner first. *)
+    check Alcotest.string "inner name" "b" b.U.Span.name;
+    check Alcotest.int "inner depth" 1 b.U.Span.depth;
+    check Alcotest.int "outer depth" 0 a.U.Span.depth;
+    (* clock: epoch=0, a start=1000, b start=2000, b end=3000, a end=4000 *)
+    check Alcotest.bool "inner dur" true (b.U.Span.dur_ns = 1000L);
+    check Alcotest.bool "outer dur" true (a.U.Span.dur_ns = 3000L);
+    check Alcotest.bool "outer contains inner" true
+      (Int64.compare a.U.Span.start_ns b.U.Span.start_ns < 0)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_safety () =
+  let t = U.Span.create ~clock:(fake_clock ()) () in
+  (try U.Span.with_span t "fails" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "span recorded despite raise" 1 (U.Span.count t);
+  (* Depth is restored so the next span is top-level again. *)
+  U.Span.with_span t "next" (fun () -> ());
+  match U.Span.spans t with
+  | [ _; next ] -> check Alcotest.int "depth restored" 0 next.U.Span.depth
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_span_aggregate_and_categories () =
+  let t = U.Span.create ~clock:(fake_clock ()) () in
+  U.Span.with_span t ~cat:"sim" "run" (fun () ->
+      U.Span.with_span t ~cat:"sim" "step" (fun () -> ());
+      U.Span.with_span t ~cat:"io" "write" (fun () -> ()));
+  U.Span.with_span t ~cat:"sim" "run" (fun () -> ());
+  (match U.Span.aggregate t with
+  | [ ("io", "write", 1, _); ("sim", "run", 2, _); ("sim", "step", 1, _) ] -> ()
+  | agg -> Alcotest.failf "unexpected aggregate: %d rows" (List.length agg));
+  (* by_category must not double-count "step" inside "run" (both cat sim),
+     but "write" (cat io, nested under sim) counts fully. *)
+  let cats = U.Span.by_category t in
+  let total cat = Option.value ~default:(-1L) (List.assoc_opt cat cats) in
+  (* run #1 spans clock 1000..6000 (dur 5000), run #2 6000..7000 wait —
+     recompute: epoch=0; run1 start=1000; step 2000..3000; write 4000..5000;
+     run1 end=6000 (dur 5000); run2 7000..8000 (dur 1000). *)
+  check Alcotest.bool "sim total excludes nested sim" true (total "sim" = 6000L);
+  check Alcotest.bool "io total" true (total "io" = 1000L)
+
+let test_span_chrome_json () =
+  let t = U.Span.create ~clock:(fake_clock ()) () in
+  U.Span.with_span t ~cat:"c" "outer" (fun () ->
+      U.Span.with_span t ~cat:"c" "inner" (fun () -> ()));
+  let json = U.Span.to_chrome_json t in
+  let reparsed = J.parse (J.to_string ~pretty:true json) in
+  match Option.bind (J.member "traceEvents" reparsed) J.to_list with
+  | Some events ->
+    check Alcotest.int "two events" 2 (List.length events);
+    List.iter
+      (fun ev ->
+        let field k = Option.bind (J.member k ev) J.to_int in
+        check Alcotest.bool "ts non-negative" true (Option.get (field "ts") >= 0);
+        check Alcotest.bool "dur non-negative" true (Option.get (field "dur") >= 0);
+        check (Alcotest.option Alcotest.string) "complete event" (Some "X")
+          (Option.bind (J.member "ph" ev) J.to_str))
+      events
+  | None -> Alcotest.fail "no traceEvents"
+
+(* ---------- Fsutil ---------- *)
+
+let test_mkdir_p () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "colayout_obs_test" in
+  let nested = Filename.concat (Filename.concat root "a/b") "c" in
+  U.Fsutil.mkdir_p nested;
+  check Alcotest.bool "nested dir exists" true
+    (Sys.file_exists nested && Sys.is_directory nested);
+  (* Idempotent on existing directories. *)
+  U.Fsutil.mkdir_p nested;
+  U.Fsutil.mkdir_p root;
+  check Alcotest.bool "still a dir" true (Sys.is_directory nested)
+
+(* ---------- PRNG differential tests ----------
+
+   The zipf CDF memo moved from a module-global table into Prng.t. These
+   sequences were captured from the pre-refactor implementation; they pin
+   down that per-instance caching changes no drawn value. *)
+
+let draws prng ~n ~s k = List.init k (fun _ -> U.Prng.zipf prng ~n ~s)
+
+let test_zipf_sequence_unchanged () =
+  let p = U.Prng.create ~seed:42 in
+  check (Alcotest.list Alcotest.int) "seed 42, n=50, s=1.2"
+    [ 9; 0; 0; 1; 0; 20; 0; 13; 1; 5; 0; 2 ]
+    (draws p ~n:50 ~s:1.2 12);
+  let q = U.Prng.create ~seed:123 in
+  check (Alcotest.list Alcotest.int) "seed 123, n=4096, s=0.9"
+    [ 612; 3564; 1726; 531; 528; 460 ]
+    (draws q ~n:4096 ~s:0.9 6)
+
+let test_zipf_instances_independent () =
+  (* Two same-seeded instances interleaved draw identical values: the CDF
+     memo is derived data, so per-instance tables can't skew streams. *)
+  let a = U.Prng.create ~seed:7 and b = U.Prng.create ~seed:7 in
+  let pairs =
+    List.init 8 (fun _ -> (U.Prng.zipf a ~n:10 ~s:0.9, U.Prng.zipf b ~n:10 ~s:0.9))
+  in
+  List.iter (fun (x, y) -> check Alcotest.int "interleaved equal" x y) pairs;
+  check (Alcotest.list Alcotest.int) "seed 7 values"
+    [ 1; 0; 7; 2; 1; 0; 1; 1 ]
+    (List.map fst pairs);
+  (* A copy taken mid-stream replays the original exactly, including zipf
+     draws whose CDF the copy has not cached yet. *)
+  let p = U.Prng.create ~seed:99 in
+  ignore (draws p ~n:50 ~s:1.2 3);
+  let c = U.Prng.copy p in
+  check (Alcotest.list Alcotest.int) "copy replays original"
+    (draws p ~n:50 ~s:1.2 5)
+    (draws c ~n:50 ~s:1.2 5)
+
+(* ---------- Ctx isolation, determinism, memo consistency ---------- *)
+
+let two_experiments = [ "intro"; "model" ]
+
+let run_ctx () =
+  let ctx = H.Ctx.create ~scale:H.Ctx.Fast () in
+  ignore (H.Registry.run_by_ids ctx two_experiments);
+  ctx
+
+let memo_tables =
+  [
+    "programs"; "ref_results"; "analyses"; "layouts"; "solo_cache";
+    "corun_cache"; "smt_solo_cache"; "smt_corun_cache";
+  ]
+
+let test_ctx_two_experiment_run () =
+  let ctx1 = run_ctx () in
+  let snap1 = U.Metrics.counters (H.Ctx.metrics ctx1) in
+  let ctx2 = run_ctx () in
+  (* Determinism: two fresh contexts doing identical work take identical
+     metrics snapshots (counter set and values). *)
+  check Alcotest.bool "snapshots identical" true
+    (snap1 = U.Metrics.counters (H.Ctx.metrics ctx2));
+  (* Isolation: running ctx2 did not touch ctx1's registry... *)
+  check Alcotest.bool "ctx1 unchanged by ctx2" true
+    (snap1 = U.Metrics.counters (H.Ctx.metrics ctx1));
+  (* ...and memoized values are per-context, not shared through a global. *)
+  check Alcotest.bool "programs are distinct values" false
+    (H.Ctx.program ctx1 "403.gcc" == H.Ctx.program ctx2 "403.gcc");
+  (* Memo consistency: hits + misses = lookups for every table. *)
+  let count ctx name =
+    Option.value ~default:0 (U.Metrics.find_counter (H.Ctx.metrics ctx) name)
+  in
+  List.iter
+    (fun tbl ->
+      let pre s = Printf.sprintf "ctx.memo.%s.%s" tbl s in
+      check Alcotest.int
+        (Printf.sprintf "%s hits+misses=lookups" tbl)
+        (count ctx1 (pre "lookups"))
+        (count ctx1 (pre "hits") + count ctx1 (pre "misses")))
+    memo_tables;
+  (* The two-experiment run actually exercised the memo layer. *)
+  let total suffix =
+    List.fold_left (fun acc tbl -> acc + count ctx1 (Printf.sprintf "ctx.memo.%s.%s" tbl suffix)) 0 memo_tables
+  in
+  check Alcotest.bool "some hits" true (total "hits" > 0);
+  check Alcotest.bool "some misses" true (total "misses" > 0);
+  (* Spans: one per experiment, plus optimizer stages underneath. *)
+  let names = List.map (fun s -> s.U.Span.name) (U.Span.spans (H.Ctx.spans ctx1)) in
+  List.iter
+    (fun id -> check Alcotest.bool ("span for " ^ id) true (List.mem ("exp:" ^ id) names))
+    two_experiments;
+  check Alcotest.bool "analyze spans present" true
+    (List.exists (fun n -> String.length n > 8 && String.sub n 0 8 = "analyze:") names)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "int-float" `Quick test_json_int_float_distinct;
+          Alcotest.test_case "parse-errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters-gauges" `Quick test_metrics_counters_gauges;
+          Alcotest.test_case "timer-json" `Quick test_metrics_timer_and_json;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception-safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "aggregate" `Quick test_span_aggregate_and_categories;
+          Alcotest.test_case "chrome-json" `Quick test_span_chrome_json;
+        ] );
+      ("fsutil", [ Alcotest.test_case "mkdir_p" `Quick test_mkdir_p ]);
+      ( "prng",
+        [
+          Alcotest.test_case "zipf-unchanged" `Quick test_zipf_sequence_unchanged;
+          Alcotest.test_case "zipf-independent" `Quick test_zipf_instances_independent;
+        ] );
+      ( "ctx",
+        [ Alcotest.test_case "two-experiment-run" `Slow test_ctx_two_experiment_run ] );
+    ]

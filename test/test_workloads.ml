@@ -99,8 +99,14 @@ let test_all_29_build_and_validate () =
   List.iter
     (fun name ->
       let p = W.Spec.build name in
-      (* Spec.build memoizes; a second call must return the same program. *)
-      check Alcotest.bool (name ^ " memoized") true (p == W.Spec.build name);
+      (* Spec.build is pure: a second call constructs a fresh program (no
+         global memo) that is structurally identical. *)
+      let q = W.Spec.build name in
+      check Alcotest.bool (name ^ " build is pure (fresh value)") false (p == q);
+      check Alcotest.int (name ^ " deterministic blocks") (Program.num_blocks p)
+        (Program.num_blocks q);
+      check Alcotest.int (name ^ " deterministic bytes") (Program.total_code_bytes p)
+        (Program.total_code_bytes q);
       Validate.check p;
       check Alcotest.bool (name ^ " has code") true (Program.total_code_bytes p > 1000))
     W.Spec.names
