@@ -250,6 +250,114 @@ let run_harness_manifest ~quick ~path =
     exit 1);
   Printf.printf "  wrote %s\n\n%!" path
 
+(* ---------------------------------------------------------- Part 0.75 *)
+
+(* Parallel-scaling benchmark (BENCH_parallel.json, schema
+   colayout/bench-parallel/v1): the Figure 6 co-run speedup matrix —
+   phase-1 prewarm plus the (kind x self x probe) simulation fan-out — is
+   re-run from a fresh Fast-scale context at jobs ∈ {1, 2, 4}, wall-clock
+   timed, and digest-checked: every jobs count must produce bit-identical
+   cell values (the determinism contract of the pool). Quick mode shrinks
+   the matrix (1 optimizer, 3 programs) but exercises the same schedule. *)
+
+let parallel_jobs = [ 1; 2; 4 ]
+
+let run_parallel_matrix ~kinds ~selves ~probes ~jobs =
+  let t0 = U.Metrics.default_clock () in
+  let metrics = U.Metrics.create () in
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.concat_map (fun s -> List.map (fun p -> (kind, s, p)) probes) selves)
+      kinds
+  in
+  let values =
+    U.Pool.with_pool ~jobs ~metrics (fun pool ->
+        let ctx = H.Ctx.create ~scale:H.Ctx.Fast ~metrics ~pool () in
+        H.Ctx.prewarm ctx ~kinds:(Optimizer.Original :: kinds) selves;
+        H.Ctx.par_map ctx
+          (fun (kind, self, probe) -> H.Exp_fig6.speedup ctx kind ~self ~probe)
+          cells)
+  in
+  let wall_ns = Int64.to_int (Int64.sub (U.Metrics.default_clock ()) t0) in
+  let digest =
+    Digest.to_hex
+      (Digest.string (String.concat ";" (List.map (Printf.sprintf "%.12g") values)))
+  in
+  (wall_ns, digest, List.length cells)
+
+let run_parallel_bench ~quick ~path =
+  Printf.printf "== Parallel scaling: fig6 co-run matrix under the domain pool ==\n%!";
+  let kinds = if quick then [ Optimizer.Func_affinity ] else H.Exp_fig6.optimizers in
+  let selves =
+    if quick then [ "400.perlbench"; "429.mcf"; "458.sjeng" ] else W.Spec.deep_eight
+  in
+  let probes = if quick then selves else W.Spec.deep_eight in
+  let runs =
+    List.map
+      (fun jobs ->
+        let wall_ns, digest, cells = run_parallel_matrix ~kinds ~selves ~probes ~jobs in
+        Printf.printf "  jobs=%d  %8.2f s  (%d cells, digest %s)\n%!" jobs
+          (float_of_int wall_ns /. 1e9)
+          cells
+          (String.sub digest 0 12);
+        (jobs, wall_ns, digest))
+      parallel_jobs
+  in
+  let digests = List.map (fun (_, _, d) -> d) runs in
+  let identical = List.for_all (fun d -> d = List.hd digests) digests in
+  if not identical then begin
+    Printf.eprintf "FATAL: fig6 matrix differs across jobs counts — determinism broken\n%!";
+    exit 1
+  end;
+  let base_wall =
+    match runs with (1, w, _) :: _ -> float_of_int w | _ -> assert false
+  in
+  let speedups =
+    List.filter_map
+      (fun (jobs, w, _) ->
+        if jobs = 1 then None
+        else Some (Printf.sprintf "jobs%d" jobs, U.Json.Float (base_wall /. float_of_int w)))
+      runs
+  in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | U.Json.Float s -> Printf.printf "  speedup %-8s %6.2fx\n%!" name s
+      | _ -> ())
+    speedups;
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-parallel/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        ("scale", U.Json.Str "fast");
+        ("matrix", U.Json.Str "fig6");
+        ("kinds", U.Json.Int (List.length kinds));
+        ("selves", U.Json.Int (List.length selves));
+        ("probes", U.Json.Int (List.length probes));
+        ("cores_available", U.Json.Int (Domain.recommended_domain_count ()));
+        ( "runs",
+          U.Json.Arr
+            (List.map
+               (fun (jobs, wall_ns, digest) ->
+                 U.Json.Obj
+                   [
+                     ("jobs", U.Json.Int jobs);
+                     ("wall_ns", U.Json.Int wall_ns);
+                     ("digest", U.Json.Str digest);
+                   ])
+               runs) );
+        ("identical_tables", U.Json.Bool identical);
+        ("speedup", U.Json.Obj speedups);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
 (* ------------------------------------------------------------- Part 1 *)
 
 let tests () =
@@ -458,28 +566,52 @@ let ablations () =
 let () =
   let quick = ref false in
   let kernels_only = ref false in
+  let parallel_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
+  let parallel_json = ref "BENCH_parallel.json" in
+  let jobs = ref 1 in
   Arg.parse
     [
-      ("--quick", Arg.Set quick, " small kernel inputs, kernels + harness manifest (CI smoke run)");
+      ("--quick", Arg.Set quick, " small kernel inputs, kernels + harness + parallel manifests (CI smoke run)");
       ("--kernels-only", Arg.Set kernels_only, " full-size kernel benchmarks only");
+      ( "--parallel-only",
+        Arg.Set parallel_only,
+        " full-matrix parallel-scaling benchmark only (regenerates BENCH_parallel.json)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
         "FILE path for the harness stage-timing manifest" );
+      ( "--parallel-json",
+        Arg.Set_string parallel_json,
+        "FILE path for the parallel-scaling manifest" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--json FILE] [--harness-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
+  if !parallel_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_parallel_bench ~quick:!quick ~path:!parallel_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
-  if not !kernels_only then run_harness_manifest ~quick:!quick ~path:!harness_json;
+  if not !kernels_only then begin
+    run_harness_manifest ~quick:!quick ~path:!harness_json;
+    run_parallel_bench ~quick:!quick ~path:!parallel_json
+  end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();
     Printf.printf "== Ablation studies (DESIGN.md section 5) ==\n\n%!";
     ablations ();
     Printf.printf "== Full experiment suite: every table and figure of the paper ==\n\n%!";
-    let ctx = H.Ctx.create ~scale:H.Ctx.Full () in
-    let results = H.Registry.run_by_ids ctx H.Registry.ids in
-    List.iter (fun (_, tables) -> List.iter U.Table.print tables) results
+    let jobs =
+      if !jobs = 0 then max 1 (Domain.recommended_domain_count () - 1) else max 1 !jobs
+    in
+    U.Pool.with_pool ~jobs (fun pool ->
+        let ctx = H.Ctx.create ~scale:H.Ctx.Full ~pool () in
+        let results = H.Registry.run_by_ids ctx H.Registry.ids in
+        List.iter (fun (_, tables) -> List.iter U.Table.print tables) results)
   end

@@ -96,30 +96,50 @@ let run_cmd =
             "Write a Chrome trace-event JSON of the run's spans (loadable by \
              chrome://tracing / Perfetto)")
   in
-  let run ids scale csv metrics_out trace_out verbosity =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel experiment fan-out. 1 (the default) runs \
+             sequentially on the calling domain; 0 picks the machine width \
+             (recommended_domain_count - 1). Tables are byte-identical at any $(docv).")
+  in
+  let run ids scale csv metrics_out trace_out jobs verbosity =
     H.Report.setup verbosity;
     let requested =
       if List.mem "all" ids then H.Registry.ids else ids
     in
-    let ctx = H.Ctx.create ~scale () in
-    let results = H.Registry.run_by_ids ctx requested in
-    List.iter
-      (fun (id, tables) ->
-        List.iter Table.print tables;
-        Option.iter (fun dir -> write_csv dir id tables) csv)
-      results;
-    Option.iter
-      (fun path ->
-        write_file path (U.Json.to_string ~pretty:true (U.Metrics.to_json (H.Ctx.metrics ctx))))
-      metrics_out;
-    Option.iter
-      (fun path ->
-        write_file path
-          (U.Json.to_string ~pretty:true (U.Span.to_chrome_json (H.Ctx.spans ctx))))
-      trace_out
+    let jobs =
+      if jobs = 0 then max 1 (Domain.recommended_domain_count () - 1)
+      else if jobs < 0 then (
+        Printf.eprintf "repro run: --jobs must be >= 0\n";
+        exit 1)
+      else jobs
+    in
+    let metrics = U.Metrics.create () in
+    U.Pool.with_pool ~jobs ~metrics (fun pool ->
+        let ctx = H.Ctx.create ~scale ~metrics ~pool () in
+        let results = H.Registry.run_by_ids ctx requested in
+        List.iter
+          (fun (id, tables) ->
+            List.iter Table.print tables;
+            Option.iter (fun dir -> write_csv dir id tables) csv)
+          results;
+        Option.iter
+          (fun path ->
+            write_file path
+              (U.Json.to_string ~pretty:true (U.Metrics.to_json (H.Ctx.metrics ctx))))
+          metrics_out;
+        Option.iter
+          (fun path ->
+            write_file path
+              (U.Json.to_string ~pretty:true (U.Span.to_chrome_json (H.Ctx.spans ctx))))
+          trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ ids $ scale $ csv $ metrics_out $ trace_out $ verbosity_arg)
+    Term.(const run $ ids $ scale $ csv $ metrics_out $ trace_out $ jobs $ verbosity_arg)
 
 module W = Colayout_workloads
 module Core = Colayout

@@ -8,9 +8,21 @@ type scale = Fast | Full
 
 (* A memoization table with lookup/hit/miss counters in the context's
    metrics registry: every lookup is either a hit or a miss, so
-   hits + misses = lookups is an invariant tests can assert. *)
+   hits + misses = lookups is an invariant tests can assert (the counters
+   are atomic, so it holds under concurrent lookups too).
+
+   The table is single-flight under a pool: the first domain to ask for a
+   key marks it [Computing] and computes outside the lock; any other
+   domain asking for the same key waits on the condition instead of
+   recomputing, and counts a hit once the value lands. A failed
+   computation clears the mark (waiters retry, one of them recomputing)
+   and re-raises on the computing domain. *)
+type 'v slot = Computing | Done of 'v
+
 type 'v memo_tbl = {
-  tbl : (string, 'v) Hashtbl.t;
+  tbl : (string, 'v slot) Hashtbl.t;
+  lock : Mutex.t;
+  cond : Condition.t;
   lookups : U.Metrics.counter;
   hits : U.Metrics.counter;
   misses : U.Metrics.counter;
@@ -24,6 +36,7 @@ type t = {
   hw_prefetch : C.Prefetch.t;
   metrics : U.Metrics.t;
   spans : U.Span.t;
+  pool : U.Pool.t option;
   programs : Colayout_ir.Program.t memo_tbl;
   ref_results : E.Interp.result memo_tbl;
   analyses : Optimizer.analysis memo_tbl;
@@ -37,12 +50,14 @@ type t = {
 let memo_tbl metrics name size =
   {
     tbl = Hashtbl.create size;
+    lock = Mutex.create ();
+    cond = Condition.create ();
     lookups = U.Metrics.counter metrics (Printf.sprintf "ctx.memo.%s.lookups" name);
     hits = U.Metrics.counter metrics (Printf.sprintf "ctx.memo.%s.hits" name);
     misses = U.Metrics.counter metrics (Printf.sprintf "ctx.memo.%s.misses" name);
   }
 
-let create ?(scale = Full) ?metrics ?spans () =
+let create ?(scale = Full) ?metrics ?spans ?pool () =
   let params = C.Params.default_l1i in
   let metrics = match metrics with Some m -> m | None -> U.Metrics.create () in
   let spans = match spans with Some s -> s | None -> U.Span.create () in
@@ -54,6 +69,7 @@ let create ?(scale = Full) ?metrics ?spans () =
     hw_prefetch = C.Prefetch.create ~degree:2 ();
     metrics;
     spans;
+    pool;
     programs = memo_tbl metrics "programs" 32;
     ref_results = memo_tbl metrics "ref_results" 32;
     analyses = memo_tbl metrics "analyses" 32;
@@ -65,6 +81,17 @@ let create ?(scale = Full) ?metrics ?spans () =
   }
 
 let scale t = t.scale
+
+let jobs t = match t.pool with None -> 1 | Some p -> U.Pool.jobs p
+
+(* Parallel fan-out seam for the experiments: a pooled context maps over
+   the pool's worker domains, an unpooled one (or jobs = 1, where the pool
+   spawns no domains) is plain List.map on the calling domain. Results are
+   in input order either way — table construction downstream is identical
+   whatever the jobs count. *)
+let par_map t f xs = match t.pool with None -> List.map f xs | Some p -> U.Pool.map p f xs
+
+let par_iter t f xs = ignore (par_map t f xs)
 
 let params t = t.params
 
@@ -80,15 +107,37 @@ let test_fuel t = match t.scale with Fast -> 80_000 | Full -> 200_000
 
 let memo m key f =
   U.Metrics.incr m.lookups;
-  match Hashtbl.find_opt m.tbl key with
-  | Some v ->
-    U.Metrics.incr m.hits;
-    v
-  | None ->
-    U.Metrics.incr m.misses;
-    let v = f () in
-    Hashtbl.replace m.tbl key v;
-    v
+  Mutex.lock m.lock;
+  let rec resolve () =
+    match Hashtbl.find_opt m.tbl key with
+    | Some (Done v) ->
+      Mutex.unlock m.lock;
+      U.Metrics.incr m.hits;
+      v
+    | Some Computing ->
+      (* Another domain is computing this key: await it (single-flight). *)
+      Condition.wait m.cond m.lock;
+      resolve ()
+    | None ->
+      Hashtbl.replace m.tbl key Computing;
+      Mutex.unlock m.lock;
+      U.Metrics.incr m.misses;
+      (match f () with
+      | v ->
+        Mutex.lock m.lock;
+        Hashtbl.replace m.tbl key (Done v);
+        Condition.broadcast m.cond;
+        Mutex.unlock m.lock;
+        v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock m.lock;
+        Hashtbl.remove m.tbl key;
+        Condition.broadcast m.cond;
+        Mutex.unlock m.lock;
+        Printexc.raise_with_backtrace e bt)
+  in
+  resolve ()
 
 let progress _t msg = Report.info "%s" msg
 
@@ -222,6 +271,23 @@ let smt_corun ?(rotate_peer = false) t ~mode ~self ~peer =
           E.Smt.corun ~work_scales:ws t.smt_cfg ~mode
             (self_code, Colayout_trace.Trace.events self_trace)
             (peer_code, peer_events)))
+
+(* Phase 1 of the two-phase parallel experiment schedule: compute every
+   per-program artifact (program build, reference trace, analysis when an
+   optimizing kind needs it, and the requested layouts) with one pool task
+   per program. Phase 2 — the solo/co-run simulation fan-out — then finds
+   all its inputs memoized, so its tasks are pure simulations of roughly
+   even size. Values are identical to the lazy sequential path; only the
+   order of computation changes. *)
+let prewarm ?(kinds = []) t names =
+  U.Span.with_span t.spans ~cat:"experiment" "prewarm" (fun () ->
+      par_iter t
+        (fun name ->
+          ignore (ref_trace t name);
+          if List.exists (fun k -> k <> Optimizer.Original) kinds then
+            ignore (analysis t name);
+          List.iter (fun kind -> ignore (layout t name kind)) kinds)
+        names)
 
 let solo_miss_ratio t ~hw name kind = C.Cache_stats.miss_ratio (solo_stats t ~hw name kind)
 

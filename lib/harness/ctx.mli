@@ -20,12 +20,43 @@ type scale =
 type t
 
 val create :
-  ?scale:scale -> ?metrics:Colayout_util.Metrics.t -> ?spans:Colayout_util.Span.t -> unit -> t
+  ?scale:scale ->
+  ?metrics:Colayout_util.Metrics.t ->
+  ?spans:Colayout_util.Span.t ->
+  ?pool:Colayout_util.Pool.t ->
+  unit ->
+  t
 (** Default [Full]. Each context owns its own metrics registry and span
     recorder (fresh ones unless passed in) — no state is shared between two
-    contexts, so back-to-back runs are fully isolated. *)
+    contexts, so back-to-back runs are fully isolated.
+
+    Passing [pool] makes the context parallel: {!par_map} and {!prewarm}
+    fan out over the pool's worker domains, and every accessor is safe to
+    call from inside pool tasks — the memo tables are single-flight (a key
+    being computed by one domain is awaited by the others, never
+    recomputed), counters are atomic, and spans record per-domain. The
+    caller keeps ownership of the pool (and shuts it down). *)
 
 val scale : t -> scale
+
+val jobs : t -> int
+(** The pool's parallelism width; 1 for an unpooled context. *)
+
+val par_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Map over the context's pool (plain [List.map] when unpooled or
+    [jobs = 1]); results are always in input order, so the caller's table
+    construction is deterministic whatever the jobs count. Must be called
+    from outside the pool — nesting fan-outs inside pool tasks is rejected
+    by {!Colayout_util.Pool.map}. *)
+
+val par_iter : t -> ('a -> unit) -> 'a list -> unit
+
+val prewarm : ?kinds:Colayout.Optimizer.kind list -> t -> string list -> unit
+(** Phase 1 of the two-phase experiment schedule: one pool task per
+    program computes its build, reference trace, analysis (when [kinds]
+    asks for an optimizing layout) and the [kinds] layouts, so the
+    simulation fan-out that follows hits warm memo tables. Runs inside a
+    ["prewarm"] span; a no-op-shaped sequential loop when unpooled. *)
 
 val metrics : t -> Colayout_util.Metrics.t
 (** The context's metrics registry. Memo tables report

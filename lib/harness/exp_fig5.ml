@@ -3,8 +3,13 @@ module W = Colayout_workloads
 module O = Colayout.Optimizer
 module E = Colayout_exec
 
+let kinds = [ O.Original; O.Func_affinity; O.Bb_affinity ]
+
 let pct_reduction ~base ~v = if base = 0.0 then 0.0 else (base -. v) /. base *. 100.0
 
+(* Phase 1 warms programs, analyses and the three layouts in parallel;
+   phase 2 runs one pool task per program, covering that row's SMT solo
+   runs and hw-counter miss ratios. *)
 let run ctx =
   let speed =
     Table.create
@@ -29,30 +34,36 @@ let run ctx =
           ("BB reordering", Table.Right);
         ]
   in
+  Ctx.prewarm ctx ~kinds W.Spec.deep_eight;
+  let rows =
+    Ctx.par_map ctx
+      (fun name ->
+        Ctx.progress ctx (Printf.sprintf "fig5: %s" name);
+        let base_cycles = float_of_int (Ctx.smt_solo ctx name O.Original).E.Smt.cycles in
+        let base_miss = Ctx.solo_miss_ratio ctx ~hw:true name O.Original in
+        let speedup kind =
+          Stats.speedup ~base:base_cycles
+            ~opt:(float_of_int (Ctx.smt_solo ctx name kind).E.Smt.cycles)
+        in
+        let reduction kind =
+          pct_reduction ~base:base_miss ~v:(Ctx.solo_miss_ratio ctx ~hw:true name kind)
+        in
+        let pct_speedup kind = (speedup kind -. 1.0) *. 100.0 in
+        ( [
+            name;
+            Printf.sprintf "%+.2f%%" (pct_speedup O.Func_affinity);
+            Printf.sprintf "%+.2f%%" (pct_speedup O.Bb_affinity);
+          ],
+          [
+            name;
+            Printf.sprintf "%.1f%%" (reduction O.Func_affinity);
+            Printf.sprintf "%.1f%%" (reduction O.Bb_affinity);
+          ] ))
+      W.Spec.deep_eight
+  in
   List.iter
-    (fun name ->
-      Ctx.progress ctx (Printf.sprintf "fig5: %s" name);
-      let base_cycles = float_of_int (Ctx.smt_solo ctx name O.Original).E.Smt.cycles in
-      let base_miss = Ctx.solo_miss_ratio ctx ~hw:true name O.Original in
-      let speedup kind =
-        Stats.speedup ~base:base_cycles
-          ~opt:(float_of_int (Ctx.smt_solo ctx name kind).E.Smt.cycles)
-      in
-      let reduction kind =
-        pct_reduction ~base:base_miss ~v:(Ctx.solo_miss_ratio ctx ~hw:true name kind)
-      in
-      let pct_speedup kind = (speedup kind -. 1.0) *. 100.0 in
-      Table.add_row speed
-        [
-          name;
-          Printf.sprintf "%+.2f%%" (pct_speedup O.Func_affinity);
-          Printf.sprintf "%+.2f%%" (pct_speedup O.Bb_affinity);
-        ];
-      Table.add_row miss
-        [
-          name;
-          Printf.sprintf "%.1f%%" (reduction O.Func_affinity);
-          Printf.sprintf "%.1f%%" (reduction O.Bb_affinity);
-        ])
-    W.Spec.deep_eight;
+    (fun (speed_row, miss_row) ->
+      Table.add_row speed speed_row;
+      Table.add_row miss miss_row)
+    rows;
   [ speed; miss ]

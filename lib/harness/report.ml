@@ -19,15 +19,20 @@ let level_of_verbosity = function
 
 (* A minimal stderr reporter in the seed's "  [harness] ..." style; no
    colors, one line per message, flushed eagerly so progress interleaves
-   correctly with table output on stdout. *)
+   correctly with table output on stdout. Pool tasks log from worker
+   domains, and err_formatter's buffer is shared — a mutex keeps each
+   line whole. *)
 let reporter () =
+  let lock = Mutex.create () in
   let report _src level ~over k msgf =
     let k _ =
+      Mutex.unlock lock;
       over ();
       k ()
     in
     msgf (fun ?header:_ ?tags:_ fmt ->
         let prefix = match level with Logs.Debug -> "  [harness:debug] " | _ -> "  [harness] " in
+        Mutex.lock lock;
         Format.kfprintf k Format.err_formatter ("%s" ^^ fmt ^^ "@.") prefix)
   in
   { Logs.report }

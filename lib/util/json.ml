@@ -252,6 +252,8 @@ let to_list = function Arr xs -> Some xs | _ -> None
 
 let to_int = function Int i -> Some i | _ -> None
 
+let to_bool = function Bool b -> Some b | _ -> None
+
 let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
 
 let to_str = function Str s -> Some s | _ -> None

@@ -30,6 +30,8 @@ val to_list : t -> t list option
 
 val to_int : t -> int option
 
+val to_bool : t -> bool option
+
 val to_float : t -> float option
 (** Accepts both [Int] and [Float]. *)
 

@@ -1,6 +1,12 @@
-type counter = { mutable count : int }
+(* Counters are lock-free atomics so handles can be bumped concurrently
+   from any domain without losing updates (hits + misses = lookups style
+   invariants survive parallel fan-out). The registry hashtables and the
+   timer cells are guarded by one mutex: find-or-create and timer updates
+   are rare (per stage, not per event), so contention is negligible. *)
 
-type gauge = { mutable value : float }
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
 
 type timer = { mutable calls : int; mutable total_ns : int64 }
 
@@ -9,6 +15,7 @@ type t = {
   gauges : (string, gauge) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
   clock : unit -> int64;
+  lock : Mutex.t;
 }
 
 let default_clock = Monotonic_clock.now
@@ -19,41 +26,43 @@ let create ?(clock = default_clock) () =
     gauges = Hashtbl.create 8;
     timers = Hashtbl.create 8;
     clock;
+    lock = Mutex.create ();
   }
 
-let counter t name =
-  match Hashtbl.find_opt t.counters name with
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let find_or_create tbl name make =
+  match Hashtbl.find_opt tbl name with
   | Some c -> c
   | None ->
-    let c = { count = 0 } in
-    Hashtbl.replace t.counters name c;
+    let c = make () in
+    Hashtbl.replace tbl name c;
     c
 
-let incr ?(by = 1) c = c.count <- c.count + by
+let counter t name = locked t (fun () -> find_or_create t.counters name (fun () -> Atomic.make 0))
 
-let count c = c.count
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+
+let count c = Atomic.get c
 
 let add t name by = incr ~by (counter t name)
 
-let gauge t name =
-  match Hashtbl.find_opt t.gauges name with
-  | Some g -> g
-  | None ->
-    let g = { value = 0.0 } in
-    Hashtbl.replace t.gauges name g;
-    g
+let gauge t name = locked t (fun () -> find_or_create t.gauges name (fun () -> Atomic.make 0.0))
 
-let set g v = g.value <- v
+let set g v = Atomic.set g v
 
 let set_gauge t name v = set (gauge t name) v
 
 let timer t name =
-  match Hashtbl.find_opt t.timers name with
-  | Some x -> x
-  | None ->
-    let x = { calls = 0; total_ns = 0L } in
-    Hashtbl.replace t.timers name x;
-    x
+  locked t (fun () -> find_or_create t.timers name (fun () -> { calls = 0; total_ns = 0L }))
 
 let time t name f =
   let tm = timer t name in
@@ -62,33 +71,57 @@ let time t name f =
     ~finally:(fun () ->
       let dt = Int64.sub (t.clock ()) t0 in
       let dt = if Int64.compare dt 0L < 0 then 0L else dt in
-      tm.calls <- tm.calls + 1;
-      tm.total_ns <- Int64.add tm.total_ns dt)
+      locked t (fun () ->
+          tm.calls <- tm.calls + 1;
+          tm.total_ns <- Int64.add tm.total_ns dt))
     f
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters t = List.map (fun (k, c) -> (k, c.count)) (sorted_bindings t.counters)
+let counters t =
+  locked t (fun () -> List.map (fun (k, c) -> (k, Atomic.get c)) (sorted_bindings t.counters))
 
-let gauges t = List.map (fun (k, g) -> (k, g.value)) (sorted_bindings t.gauges)
+let gauges t =
+  locked t (fun () -> List.map (fun (k, g) -> (k, Atomic.get g)) (sorted_bindings t.gauges))
 
 let timers t =
-  List.map (fun (k, x) -> (k, x.calls, x.total_ns)) (sorted_bindings t.timers)
+  locked t (fun () ->
+      List.map (fun (k, x) -> (k, x.calls, x.total_ns)) (sorted_bindings t.timers))
 
-let find_counter t name = Option.map (fun c -> c.count) (Hashtbl.find_opt t.counters name)
+let find_counter t name =
+  locked t (fun () -> Option.map Atomic.get (Hashtbl.find_opt t.counters name))
 
 (* Zero in place rather than clearing the tables: callers cache handles,
    and a cleared table would leave those handles updating orphaned cells. *)
 let reset t =
-  Hashtbl.iter (fun _ c -> c.count <- 0) t.counters;
-  Hashtbl.iter (fun _ g -> g.value <- 0.0) t.gauges;
-  Hashtbl.iter
-    (fun _ x ->
-      x.calls <- 0;
-      x.total_ns <- 0L)
-    t.timers
+  locked t (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) t.counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0.0) t.gauges;
+      Hashtbl.iter
+        (fun _ x ->
+          x.calls <- 0;
+          x.total_ns <- 0L)
+        t.timers)
+
+(* Fold [src] into [into]: counters and timers accumulate (addition
+   commutes, so folding per-domain deltas in any order gives one total);
+   gauges are level readings, so the source value overwrites. Snapshot
+   [src] first rather than nesting the two registry locks. *)
+let merge ~into src =
+  let cs = counters src and gs = gauges src and ts = timers src in
+  List.iter (fun (name, v) -> if v <> 0 then add into name v) cs;
+  List.iter (fun (name, v) -> set_gauge into name v) gs;
+  List.iter
+    (fun (name, calls, total_ns) ->
+      if calls > 0 || Int64.compare total_ns 0L > 0 then begin
+        let tm = timer into name in
+        locked into (fun () ->
+            tm.calls <- tm.calls + calls;
+            tm.total_ns <- Int64.add tm.total_ns total_ns)
+      end)
+    ts
 
 let to_json t =
   Json.Obj

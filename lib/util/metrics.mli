@@ -5,7 +5,13 @@
     metrics and two runs can never bleed into each other. Counter handles
     are cached by the caller for hot paths; [add]/[set_gauge] are the
     convenience forms. Snapshots serialize to JSON
-    (schema [colayout/metrics/v1]) with deterministically sorted keys. *)
+    (schema [colayout/metrics/v1]) with deterministically sorted keys.
+
+    A registry is domain-safe: counters and gauges are atomics (an [incr]
+    from any domain is never lost, so invariants like hits + misses =
+    lookups survive parallel fan-out), and the registry's own tables and
+    timers sit behind a mutex. Per-domain {e delta} registries can be
+    folded into one with {!merge}. *)
 
 type t
 
@@ -16,6 +22,10 @@ type gauge
 val create : ?clock:(unit -> int64) -> unit -> t
 (** [clock] (nanoseconds, monotonic) is used by {!time}; injectable for
     deterministic tests. *)
+
+val default_clock : unit -> int64
+(** The monotonic nanosecond clock {!create} defaults to — exported for
+    callers that wall-clock whole phases rather than single thunks. *)
 
 val counter : t -> string -> counter
 (** Find-or-create; the handle stays valid for the registry's lifetime. *)
@@ -50,5 +60,12 @@ val find_counter : t -> string -> int option
 val reset : t -> unit
 (** Zero every counter, gauge and timer in place; existing handles remain
     attached to their (now zeroed) cells. *)
+
+val merge : into:t -> t -> unit
+(** Fold a (typically per-domain) delta registry into [into]: counter
+    counts and timer calls/nanoseconds {e add} (merging N worker deltas in
+    any order yields one total, preserving hits + misses = lookups),
+    gauges — level readings — are overwritten with the source value.
+    Zero-valued source cells still create no entries in [into]. *)
 
 val to_json : t -> Json.t

@@ -1,0 +1,175 @@
+(* Fixed-size domain pool: a mutex/condition work queue feeding [jobs]
+   persistent worker domains. Batches ([map] / [run_all]) enqueue one
+   closure per item; each closure writes its outcome into an
+   index-addressed slot of the batch's result array, so collection order
+   never depends on scheduling. jobs = 1 spawns nothing and runs batches
+   inline on the caller. *)
+
+type outcome = Pending | Ok_done | Raised of exn * Printexc.raw_backtrace
+
+type worker_stats = {
+  w_metrics : Metrics.t;
+  tasks : Metrics.counter; (* this worker's share *)
+  total : Metrics.counter; (* "pool.tasks": summed across workers by merge *)
+  busy_ns : Metrics.counter;
+}
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  work : Condition.t; (* work arrived, or the pool is stopping *)
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  worker_ids : Domain.id list ref;
+  stats : worker_stats array; (* one slot per worker; empty when jobs = 1 *)
+  sink : Metrics.t option; (* merge target for per-domain deltas *)
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker_loop t (ws : worker_stats) =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      let t0 = Monotonic_clock.now () in
+      task () (* never raises: batch closures capture their own outcome *)
+      ;
+      let dt = Int64.sub (Monotonic_clock.now ()) t0 in
+      Metrics.incr ws.tasks;
+      Metrics.incr ws.total;
+      Metrics.incr ~by:(Int64.to_int (Int64.max 0L dt)) ws.busy_ns;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs ?metrics () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let nworkers = if jobs = 1 then 0 else jobs in
+  let stats =
+    Array.init nworkers (fun i ->
+        let w_metrics = Metrics.create () in
+        {
+          w_metrics;
+          tasks = Metrics.counter w_metrics (Printf.sprintf "pool.worker.%d.tasks" i);
+          total = Metrics.counter w_metrics "pool.tasks";
+          busy_ns = Metrics.counter w_metrics "pool.busy_ns";
+        })
+  in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+      worker_ids = ref [];
+      stats;
+      sink = metrics;
+    }
+  in
+  let workers = Array.to_list (Array.map (fun ws -> Domain.spawn (fun () -> worker_loop t ws)) stats) in
+  t.workers <- workers;
+  t.worker_ids := List.map Domain.get_id workers;
+  t
+
+let jobs t = t.jobs
+
+(* Fold each worker's private registry into the sink and zero it, so the
+   next fold only carries new deltas. Only called with all workers idle
+   (end of a batch, or after join), when no worker touches its registry. *)
+let fold_metrics t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    Array.iter
+      (fun ws ->
+        Metrics.merge ~into:sink ws.w_metrics;
+        Metrics.reset ws.w_metrics)
+      t.stats
+
+let reject_nested t =
+  let self = Domain.self () in
+  if List.mem self !(t.worker_ids) then
+    invalid_arg "Pool: nested use (map/run_all called from inside a pool task)"
+
+let reraise_first results =
+  Array.iter
+    (function
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending | Ok_done -> ())
+    results
+
+let map_array t f xs =
+  reject_nested t;
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.workers = [] then Array.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    let outcomes = Array.make n Pending in
+    let remaining = ref n in
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool: used after shutdown"
+    end;
+    for i = 0 to n - 1 do
+      let x = xs.(i) in
+      Queue.add
+        (fun () ->
+          (match f x with
+          | v -> results.(i) <- Some v (* slot [i] is this task's alone *)
+          | exception e -> outcomes.(i) <- Raised (e, Printexc.get_raw_backtrace ()));
+          Mutex.lock t.lock;
+          if outcomes.(i) = Pending then outcomes.(i) <- Ok_done;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast t.batch_done;
+          Mutex.unlock t.lock)
+        t.queue
+    done;
+    Condition.broadcast t.work;
+    while !remaining > 0 do
+      Condition.wait t.batch_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    fold_metrics t;
+    reraise_first outcomes;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every non-raising task filled its slot *))
+      results
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let run_all t fs = ignore (map t (fun f -> f ()) fs)
+
+let shutdown t =
+  reject_nested t;
+  Mutex.lock t.lock;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    fold_metrics t
+  end
+
+let with_pool ?jobs ?metrics f =
+  let t = create ?jobs ?metrics () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

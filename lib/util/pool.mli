@@ -1,0 +1,49 @@
+(** Fixed-size domain pool with a shared work queue.
+
+    A pool owns [jobs] worker domains (default
+    [Domain.recommended_domain_count () - 1], at least 1). With
+    [~jobs:1] no domains are spawned at all: {!map} and {!run_all}
+    degrade to plain sequential iteration on the caller's domain, so a
+    single-job pool adds no threading machinery to the code path.
+
+    Determinism contract: {!map} gathers results into an index-addressed
+    array and returns them in input order, whatever order the workers
+    completed them in. If several tasks raise, the exception of the
+    {e lowest-indexed} failing task is re-raised on the caller's domain
+    (with its original backtrace, via [Printexc.raise_with_backtrace]) —
+    the same exception a sequential run would have surfaced first.
+
+    Pools are single-consumer: submit batches from one domain at a time.
+    Submitting from inside a pool task ({e nested use}) is rejected with
+    [Invalid_argument] rather than deadlocking. *)
+
+type t
+
+val create : ?jobs:int -> ?metrics:Metrics.t -> unit -> t
+(** [jobs] defaults to [Domain.recommended_domain_count () - 1] (min 1);
+    values < 1 raise [Invalid_argument]. When [metrics] is given, each
+    worker domain records its task count and busy nanoseconds into a
+    private per-domain registry; completed batches fold those deltas into
+    [metrics] with {!Metrics.merge} as [pool.tasks], [pool.busy_ns] and
+    per-worker [pool.worker.<i>.tasks]. *)
+
+val jobs : t -> int
+(** The parallelism width, including the [jobs = 1] no-domain case. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] on every element, in parallel across the pool's workers;
+    results come back in input order. Blocks the calling domain until the
+    whole batch is done. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val run_all : t -> (unit -> unit) list -> unit
+(** [run_all t fs] runs every thunk to completion (in parallel), raising
+    the lowest-indexed failure, if any. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains, folding any pending per-domain
+    metric deltas. Idempotent; the pool must not be used afterwards. *)
+
+val with_pool : ?jobs:int -> ?metrics:Metrics.t -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown] (exception-safe). *)

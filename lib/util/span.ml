@@ -1,36 +1,95 @@
+(* One recorder, many domains: each domain that enters a span gets its own
+   state (depth counter + completed-span list) keyed by its domain id, so
+   recording never contends across domains beyond the find-or-create
+   lookup. [spans] merges the per-domain lists into one timeline; on a
+   single-domain recorder it degrades to the historical completion order
+   exactly. *)
+
 type span = {
   name : string;
   cat : string;
   start_ns : int64;
   dur_ns : int64;
   depth : int;
+  tid : int;
+}
+
+type dstate = {
+  tid : int;
+  mutable depth : int;
+  mutable closed : span list; (* most recently completed first *)
 }
 
 type t = {
   clock : unit -> int64;
   epoch_ns : int64;
-  mutable depth : int;
-  mutable closed : span list; (* most recently completed first *)
+  lock : Mutex.t;
+  states : (int, dstate) Hashtbl.t;
 }
 
 let create ?(clock = Monotonic_clock.now) () =
-  { clock; epoch_ns = clock (); depth = 0; closed = [] }
+  { clock; epoch_ns = clock (); lock = Mutex.create (); states = Hashtbl.create 4 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let state t =
+  let tid = (Domain.self () :> int) in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.states tid with
+      | Some s -> s
+      | None ->
+        let s = { tid; depth = 0; closed = [] } in
+        Hashtbl.replace t.states tid s;
+        s)
 
 let with_span t ?(cat = "default") name f =
+  let st = state t in
+  (* [st] is only ever mutated by its own domain; the lock above just
+     guards the find-or-create. *)
   let start_ns = t.clock () in
-  let depth = t.depth in
-  t.depth <- depth + 1;
+  let depth = st.depth in
+  st.depth <- depth + 1;
   Fun.protect
     ~finally:(fun () ->
-      t.depth <- depth;
+      st.depth <- depth;
       let dur = Int64.sub (t.clock ()) start_ns in
       let dur_ns = if Int64.compare dur 0L < 0 then 0L else dur in
-      t.closed <- { name; cat; start_ns; dur_ns; depth } :: t.closed)
+      st.closed <- { name; cat; start_ns; dur_ns; depth; tid = st.tid } :: st.closed)
     f
 
-let spans t = List.rev t.closed
+let end_ns s = Int64.add s.start_ns s.dur_ns
 
-let count t = List.length t.closed
+(* Deterministic timeline order: completion time, then start, then domain
+   and name as tie-breakers. A single domain's list is already in
+   completion order (monotonic clock), so the sort is the identity there. *)
+let merge_order a b =
+  let c = Int64.compare (end_ns a) (end_ns b) in
+  if c <> 0 then c
+  else
+    let c = Int64.compare a.start_ns b.start_ns in
+    if c <> 0 then c
+    else
+      let c = compare a.tid b.tid in
+      if c <> 0 then c else compare (a.cat, a.name) (b.cat, b.name)
+
+let all_states t = locked t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.states [])
+
+let spans t =
+  match all_states t with
+  | [] -> []
+  | [ s ] -> List.rev s.closed
+  | states ->
+    List.concat_map (fun s -> List.rev s.closed) states |> List.sort merge_order
+
+let count t = List.fold_left (fun acc s -> acc + List.length s.closed) 0 (all_states t)
 
 let aggregate t =
   let tbl = Hashtbl.create 16 in
@@ -42,35 +101,40 @@ let aggregate t =
         | None -> (0, 0L)
       in
       Hashtbl.replace tbl (s.cat, s.name) (calls + 1, Int64.add total s.dur_ns))
-    t.closed;
+    (spans t);
   Hashtbl.fold (fun (cat, name) (calls, total_ns) acc -> (cat, name, calls, total_ns) :: acc) tbl []
   |> List.sort compare
 
 let by_category t =
+  let all = spans t in
   let tbl = Hashtbl.create 8 in
   List.iter
-    (fun s ->
-      (* Only top-level spans of each category: a nested span of the same
-         category would double-count its parent's time. *)
+    (fun (s : span) ->
+      (* Only top-level spans of each category — and nesting is a
+         per-domain notion, so only spans of the same domain can contain
+         this one. A nested span of the same category would double-count
+         its parent's time. *)
       let nested_same_cat =
         List.exists
-          (fun p ->
-            p.cat = s.cat && p.depth < s.depth
+          (fun (p : span) ->
+            p.tid = s.tid && p.cat = s.cat && p.depth < s.depth
             && Int64.compare p.start_ns s.start_ns <= 0
-            && Int64.compare (Int64.add s.start_ns s.dur_ns) (Int64.add p.start_ns p.dur_ns) <= 0)
-          t.closed
+            && Int64.compare (end_ns s) (end_ns p) <= 0)
+          all
       in
       if not nested_same_cat then
         let total = Option.value ~default:0L (Hashtbl.find_opt tbl s.cat) in
         Hashtbl.replace tbl s.cat (Int64.add total s.dur_ns))
-    t.closed;
+    all;
   Hashtbl.fold (fun cat total acc -> (cat, total) :: acc) tbl [] |> List.sort compare
 
 let us_of_ns ns = Int64.to_int (Int64.div ns 1000L)
 
 (* Chrome trace_event format: an object with a "traceEvents" array of "X"
    (complete) events; chrome://tracing and Perfetto load it directly.
-   Timestamps are microseconds relative to the recorder's creation. *)
+   Timestamps are microseconds relative to the recorder's creation; each
+   recording domain renders as its own "tid" lane, so a pooled run shows
+   the worker domains side by side. *)
 let to_chrome_json t =
   let events =
     List.map
@@ -83,7 +147,7 @@ let to_chrome_json t =
             ("ts", Json.Int (us_of_ns (Int64.sub s.start_ns t.epoch_ns)));
             ("dur", Json.Int (us_of_ns s.dur_ns));
             ("pid", Json.Int 1);
-            ("tid", Json.Int 1);
+            ("tid", Json.Int s.tid);
           ])
       (spans t)
   in

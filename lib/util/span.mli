@@ -4,14 +4,20 @@
     never process-global). {!with_span} brackets a computation; spans may
     nest arbitrarily and are recorded with their nesting depth, so the
     exported trace reconstructs the flame graph. Durations are clamped
-    non-negative. *)
+    non-negative.
+
+    One recorder may be driven from many domains at once: each domain
+    records into its own lane (nesting depth is per-domain), and the
+    accessors merge the lanes into a single deterministic timeline —
+    the Chrome export shows one ["tid"] track per recording domain. *)
 
 type span = {
   name : string;
   cat : string;  (** Category, e.g. ["optimizer"], ["cache-sim"]. *)
   start_ns : int64;  (** Raw clock reading (relative to nothing). *)
   dur_ns : int64;  (** >= 0. *)
-  depth : int;  (** Nesting depth at entry; 0 = top level. *)
+  depth : int;  (** Nesting depth at entry {e on its domain}; 0 = top level. *)
+  tid : int;  (** Id of the domain that recorded the span. *)
 }
 
 type t
@@ -25,7 +31,10 @@ val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
     and recorded, then the exception re-raised). *)
 
 val spans : t -> span list
-(** Completed spans in completion order. *)
+(** Completed spans in completion order. With several recording domains,
+    the per-domain lanes are merged by (end time, start time, domain id) —
+    a deterministic total order that coincides with completion order on a
+    single domain. *)
 
 val count : t -> int
 
@@ -34,7 +43,7 @@ val aggregate : t -> (string * string * int * int64) list
 
 val by_category : t -> (string * int64) list
 (** Total nanoseconds per category, counting only spans not nested inside
-    another span of the same category (no double-counting). *)
+    another same-domain span of the same category (no double-counting). *)
 
 val to_chrome_json : t -> Json.t
 (** Chrome [trace_event] JSON ({["traceEvents"]} array of ["X"] complete

@@ -1,0 +1,105 @@
+(* Parallel-harness smoke validator, two modes:
+
+   [check_parallel bench BENCH_parallel.json] — the bench's
+   parallel-scaling manifest conforms to colayout/bench-parallel/v1:
+   wall-clocked runs for jobs 1, 2 and 4, positive durations, one digest
+   shared by every run (the determinism contract), and a speedup entry
+   per multi-job run.
+
+   [check_parallel csv-equal DIR1 DIR2] — two `repro run --csv` output
+   directories (a jobs=1 and a jobs=N run of the same experiments) hold
+   byte-identical files. *)
+
+module J = Colayout_util.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_parallel: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let check_bench path =
+  let json =
+    match J.parse (read_file path) with
+    | v -> v
+    | exception J.Parse_error (pos, msg) -> fail "%s does not parse: %s at byte %d" path msg pos
+  in
+  (match Option.bind (J.member "schema" json) J.to_str with
+  | Some "colayout/bench-parallel/v1" -> ()
+  | _ -> fail "%s: wrong or missing schema" path);
+  (match Option.bind (J.member "identical_tables" json) J.to_bool with
+  | Some true -> ()
+  | _ -> fail "%s: identical_tables is not true — jobs counts disagreed" path);
+  let runs =
+    match Option.bind (J.member "runs" json) J.to_list with
+    | Some (_ :: _ as runs) -> runs
+    | _ -> fail "%s: no runs" path
+  in
+  let seen =
+    List.map
+      (fun run ->
+        let jobs =
+          match Option.bind (J.member "jobs" run) J.to_int with
+          | Some j -> j
+          | None -> fail "%s: run without jobs" path
+        in
+        (match Option.bind (J.member "wall_ns" run) J.to_int with
+        | Some ns when ns > 0 -> ()
+        | _ -> fail "%s: run jobs=%d has a non-positive wall_ns" path jobs);
+        (match Option.bind (J.member "digest" run) J.to_str with
+        | Some d when String.length d > 0 -> ()
+        | _ -> fail "%s: run jobs=%d has no digest" path jobs);
+        jobs)
+      runs
+  in
+  List.iter
+    (fun jobs ->
+      if not (List.mem jobs seen) then fail "%s: no run for jobs=%d" path jobs)
+    [ 1; 2; 4 ];
+  let speedup =
+    match J.member "speedup" json with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> fail "%s: no speedup object" path
+  in
+  List.iter
+    (fun jobs ->
+      let key = Printf.sprintf "jobs%d" jobs in
+      match List.assoc_opt key speedup with
+      | Some v ->
+        (match J.to_float v with
+        | Some s when s > 0.0 -> ()
+        | _ -> fail "%s: speedup.%s is not a positive number" path key)
+      | None -> fail "%s: speedup.%s missing" path key)
+    [ 2; 4 ];
+  Printf.printf "check_parallel: %s ok (%d runs)\n" path (List.length runs)
+
+let check_csv_equal dir1 dir2 =
+  let listing dir =
+    match Sys.readdir dir with
+    | files ->
+      Array.sort compare files;
+      Array.to_list files
+    | exception Sys_error e -> fail "cannot list %s: %s" dir e
+  in
+  let a = listing dir1 and b = listing dir2 in
+  if a <> b then
+    fail "%s and %s hold different file sets (%d vs %d files)" dir1 dir2 (List.length a)
+      (List.length b);
+  if a = [] then fail "%s is empty" dir1;
+  List.iter
+    (fun f ->
+      let pa = Filename.concat dir1 f and pb = Filename.concat dir2 f in
+      if read_file pa <> read_file pb then fail "%s differs between %s and %s" f dir1 dir2)
+    a;
+  Printf.printf "check_parallel: %s == %s (%d files byte-identical)\n" dir1 dir2
+    (List.length a)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "bench"; path ] -> check_bench path
+  | [ _; "csv-equal"; dir1; dir2 ] -> check_csv_equal dir1 dir2
+  | _ ->
+    prerr_endline "usage: check_parallel bench FILE | check_parallel csv-equal DIR1 DIR2";
+    exit 2
