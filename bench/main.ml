@@ -358,6 +358,86 @@ let run_parallel_bench ~quick ~path =
   close_out oc;
   Printf.printf "  wrote %s\n\n%!" path
 
+(* ----------------------------------------------------------- Part 0.9 *)
+
+(* Cache-profile manifest (BENCH_profile.json, schema
+   colayout/bench-profile/v1): Fast-scale profiled solo runs of the
+   original vs optimized layout on two workloads, recording the
+   cold/capacity/conflict split of each. The claim the paper's layouts rest
+   on — optimization moves misses out of the conflict class — is asserted
+   here: at least one workload must show a strict conflict-miss drop, or
+   the bench fails. The @bench-smoke checker re-validates the written
+   manifest. *)
+
+let profile_workloads =
+  [ ("445.gobmk", Optimizer.Bb_affinity); ("403.gcc", Optimizer.Bb_affinity) ]
+
+let classification_json sink =
+  U.Json.Obj
+    [
+      ("accesses", U.Json.Int (C.Profile_sink.accesses sink));
+      ("misses", U.Json.Int (C.Profile_sink.misses sink));
+      ("cold", U.Json.Int (C.Profile_sink.cold_misses sink));
+      ("capacity", U.Json.Int (C.Profile_sink.capacity_misses sink));
+      ("conflict", U.Json.Int (C.Profile_sink.conflict_misses sink));
+      ("evictions", U.Json.Int (C.Profile_sink.evictions sink));
+    ]
+
+let run_profile_manifest ~quick ~path =
+  Printf.printf "== Cache-profile manifest: conflict-miss reduction by layout ==\n%!";
+  let workloads =
+    if quick then [ List.hd profile_workloads ] else profile_workloads
+  in
+  let ctx = H.Ctx.create ~scale:H.Ctx.Fast () in
+  let rows =
+    List.map
+      (fun (name, kind) ->
+        let _, base = H.Ctx.profiled_solo ctx ~hw:false name Optimizer.Original in
+        let _, opt = H.Ctx.profiled_solo ctx ~hw:false name kind in
+        let drop = C.Profile_sink.conflict_misses base - C.Profile_sink.conflict_misses opt in
+        Printf.printf "  %-14s %-12s conflict %6d -> %6d  (drop %d)\n%!" name
+          (Optimizer.kind_name kind)
+          (C.Profile_sink.conflict_misses base)
+          (C.Profile_sink.conflict_misses opt)
+          drop;
+        (name, kind, base, opt, drop))
+      workloads
+  in
+  let any_drop = List.exists (fun (_, _, _, _, d) -> d > 0) rows in
+  if not any_drop then begin
+    Printf.eprintf
+      "FATAL: no workload showed a conflict-miss reduction — the layouts no longer kill \
+       conflict misses\n%!";
+    exit 1
+  end;
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-profile/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        ("scale", U.Json.Str "fast");
+        ( "workloads",
+          U.Json.Arr
+            (List.map
+               (fun (name, kind, base, opt, drop) ->
+                 U.Json.Obj
+                   [
+                     ("program", U.Json.Str name);
+                     ("optimizer", U.Json.Str (Optimizer.kind_name kind));
+                     ("baseline", classification_json base);
+                     ("optimized", classification_json opt);
+                     ("conflict_drop", U.Json.Int drop);
+                   ])
+               rows) );
+        ("any_conflict_drop", U.Json.Bool any_drop);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
 (* ------------------------------------------------------------- Part 1 *)
 
 let tests () =
@@ -567,17 +647,22 @@ let () =
   let quick = ref false in
   let kernels_only = ref false in
   let parallel_only = ref false in
+  let profile_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
   let parallel_json = ref "BENCH_parallel.json" in
+  let profile_json = ref "BENCH_profile.json" in
   let jobs = ref 1 in
   Arg.parse
     [
-      ("--quick", Arg.Set quick, " small kernel inputs, kernels + harness + parallel manifests (CI smoke run)");
+      ("--quick", Arg.Set quick, " small kernel inputs, kernels + harness + parallel + profile manifests (CI smoke run)");
       ("--kernels-only", Arg.Set kernels_only, " full-size kernel benchmarks only");
       ( "--parallel-only",
         Arg.Set parallel_only,
         " full-matrix parallel-scaling benchmark only (regenerates BENCH_parallel.json)" );
+      ( "--profile-only",
+        Arg.Set profile_only,
+        " cache-profile manifest only (regenerates BENCH_profile.json)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
@@ -585,22 +670,31 @@ let () =
       ( "--parallel-json",
         Arg.Set_string parallel_json,
         "FILE path for the parallel-scaling manifest" );
+      ( "--profile-json",
+        Arg.Set_string profile_json,
+        "FILE path for the cache-profile manifest" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
     run_parallel_bench ~quick:!quick ~path:!parallel_json;
     exit 0
   end;
+  if !profile_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_profile_manifest ~quick:!quick ~path:!profile_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
   if not !kernels_only then begin
     run_harness_manifest ~quick:!quick ~path:!harness_json;
-    run_parallel_bench ~quick:!quick ~path:!parallel_json
+    run_parallel_bench ~quick:!quick ~path:!parallel_json;
+    run_profile_manifest ~quick:!quick ~path:!profile_json
   end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();

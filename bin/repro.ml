@@ -320,7 +320,129 @@ let strip_cmd =
   in
   Cmd.v (Cmd.info "strip" ~doc) Term.(const run $ prog_arg)
 
+let profile_cmd =
+  let doc =
+    "Profile cache behavior under a layout: per-block miss attribution, \
+     cold/capacity/conflict classification, per-set pressure and the optimizer's decision \
+     trace, written as a colayout/profile/v1 JSON artifact."
+  in
+  let out =
+    Arg.(
+      value & opt string "profile.json" & info [ "out" ] ~docv:"FILE" ~doc:"Output artifact path")
+  in
+  let top =
+    Arg.(
+      value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Conflict-missing blocks listed per layout")
+  in
+  let decisions_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "decisions" ] ~docv:"FILE"
+          ~doc:"Also write the optimizer's full decision trace as JSONL to $(docv)")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv H.Ctx.Full
+      & info [ "scale" ] ~docv:"SCALE" ~doc:"Simulation scale: fast or full")
+  in
+  let run name kind_name out top decisions_out scale verbosity =
+    H.Report.setup verbosity;
+    let kind =
+      match Core.Optimizer.kind_of_name kind_name with
+      | Some k -> k
+      | None ->
+        Printf.eprintf "unknown optimizer %S\n" kind_name;
+        exit 1
+    in
+    if not (List.mem name W.Spec.names) then begin
+      Printf.eprintf "unknown program %S; run `repro programs` for the list\n" name;
+      exit 1
+    end;
+    let ctx = H.Ctx.create ~scale () in
+    let p = H.Ctx.program ctx name in
+    let block_name bid =
+      if bid >= 0 && bid < Colayout_ir.Program.num_blocks p then
+        (Colayout_ir.Program.block p bid).Colayout_ir.Program.name
+      else Printf.sprintf "b%d" bid
+    in
+    let base_stats, base_sink = H.Ctx.profiled_solo ctx ~hw:false name Core.Optimizer.Original in
+    let layouts =
+      { Colayout_cache.Profile.label = "original"; sink = base_sink; stats = base_stats }
+      ::
+      (if kind = Core.Optimizer.Original then []
+       else begin
+         let stats, sink = H.Ctx.profiled_solo ctx ~hw:false name kind in
+         [ { Colayout_cache.Profile.label = kind_name; sink; stats } ]
+       end)
+    in
+    (* Replay the layout decision for the trace: the layout itself is
+       memoized above, so this second pass costs one optimizer run. *)
+    let dec =
+      if kind = Core.Optimizer.Original then None
+      else begin
+        let trace = Core.Decision_trace.create () in
+        ignore
+          (Core.Optimizer.layout_for ~decisions:trace ~config:(H.Ctx.opt_config ctx) kind p
+             (H.Ctx.analysis ctx name));
+        Some trace
+      end
+    in
+    let decision_counts =
+      match dec with None -> [] | Some d -> Core.Decision_trace.counts_by_action d
+    in
+    let json =
+      Colayout_cache.Profile.to_json ~top ~block_name ~decisions:decision_counts ~program:name
+        ~params:(H.Ctx.params ctx) ~layouts ()
+    in
+    write_file out (U.Json.to_string ~pretty:true json);
+    Option.iter
+      (fun path ->
+        match dec with
+        | None -> Printf.eprintf "--decisions: no decision trace for the original layout\n"
+        | Some d ->
+          U.Fsutil.mkdir_p (Filename.dirname path);
+          let oc = open_out path in
+          output_string oc (Core.Decision_trace.to_jsonl d);
+          close_out oc;
+          Printf.printf "wrote %s (%d decisions)\n" path (Core.Decision_trace.count d))
+      decisions_out;
+    let t =
+      Table.create
+        ~title:(Printf.sprintf "cache profile: %s" name)
+        ~columns:
+          [
+            ("layout", Table.Left);
+            ("accesses", Table.Right);
+            ("misses", Table.Right);
+            ("cold", Table.Right);
+            ("capacity", Table.Right);
+            ("conflict", Table.Right);
+            ("evictions", Table.Right);
+          ]
+    in
+    List.iter
+      (fun lp ->
+        let s = lp.Colayout_cache.Profile.sink in
+        Table.add_row t
+          [
+            lp.Colayout_cache.Profile.label;
+            Table.fmt_int (Colayout_cache.Profile_sink.accesses s);
+            Table.fmt_int (Colayout_cache.Profile_sink.misses s);
+            Table.fmt_int (Colayout_cache.Profile_sink.cold_misses s);
+            Table.fmt_int (Colayout_cache.Profile_sink.capacity_misses s);
+            Table.fmt_int (Colayout_cache.Profile_sink.conflict_misses s);
+            Table.fmt_int (Colayout_cache.Profile_sink.evictions s);
+          ])
+      layouts;
+    Table.print t;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ prog_arg $ kind_arg $ out $ top $ decisions_out $ scale $ verbosity_arg)
+
 let () =
   let doc = "Reproduction of 'Code Layout Optimization for Defensiveness and Politeness in Shared Cache' (ICPP 2014)" in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd; profile_cmd ]))

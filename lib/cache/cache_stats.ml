@@ -1,13 +1,21 @@
+(* Evictions come from two sources with different semantics: [set_evictions]
+   syncs the *absolute* cumulative count of this object's own simulator
+   (idempotent — Hierarchy re-syncs on every stats read), while [merge_into]
+   folds in *totals of other stats objects*. Keeping the two in separate
+   cells makes both operations correct in any order: a re-sync after a merge
+   refreshes only the own-simulator part and never clobbers merged
+   contributions. *)
 type t = {
   acc : int array;
   miss : int array;
   mutable pf : int;
-  mutable ev : int;
+  mutable ev_synced : int; (* last set_evictions value: own simulator *)
+  mutable ev_merged : int; (* accumulated from merge_into sources *)
 }
 
 let create ?(threads = 1) () =
   if threads <= 0 then invalid_arg "Cache_stats.create";
-  { acc = Array.make threads 0; miss = Array.make threads 0; pf = 0; ev = 0 }
+  { acc = Array.make threads 0; miss = Array.make threads 0; pf = 0; ev_synced = 0; ev_merged = 0 }
 
 let check t thread =
   if thread < 0 || thread >= Array.length t.acc then
@@ -20,9 +28,9 @@ let record t ~thread ~hit =
 
 let record_prefetch t = t.pf <- t.pf + 1
 
-let set_evictions t n = t.ev <- n
+let set_evictions t n = t.ev_synced <- n
 
-let evictions t = t.ev
+let evictions t = t.ev_synced + t.ev_merged
 
 let sum = Array.fold_left ( + ) 0
 
@@ -56,10 +64,10 @@ let merge_into ~dst src =
   Array.iteri (fun i v -> dst.acc.(i) <- dst.acc.(i) + v) src.acc;
   Array.iteri (fun i v -> dst.miss.(i) <- dst.miss.(i) + v) src.miss;
   dst.pf <- dst.pf + src.pf;
-  dst.ev <- dst.ev + src.ev
+  dst.ev_merged <- dst.ev_merged + evictions src
 
 let to_string t =
   Printf.sprintf "accesses=%d misses=%d (%.3f%%) prefetches=%d evictions=%d" (accesses t)
     (misses t)
     (100.0 *. miss_ratio t)
-    t.pf t.ev
+    t.pf (evictions t)

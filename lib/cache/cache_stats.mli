@@ -10,10 +10,16 @@ val record : t -> thread:int -> hit:bool -> unit
 val record_prefetch : t -> unit
 
 val set_evictions : t -> int -> unit
-(** Record the simulator's cumulative eviction count (taken from the cache
-    model, which observes replacements; see {!Set_assoc.evictions}). *)
+(** Sync the {e absolute} cumulative eviction count of this object's own
+    simulator (taken from the cache model, which observes replacements; see
+    {!Set_assoc.evictions}). Idempotent: re-syncing with the same simulator
+    refreshes the value. Each stats object should be synced from at most
+    one simulator; eviction totals of {e other} stats objects are combined
+    with {!merge_into}, which accumulates separately — a [set_evictions]
+    after a merge never clobbers merged contributions. *)
 
 val evictions : t -> int
+(** Own-simulator synced count plus all merged-in totals. *)
 
 val accesses : t -> int
 
@@ -33,6 +39,8 @@ val thread_misses : t -> int -> int
 val thread_miss_ratio : t -> int -> float
 
 val merge_into : dst:t -> t -> unit
-(** Add per-thread and total counters of the source into [dst]. *)
+(** Add per-thread and total counters of the source into [dst]. The
+    source's {!evictions} total is folded into [dst]'s merged bucket, so
+    merging commutes with {!set_evictions} on either side. *)
 
 val to_string : t -> string

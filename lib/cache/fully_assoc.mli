@@ -3,7 +3,9 @@
     The reference model behind the capacity-miss equations of §II-A: a
     fully-associative cache of capacity [c] lines misses exactly when the
     reuse distance reaches [c]. Used as a test oracle for {!Set_assoc} (with
-    [num_sets = 1] they must agree) and by the miss-probability model. *)
+    [num_sets = 1] they must agree), by the miss-probability model, and as
+    the shadow cache of {!Profile_sink}'s miss classifier (a reference that
+    misses in the set-associative cache but hits here is a conflict miss). *)
 
 type t
 
@@ -11,6 +13,12 @@ val create : capacity:int -> t
 (** Capacity in lines. *)
 
 val access_line : t -> int -> bool
+
+val probe_line : t -> int -> bool
+(** Hit test without state change. *)
+
+val evictions : t -> int
+(** Cumulative count of lines replaced since creation. *)
 
 val occupancy : t -> int
 

@@ -2,6 +2,7 @@ type t = {
   l1i : Set_assoc.t;
   l1d : Set_assoc.t;
   l2 : Set_assoc.t;
+  l1i_sink : Profile_sink.t option;
   l1i_stats : Cache_stats.t;
   l1d_stats : Cache_stats.t;
   l2_stats : Cache_stats.t;
@@ -14,11 +15,12 @@ let default_l1d = Params.make ~size_bytes:(32 * 1024) ~assoc:8 ~line_bytes:64
 let default_l2 = Params.make ~size_bytes:(256 * 1024) ~assoc:8 ~line_bytes:64
 
 let create ?(l1i = Params.default_l1i) ?(l1d = default_l1d) ?(l2 = default_l2)
-    ?(threads = 1) () =
+    ?l1i_sink ?(threads = 1) () =
   {
     l1i = Set_assoc.create l1i;
     l1d = Set_assoc.create l1d;
     l2 = Set_assoc.create l2;
+    l1i_sink;
     l1i_stats = Cache_stats.create ~threads ();
     l1d_stats = Cache_stats.create ~threads ();
     l2_stats = Cache_stats.create ~threads ();
@@ -36,8 +38,12 @@ let access_l2 t ~thread ~is_instr line =
     if is_instr then t.l2_instr_misses <- t.l2_instr_misses + 1
     else t.l2_data_misses <- t.l2_data_misses + 1
 
-let access_instr t ~thread ~line =
-  let hit = Set_assoc.access_line t.l1i line in
+let access_instr ?(block = -1) t ~thread ~line =
+  let hit =
+    match t.l1i_sink with
+    | None -> Set_assoc.access_line t.l1i line
+    | Some sink -> Set_assoc.access_line_profiled t.l1i sink ~thread ~block line
+  in
   Cache_stats.record t.l1i_stats ~thread ~hit;
   if not hit then access_l2 t ~thread ~is_instr:true line
 

@@ -17,12 +17,21 @@
 type t
 
 val create :
-  ?l1i:Params.t -> ?l1d:Params.t -> ?l2:Params.t -> ?threads:int -> unit -> t
+  ?l1i:Params.t ->
+  ?l1d:Params.t ->
+  ?l2:Params.t ->
+  ?l1i_sink:Profile_sink.t ->
+  ?threads:int ->
+  unit ->
+  t
 (** Defaults follow the paper's Xeon E5520: L1I 32KB/4-way, L1D 32KB/8-way,
-    unified L2 256KB/8-way, all 64-byte lines. [threads] defaults to 1. *)
+    unified L2 256KB/8-way, all 64-byte lines. [threads] defaults to 1.
+    [l1i_sink] attaches a profile sink to the L1I (the level the paper
+    evaluates); it must be created with the same [l1i] params. *)
 
-val access_instr : t -> thread:int -> line:int -> unit
-(** Fetch one instruction line: L1I, on miss L2. *)
+val access_instr : ?block:int -> t -> thread:int -> line:int -> unit
+(** Fetch one instruction line: L1I, on miss L2. [block] (default [-1],
+    i.e. unattributed) labels the access for an attached [l1i_sink]. *)
 
 val access_data : t -> thread:int -> addr:int -> unit
 (** One data reference: L1D, on miss L2. @raise Invalid_argument on negative

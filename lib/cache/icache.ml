@@ -8,19 +8,23 @@ type layout = {
 let lines_of_block ~params ~layout bid =
   Params.lines_spanned params ~addr:layout.addr.(bid) ~bytes:layout.bytes.(bid)
 
-let access ?prefetch cache stats ~thread line =
-  let hit = Set_assoc.access_line cache line in
+let access ?prefetch ?sink cache stats ~thread ~block line =
+  let hit =
+    match sink with
+    | None -> Set_assoc.access_line cache line
+    | Some s -> Set_assoc.access_line_profiled cache s ~thread ~block line
+  in
   Cache_stats.record stats ~thread ~hit;
   if not hit then Option.iter (fun p -> Prefetch.on_miss p cache stats line) prefetch
 
-let solo ?prefetch ~params ~layout trace =
+let solo ?prefetch ?sink ~params ~layout trace =
   let cache = Set_assoc.create params in
   let stats = Cache_stats.create ~threads:1 () in
   Int_vec.iter
     (fun bid ->
       let first, last = lines_of_block ~params ~layout bid in
       for line = first to last do
-        access ?prefetch cache stats ~thread:0 line
+        access ?prefetch ?sink cache stats ~thread:0 ~block:bid line
       done)
     trace;
   Cache_stats.set_evictions stats (Set_assoc.evictions cache);
@@ -33,6 +37,7 @@ type cursor = {
   layout : layout;
   line_offset : int;
   mutable pos : int; (* index into trace *)
+  mutable cur_block : int; (* block the next line belongs to *)
   mutable cur_line : int; (* next line to fetch *)
   mutable last_line : int; (* last line of current block *)
   mutable in_block : bool;
@@ -40,7 +45,17 @@ type cursor = {
 }
 
 let cursor_make trace layout ~line_offset =
-  { trace; layout; line_offset; pos = 0; cur_line = 0; last_line = -1; in_block = false; passes = 0 }
+  {
+    trace;
+    layout;
+    line_offset;
+    pos = 0;
+    cur_block = -1;
+    cur_line = 0;
+    last_line = -1;
+    in_block = false;
+    passes = 0;
+  }
 
 let rec cursor_next ~params c =
   if c.in_block && c.cur_line <= c.last_line then begin
@@ -52,6 +67,7 @@ let rec cursor_next ~params c =
     let bid = Int_vec.get c.trace c.pos in
     c.pos <- c.pos + 1;
     let first, last = lines_of_block ~params ~layout:c.layout bid in
+    c.cur_block <- bid;
     c.cur_line <- first;
     c.last_line <- last;
     c.in_block <- true;
@@ -68,7 +84,7 @@ let rec cursor_next ~params c =
     end
   end
 
-let shared ?prefetch ?(rates = (1.0, 1.0)) ~params ~layouts (t0, t1) =
+let shared ?prefetch ?sink ?(rates = (1.0, 1.0)) ~params ~layouts (t0, t1) =
   let r0, r1 = rates in
   if r0 <= 0.0 || r1 <= 0.0 then invalid_arg "Icache.shared: rates must be positive";
   let l0, l1 = layouts in
@@ -81,6 +97,11 @@ let shared ?prefetch ?(rates = (1.0, 1.0)) ~params ~layouts (t0, t1) =
   let c0 = cursor_make t0 l0 ~line_offset:0 in
   let c1 = cursor_make t1 l1 ~line_offset:offset_lines in
   let finished c = c.passes >= 1 in
+  let step cursor ~thread =
+    Option.iter
+      (fun line -> access ?prefetch ?sink cache stats ~thread ~block:cursor.cur_block line)
+      (cursor_next ~params cursor)
+  in
   (* Both threads keep fetching (restarting at end of trace) until each has
      completed at least one full pass, so neither runs contention-free.
      Credit accounting delivers [r] line fetches per step per thread. *)
@@ -90,11 +111,11 @@ let shared ?prefetch ?(rates = (1.0, 1.0)) ~params ~layouts (t0, t1) =
     credit1 := !credit1 +. r1;
     while !credit0 >= 1.0 do
       credit0 := !credit0 -. 1.0;
-      Option.iter (access ?prefetch cache stats ~thread:0) (cursor_next ~params c0)
+      step c0 ~thread:0
     done;
     while !credit1 >= 1.0 do
       credit1 := !credit1 -. 1.0;
-      Option.iter (access ?prefetch cache stats ~thread:1) (cursor_next ~params c1)
+      step c1 ~thread:1
     done
   done;
   Cache_stats.set_evictions stats (Set_assoc.evictions cache);

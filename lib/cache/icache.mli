@@ -14,14 +14,19 @@ type layout = {
 
 val solo :
   ?prefetch:Prefetch.t ->
+  ?sink:Profile_sink.t ->
   params:Params.t ->
   layout:layout ->
   Colayout_util.Int_vec.t ->
   Cache_stats.t
-(** Replay one block trace; stats have a single thread. *)
+(** Replay one block trace; stats have a single thread. When [sink] is
+    given, every demand access is attributed to its block and cache set
+    (and classified, see {!Profile_sink}); the sink's totals equal the
+    returned stats exactly. *)
 
 val shared :
   ?prefetch:Prefetch.t ->
+  ?sink:Profile_sink.t ->
   ?rates:float * float ->
   params:Params.t ->
   layouts:layout * layout ->
@@ -36,7 +41,10 @@ val shared :
     Stats have two threads. When one trace ends it is restarted, until the
     longer trace completes one full pass — both programs keep running, as in
     the paper's co-run methodology of timing against a continuously running
-    peer. *)
+    peer. A [sink] (it must have two threads) attributes each access to the
+    fetching thread's current block; the offset address spaces keep the
+    shadow classifier's line universe disjoint while the per-set heatmap
+    folds both threads onto the physical sets they share. *)
 
 val lines_of_block : params:Params.t -> layout:layout -> int -> int * int
 (** [(first_line, last_line)] of a block id under a layout. *)

@@ -1,0 +1,100 @@
+module J = Colayout_util.Json
+
+let schema = "colayout/profile/v1"
+
+type layout_profile = {
+  label : string;
+  sink : Profile_sink.t;
+  stats : Cache_stats.t;
+}
+
+let totals_json sink =
+  J.Obj
+    [
+      ("accesses", J.Int (Profile_sink.accesses sink));
+      ("misses", J.Int (Profile_sink.misses sink));
+      ("evictions", J.Int (Profile_sink.evictions sink));
+      ("cold", J.Int (Profile_sink.cold_misses sink));
+      ("capacity", J.Int (Profile_sink.capacity_misses sink));
+      ("conflict", J.Int (Profile_sink.conflict_misses sink));
+    ]
+
+let block_json ?block_name (r : Profile_sink.block_counts) =
+  let base =
+    [
+      ("thread", J.Int r.Profile_sink.thread);
+      ("block", J.Int r.Profile_sink.block);
+      ("accesses", J.Int r.Profile_sink.b_accesses);
+      ("misses", J.Int r.Profile_sink.b_misses);
+      ("cold", J.Int r.Profile_sink.b_cold);
+      ("capacity", J.Int r.Profile_sink.b_capacity);
+      ("conflict", J.Int r.Profile_sink.b_conflict);
+      ("evictions", J.Int r.Profile_sink.b_evictions);
+    ]
+  in
+  match block_name with
+  | None -> J.Obj base
+  | Some f -> J.Obj (("name", J.Str (f r.Profile_sink.block)) :: base)
+
+let set_histogram_json sink =
+  let n = Profile_sink.num_sets sink in
+  let col f = J.Arr (List.init n (fun s -> J.Int (f (Profile_sink.set_counters sink ~set:s)))) in
+  J.Obj
+    [
+      ("sets", J.Int n);
+      ("accesses", col (fun (a, _, _) -> a));
+      ("misses", col (fun (_, m, _) -> m));
+      ("evictions", col (fun (_, _, e) -> e));
+    ]
+
+let layout_json ?(top = 10) ?block_name lp =
+  (* The attribution contract: a sink wired through a whole simulation saw
+     every demand access the stats counted, no more, no less. *)
+  if
+    Profile_sink.accesses lp.sink <> Cache_stats.accesses lp.stats
+    || Profile_sink.misses lp.sink <> Cache_stats.misses lp.stats
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Profile.layout_json: %s attribution disagrees with Cache_stats (acc %d/%d, miss %d/%d)"
+         lp.label (Profile_sink.accesses lp.sink) (Cache_stats.accesses lp.stats)
+         (Profile_sink.misses lp.sink) (Cache_stats.misses lp.stats));
+  J.Obj
+    [
+      ("label", J.Str lp.label);
+      ("totals", totals_json lp.sink);
+      ( "top_conflict_blocks",
+        J.Arr (List.map (block_json ?block_name) (Profile_sink.top_conflict_blocks lp.sink ~n:top)) );
+      ("set_histogram", set_histogram_json lp.sink);
+    ]
+
+let delta_json ~baseline other =
+  let d f = J.Int (f baseline.sink - f other.sink) in
+  J.Obj
+    [
+      ("label", J.Str other.label);
+      ("baseline", J.Str baseline.label);
+      ("miss_reduction", d Profile_sink.misses);
+      ("conflict_reduction", d Profile_sink.conflict_misses);
+      ("eviction_reduction", d Profile_sink.evictions);
+    ]
+
+let to_json ?(top = 10) ?block_name ?(decisions = []) ~program ~params ~layouts () =
+  match layouts with
+  | [] -> invalid_arg "Profile.to_json: layouts must be non-empty"
+  | baseline :: rest ->
+    J.Obj
+      [
+        ("schema", J.Str schema);
+        ("program", J.Str program);
+        ("cache", J.Str (Params.to_string params));
+        ("top", J.Int top);
+        ("layouts", J.Arr (List.map (layout_json ~top ?block_name) layouts));
+        ("delta", J.Arr (List.map (delta_json ~baseline) rest));
+        ( "decisions",
+          J.Obj
+            [
+              ("total", J.Int (List.fold_left (fun acc (_, n) -> acc + n) 0 decisions));
+              ("by_action", J.Obj (List.map (fun (k, n) -> (k, J.Int n)) decisions));
+            ] );
+      ]

@@ -1,0 +1,40 @@
+(** Self-describing cache-behavior profile artifact
+    (schema [colayout/profile/v1]).
+
+    Aggregates what a {!Profile_sink} attributed — classification totals,
+    top conflict-missing blocks, the per-set pressure histogram — and what
+    the optimizer's decision trace counted, into one JSON document with a
+    before/after delta section: the explanatory artifact behind the paper's
+    claim that layout moves misses out of the conflict class. *)
+
+val schema : string
+(** ["colayout/profile/v1"]. *)
+
+type layout_profile = {
+  label : string;  (** e.g. the optimizer kind name. *)
+  sink : Profile_sink.t;
+  stats : Cache_stats.t;  (** The simulator totals the sink must match. *)
+}
+
+val layout_json :
+  ?top:int -> ?block_name:(int -> string) -> layout_profile -> Colayout_util.Json.t
+(** One layout's section: totals (accesses/misses/evictions and the
+    cold/capacity/conflict split), the [top] (default 10) conflict-missing
+    blocks (optionally named via [block_name]), and per-set
+    access/miss/eviction arrays.
+    @raise Invalid_argument if the sink's access/miss totals disagree with
+    [stats] — attribution must be exact, a mismatch is a simulator bug. *)
+
+val to_json :
+  ?top:int ->
+  ?block_name:(int -> string) ->
+  ?decisions:(string * int) list ->
+  program:string ->
+  params:Params.t ->
+  layouts:layout_profile list ->
+  unit ->
+  Colayout_util.Json.t
+(** The full artifact. [layouts] must be non-empty; the first entry is the
+    baseline, and a ["delta"] section reports miss / conflict-miss /
+    eviction changes of every other layout against it. [decisions] are
+    [(stage.action, count)] pairs from the optimizer's decision trace. *)

@@ -1,0 +1,178 @@
+(* Per-block / per-set attribution counters plus the 3C classifier.
+
+   Per-thread block tables are flat int arrays indexed by block id, grown
+   by doubling — block ids are dense (program block numbering), so arrays
+   beat hashing on the access path. The shadow cache and the seen-lines
+   table key on raw line numbers, so the co-run simulator's offset address
+   spaces (thread 1 at +2^40 lines) stay distinct, while the per-set
+   counters fold both threads onto the physical sets they really share. *)
+
+type per_thread = {
+  mutable acc : int array;
+  mutable miss : int array;
+  mutable cold : int array;
+  mutable cap : int array;
+  mutable conf : int array;
+  mutable ev : int array;
+  mutable hi : int; (* 1 + highest block id seen, bounds the live prefix *)
+}
+
+type t = {
+  params : Params.t;
+  threads : per_thread array;
+  set_acc : int array;
+  set_miss : int array;
+  set_ev : int array;
+  shadow : Fully_assoc.t option;
+  seen : (int, unit) Hashtbl.t;
+}
+
+let make_thread n =
+  {
+    acc = Array.make n 0;
+    miss = Array.make n 0;
+    cold = Array.make n 0;
+    cap = Array.make n 0;
+    conf = Array.make n 0;
+    ev = Array.make n 0;
+    hi = 0;
+  }
+
+let create ?(threads = 1) ?(classify = true) ?(num_blocks = 64) ~params () =
+  if threads <= 0 then invalid_arg "Profile_sink.create: threads must be positive";
+  if num_blocks <= 0 then invalid_arg "Profile_sink.create: num_blocks must be positive";
+  {
+    params;
+    threads = Array.init threads (fun _ -> make_thread num_blocks);
+    set_acc = Array.make params.Params.num_sets 0;
+    set_miss = Array.make params.Params.num_sets 0;
+    set_ev = Array.make params.Params.num_sets 0;
+    shadow = (if classify then Some (Fully_assoc.create ~capacity:(Params.lines_total params)) else None);
+    seen = Hashtbl.create 1024;
+  }
+
+let params t = t.params
+
+let grow a n =
+  let a' = Array.make n 0 in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let ensure pt block =
+  if block >= Array.length pt.acc then begin
+    let n = ref (2 * Array.length pt.acc) in
+    while block >= !n do
+      n := 2 * !n
+    done;
+    pt.acc <- grow pt.acc !n;
+    pt.miss <- grow pt.miss !n;
+    pt.cold <- grow pt.cold !n;
+    pt.cap <- grow pt.cap !n;
+    pt.conf <- grow pt.conf !n;
+    pt.ev <- grow pt.ev !n
+  end;
+  if block >= pt.hi then pt.hi <- block + 1
+
+let record t ~thread ~block ~line ~hit ~evicted =
+  if thread < 0 || thread >= Array.length t.threads then
+    invalid_arg (Printf.sprintf "Profile_sink.record: bad thread %d" thread);
+  let block = if block < 0 then 0 else block in
+  let set = Params.set_of_line t.params line in
+  t.set_acc.(set) <- t.set_acc.(set) + 1;
+  (* The shadow LRU must observe every access — hits keep its recency
+     honest — so classification stays exact even though only misses read
+     its verdict. *)
+  let shadow_hit =
+    match t.shadow with Some sh -> Fully_assoc.access_line sh line | None -> false
+  in
+  let pt = t.threads.(thread) in
+  ensure pt block;
+  pt.acc.(block) <- pt.acc.(block) + 1;
+  if not hit then begin
+    t.set_miss.(set) <- t.set_miss.(set) + 1;
+    pt.miss.(block) <- pt.miss.(block) + 1;
+    if evicted then begin
+      t.set_ev.(set) <- t.set_ev.(set) + 1;
+      pt.ev.(block) <- pt.ev.(block) + 1
+    end;
+    if t.shadow <> None then
+      if not (Hashtbl.mem t.seen line) then begin
+        (* A hit implies an earlier access, so first touches are always
+           misses: recording seen lines on the miss path alone is exact. *)
+        Hashtbl.replace t.seen line ();
+        pt.cold.(block) <- pt.cold.(block) + 1
+      end
+      else if shadow_hit then pt.conf.(block) <- pt.conf.(block) + 1
+      else pt.cap.(block) <- pt.cap.(block) + 1
+  end
+
+let sum_field f t =
+  Array.fold_left
+    (fun acc pt ->
+      let s = ref acc in
+      let a = f pt in
+      for b = 0 to pt.hi - 1 do
+        s := !s + a.(b)
+      done;
+      !s)
+    0 t.threads
+
+let accesses t = sum_field (fun pt -> pt.acc) t
+
+let misses t = sum_field (fun pt -> pt.miss) t
+
+let evictions t = sum_field (fun pt -> pt.ev) t
+
+let cold_misses t = sum_field (fun pt -> pt.cold) t
+
+let capacity_misses t = sum_field (fun pt -> pt.cap) t
+
+let conflict_misses t = sum_field (fun pt -> pt.conf) t
+
+type block_counts = {
+  thread : int;
+  block : int;
+  b_accesses : int;
+  b_misses : int;
+  b_cold : int;
+  b_capacity : int;
+  b_conflict : int;
+  b_evictions : int;
+}
+
+let block_rows t =
+  let rows = ref [] in
+  for th = Array.length t.threads - 1 downto 0 do
+    let pt = t.threads.(th) in
+    for b = pt.hi - 1 downto 0 do
+      if pt.acc.(b) > 0 then
+        rows :=
+          {
+            thread = th;
+            block = b;
+            b_accesses = pt.acc.(b);
+            b_misses = pt.miss.(b);
+            b_cold = pt.cold.(b);
+            b_capacity = pt.cap.(b);
+            b_conflict = pt.conf.(b);
+            b_evictions = pt.ev.(b);
+          }
+          :: !rows
+    done
+  done;
+  !rows
+
+let top_conflict_blocks t ~n =
+  block_rows t
+  |> List.filter (fun r -> r.b_conflict > 0)
+  |> List.sort (fun a b ->
+         if a.b_conflict <> b.b_conflict then compare b.b_conflict a.b_conflict
+         else if a.b_misses <> b.b_misses then compare b.b_misses a.b_misses
+         else compare (a.thread, a.block) (b.thread, b.block))
+  |> List.filteri (fun i _ -> i < n)
+
+let num_sets t = t.params.Params.num_sets
+
+let set_counters t ~set =
+  if set < 0 || set >= num_sets t then invalid_arg "Profile_sink.set_counters";
+  (t.set_acc.(set), t.set_miss.(set), t.set_ev.(set))

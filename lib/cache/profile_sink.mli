@@ -1,0 +1,87 @@
+(** Per-block miss attribution for the cache simulators.
+
+    A sink collects, alongside the aggregate {!Cache_stats}, the {e where}
+    of every cache event:
+
+    - {b per code block} (and per thread): accesses, misses, evictions
+      caused, and the miss classification below;
+    - {b per cache set}: accesses, misses, evictions — the conflict heatmap
+      the paper's layouts redistribute;
+    - {b miss classification} into cold / capacity / conflict via a
+      fully-associative shadow cache of the same capacity run alongside the
+      set-associative model: a first-ever touch of a line is a {e cold}
+      miss; a re-miss that also misses in the shadow is a {e capacity}
+      miss; a re-miss that hits in the shadow is a {e conflict} miss — the
+      quantity Eq 1-2's defensiveness/politeness layouts are meant to kill.
+
+    Profiling is pay-as-you-go: the simulators take a sink as an option and
+    their unprofiled hot paths are untouched; attaching a sink roughly
+    doubles simulation cost (every access also updates the shadow LRU).
+    Classification assumes demand accesses only — prefetch fills bypass the
+    sink, so profile with prefetching disabled (the simulated mode).
+
+    The attribution invariant, asserted by the differential tests: with a
+    sink attached to a whole simulation, {!accesses}/{!misses}/{!evictions}
+    (equivalently, the per-block or per-set sums) equal the corresponding
+    {!Cache_stats} totals exactly, and [cold + capacity + conflict =
+    misses] whenever classification is on. *)
+
+type t
+
+val create : ?threads:int -> ?classify:bool -> ?num_blocks:int -> params:Params.t -> unit -> t
+(** [threads] defaults to 1, as in {!Cache_stats}. [classify] (default
+    [true]) runs the fully-associative shadow cache; when [false] the
+    cold/capacity/conflict counters stay 0 and only attribution counts are
+    kept. [num_blocks] pre-sizes the per-block tables (they grow on demand
+    otherwise). *)
+
+val params : t -> Params.t
+
+val record : t -> thread:int -> block:int -> line:int -> hit:bool -> evicted:bool -> unit
+(** Called by the simulators for every demand access; [evicted] marks a
+    miss that replaced a valid line. [block] must be non-negative;
+    unattributed accesses (e.g. {!Hierarchy} lines with no block context)
+    are recorded under block 0 by the caller's convention.
+    @raise Invalid_argument on a bad thread index. *)
+
+(** {1 Totals} *)
+
+val accesses : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val cold_misses : t -> int
+
+val capacity_misses : t -> int
+
+val conflict_misses : t -> int
+(** Always 0 when [classify] is off; otherwise
+    [cold + capacity + conflict = misses]. *)
+
+(** {1 Attribution} *)
+
+type block_counts = {
+  thread : int;
+  block : int;
+  b_accesses : int;
+  b_misses : int;
+  b_cold : int;
+  b_capacity : int;
+  b_conflict : int;
+  b_evictions : int;
+}
+
+val block_rows : t -> block_counts list
+(** One row per (thread, block) with at least one access, ordered by
+    (thread, block). *)
+
+val top_conflict_blocks : t -> n:int -> block_counts list
+(** The [n] rows with the most conflict misses (ties toward more misses,
+    then smaller ids), rows with none excluded. *)
+
+val num_sets : t -> int
+
+val set_counters : t -> set:int -> int * int * int
+(** [(accesses, misses, evictions)] of one cache set. *)

@@ -44,6 +44,27 @@ let access_line t line =
     false
   end
 
+(* Profiled twin of [access_line]: same replacement decisions, but the
+   eviction verdict and the block/thread context are reported to the sink.
+   A separate function — not a flag on the hot path — so unprofiled
+   simulation pays nothing for the profiler's existence. *)
+let access_line_profiled t sink ~thread ~block line =
+  let set = t.ways.(Params.set_of_line t.params line) in
+  let i = find_way set line in
+  if i >= 0 then begin
+    promote set i;
+    Profile_sink.record sink ~thread ~block ~line ~hit:true ~evicted:false;
+    true
+  end
+  else begin
+    let evicted = set.(Array.length set - 1) >= 0 in
+    if evicted then t.evictions <- t.evictions + 1;
+    Array.blit set 0 set 1 (Array.length set - 1);
+    set.(0) <- line;
+    Profile_sink.record sink ~thread ~block ~line ~hit:false ~evicted;
+    false
+  end
+
 let probe_line t line =
   let set = t.ways.(Params.set_of_line t.params line) in
   find_way set line >= 0

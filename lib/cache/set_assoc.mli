@@ -16,6 +16,11 @@ val access_line : t -> int -> bool
 (** [access_line t line] touches a line; returns [true] on hit. Misses fill
     the line, evicting the set's LRU way. *)
 
+val access_line_profiled : t -> Profile_sink.t -> thread:int -> block:int -> int -> bool
+(** Exactly {!access_line}, additionally reporting the access (with its
+    set, eviction verdict and the caller's block/thread attribution) to the
+    profile sink. Kept separate so the unprofiled path stays unchanged. *)
+
 val probe_line : t -> int -> bool
 (** Hit test without state change. *)
 

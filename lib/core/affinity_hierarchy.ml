@@ -34,7 +34,7 @@ type work = {
   first_pos : int;
 }
 
-let merge_level ~w ~affine groups =
+let merge_level ?decisions ?(stage = "affinity") ~w ~affine groups =
   (* Greedy agglomeration: in first-occurrence order, each group joins the
      first accumulated cluster with which every cross pair is affine. *)
   let clusters : (work list ref) list ref = ref [] in
@@ -46,11 +46,21 @@ let merge_level ~w ~affine groups =
             List.for_all (fun a -> List.for_all (fun b -> affine a b) g'.mems) g.mems)
           !cluster
       in
-      let rec place = function
+      let rec place k = function
         | [] -> clusters := !clusters @ [ ref [ g ] ]
-        | c :: rest -> if compatible c then c := !c @ [ g ] else place rest
+        | c :: rest ->
+          if compatible c then begin
+            (match !c with
+            | first :: _ ->
+              Decision_trace.emit decisions ~stage ~action:"join"
+                ~x:(List.hd g.mems) ~y:(List.hd first.mems) ~weight:w ~group:k
+                ~size:(List.length !c + 1) ()
+            | [] -> ());
+            c := !c @ [ g ]
+          end
+          else place (k + 1) rest
       in
-      place !clusters)
+      place 0 !clusters)
     groups;
   List.map
     (fun c ->
@@ -65,7 +75,7 @@ let merge_level ~w ~affine groups =
         })
     !clusters
 
-let build ?(algo = Efficient) ?(ws = default_ws) trace =
+let build ?decisions ?(algo = Efficient) ?(ws = default_ws) trace =
   check_ws ws;
   if not (Trim.is_trimmed trace) then
     invalid_arg "Affinity_hierarchy.build: trace must be trimmed";
@@ -86,7 +96,9 @@ let build ?(algo = Efficient) ?(ws = default_ws) trace =
           | Efficient -> Affinity.affine_pairs trace ~w
           | Exact -> Affinity.affine_pairs_naive trace ~w
         in
-        groups := merge_level ~w ~affine:(Affinity.is_affine ps) !groups
+        groups := merge_level ?decisions ~w ~affine:(Affinity.is_affine ps) !groups;
+        Decision_trace.emit decisions ~stage:"affinity" ~action:"level" ~weight:w
+          ~size:(List.length !groups) ()
       end)
     ws;
   let roots = List.sort (fun a b -> compare a.first_pos b.first_pos) !groups in

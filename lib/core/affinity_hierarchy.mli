@@ -31,9 +31,13 @@ type algo =
 val default_ws : int list
 (** 2..20 — the paper chooses w between 2 and 20 (§II-B). *)
 
-val build : ?algo:algo -> ?ws:int list -> Colayout_trace.Trace.t -> t
+val build :
+  ?decisions:Decision_trace.t -> ?algo:algo -> ?ws:int list -> Colayout_trace.Trace.t -> t
 (** @raise Invalid_argument if the trace is not trimmed or [ws] is not
-    positive ascending. *)
+    positive ascending. With [decisions], emits an ["affinity"] [join] event
+    per group absorbed into a cluster (weight = window size, group = cluster
+    index) and a [level] summary event per window size with the surviving
+    group count. *)
 
 val members : node -> int list
 

@@ -1,0 +1,63 @@
+module J = Colayout_util.Json
+
+type event = {
+  step : int;
+  stage : string;
+  action : string;
+  x : int;
+  y : int;
+  weight : int;
+  group : int;
+  size : int;
+}
+
+type t = {
+  mutable rev_events : event list;
+  mutable n : int;
+}
+
+let create () = { rev_events = []; n = 0 }
+
+let emit t ~stage ~action ?(x = -1) ?(y = -1) ?(weight = -1) ?(group = -1) ?(size = -1) () =
+  match t with
+  | None -> ()
+  | Some t ->
+    t.rev_events <- { step = t.n; stage; action; x; y; weight; group; size } :: t.rev_events;
+    t.n <- t.n + 1
+
+let count t = t.n
+
+let events t = List.rev t.rev_events
+
+let counts_by_action t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let key = e.stage ^ "." ^ e.action in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.rev_events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let event_json e =
+  (* Omit absent (-1) fields: decision streams are long, keep lines lean. *)
+  let opt name v rest = if v < 0 then rest else (name, J.Int v) :: rest in
+  J.Obj
+    (("step", J.Int e.step)
+    :: ("stage", J.Str e.stage)
+    :: ("action", J.Str e.action)
+    :: opt "x" e.x (opt "y" e.y (opt "weight" e.weight (opt "group" e.group (opt "size" e.size [])))))
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i e ->
+      let json =
+        match (e, event_json e) with
+        | _, J.Obj fields when i = 0 ->
+          J.Obj (("schema", J.Str "colayout/decisions/v1") :: fields)
+        | _, json -> json
+      in
+      Buffer.add_string buf (J.to_string json);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

@@ -31,7 +31,8 @@ type work = {
   first_pos : int;
 }
 
-let build ?(algo = Affinity_hierarchy.Efficient) ?(ks = default_ks) ?(max_window = 64) trace =
+let build ?decisions ?(algo = Affinity_hierarchy.Efficient) ?(ks = default_ks)
+    ?(max_window = 64) trace =
   check_ks ks;
   if max_window < 2 then invalid_arg "Link_affinity: max_window must be >= 2";
   if not (Trim.is_trimmed trace) then
@@ -74,11 +75,21 @@ let build ?(algo = Affinity_hierarchy.Efficient) ?(ks = default_ks) ?(max_window
                 g.mems)
             !cluster
         in
-        let rec place = function
+        let rec place i = function
           | [] -> clusters := !clusters @ [ ref [ g ] ]
-          | c :: rest -> if compatible c then c := !c @ [ g ] else place rest
+          | c :: rest ->
+            if compatible c then begin
+              (match !c with
+              | first :: _ ->
+                Decision_trace.emit decisions ~stage:"link-affinity" ~action:"join"
+                  ~x:(List.hd g.mems) ~y:(List.hd first.mems) ~weight:k ~group:i
+                  ~size:(List.length !c + 1) ()
+              | [] -> ());
+              c := !c @ [ g ]
+            end
+            else place (i + 1) rest
         in
-        place !clusters)
+        place 0 !clusters)
       groups;
     List.map
       (fun c ->
@@ -101,7 +112,12 @@ let build ?(algo = Affinity_hierarchy.Efficient) ?(ks = default_ks) ?(max_window
          present)
   in
   List.iter
-    (fun k -> if List.length !groups > 1 then groups := merge_level ~k !groups)
+    (fun k ->
+      if List.length !groups > 1 then begin
+        groups := merge_level ~k !groups;
+        Decision_trace.emit decisions ~stage:"link-affinity" ~action:"level" ~weight:k
+          ~size:(List.length !groups) ()
+      end)
     ks;
   let roots = List.sort (fun a b -> compare a.first_pos b.first_pos) !groups in
   { roots = List.map (fun g -> g.node) roots; ks }

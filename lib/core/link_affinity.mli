@@ -28,6 +28,7 @@ val default_ks : int list
 (** 1..8. *)
 
 val build :
+  ?decisions:Decision_trace.t ->
   ?algo:Affinity_hierarchy.algo ->
   ?ks:int list ->
   ?max_window:int ->
@@ -35,7 +36,9 @@ val build :
   t
 (** [max_window] (default 64) caps the proportional window, bounding
     analysis cost on large groups. @raise Invalid_argument if the trace is
-    not trimmed or [ks] is not positive ascending. *)
+    not trimmed or [ks] is not positive ascending. With [decisions], emits
+    ["link-affinity"] [join] and [level] events mirroring
+    {!Affinity_hierarchy.build}, with link length [k] as the weight. *)
 
 val members : node -> int list
 

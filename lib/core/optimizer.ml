@@ -53,11 +53,13 @@ let analyze ?(config = default_config) program input =
   let result = Colayout_exec.Interp.run program input in
   analysis_of_traces ~config ~bb:result.bb_trace ~fn:result.fn_trace ()
 
-let affinity_order ~config trace =
-  let h = Affinity_hierarchy.build ~algo:Affinity_hierarchy.Efficient ~ws:config.ws trace in
+let affinity_order ?decisions ~config trace =
+  let h =
+    Affinity_hierarchy.build ?decisions ~algo:Affinity_hierarchy.Efficient ~ws:config.ws trace
+  in
   Affinity_hierarchy.order h
 
-let trg_order ~config ~block_bytes trace =
+let trg_order ?decisions ~config ~block_bytes trace =
   let window =
     Trg.recommended_window ~params:config.params ~block_bytes
       ~cache_multiplier:config.cache_multiplier
@@ -67,36 +69,36 @@ let trg_order ~config ~block_bytes trace =
     Trg_reduce.slots_for ~params:config.params ~block_bytes
       ~cache_multiplier:config.cache_multiplier
   in
-  (Trg_reduce.reduce trg ~slots).order
+  (Trg_reduce.reduce ?decisions trg ~slots).order
 
-let block_order_for ?(config = default_config) kind program analysis =
+let block_order_for ?decisions ?(config = default_config) kind program analysis =
   match kind with
   | Original -> (Layout.original program).order
   | Func_affinity ->
-    let hot = affinity_order ~config analysis.fn in
+    let hot = affinity_order ?decisions ~config analysis.fn in
     let forder = Layout.function_order_of_hot_list program ~hot in
     (Layout.of_function_order program forder).order
   | Func_trg ->
-    let hot = trg_order ~config ~block_bytes:config.func_block_bytes analysis.fn in
+    let hot = trg_order ?decisions ~config ~block_bytes:config.func_block_bytes analysis.fn in
     let forder = Layout.function_order_of_hot_list program ~hot in
     (Layout.of_function_order program forder).order
   | Bb_affinity ->
-    let hot = affinity_order ~config analysis.bb in
+    let hot = affinity_order ?decisions ~config analysis.bb in
     Layout.block_order_of_hot_list program ~hot
   | Bb_trg ->
-    let hot = trg_order ~config ~block_bytes:config.bb_block_bytes analysis.bb in
+    let hot = trg_order ?decisions ~config ~block_bytes:config.bb_block_bytes analysis.bb in
     Layout.block_order_of_hot_list program ~hot
 
-let layout_for ?(config = default_config) kind program analysis =
+let layout_for ?decisions ?(config = default_config) kind program analysis =
   match kind with
   | Original -> Layout.original program
   | Func_affinity | Func_trg ->
     let hot =
       match kind with
-      | Func_affinity -> affinity_order ~config analysis.fn
-      | _ -> trg_order ~config ~block_bytes:config.func_block_bytes analysis.fn
+      | Func_affinity -> affinity_order ?decisions ~config analysis.fn
+      | _ -> trg_order ?decisions ~config ~block_bytes:config.func_block_bytes analysis.fn
     in
     Layout.of_function_order program (Layout.function_order_of_hot_list program ~hot)
   | Bb_affinity | Bb_trg ->
-    let order = block_order_for ~config kind program analysis in
+    let order = block_order_for ?decisions ~config kind program analysis in
     Layout.of_block_order ~function_stubs:true program order

@@ -56,7 +56,20 @@ val analysis_of_traces :
     applied here). *)
 
 val layout_for :
-  ?config:config -> kind -> Colayout_ir.Program.t -> analysis -> Layout.t
+  ?decisions:Decision_trace.t ->
+  ?config:config ->
+  kind ->
+  Colayout_ir.Program.t ->
+  analysis ->
+  Layout.t
+(** With [decisions], the underlying model ({!Affinity_hierarchy.build} or
+    {!Trg_reduce.reduce}) records every merge/placement choice it makes. *)
 
-val block_order_for : ?config:config -> kind -> Colayout_ir.Program.t -> analysis -> int array
+val block_order_for :
+  ?decisions:Decision_trace.t ->
+  ?config:config ->
+  kind ->
+  Colayout_ir.Program.t ->
+  analysis ->
+  int array
 (** The underlying permutation, exposed for inspection and tests. *)

@@ -43,7 +43,7 @@ let edge_weight g x y =
 
 (* Chains are int lists in layout order; chain_of maps a node to its chain
    id, chains maps a chain id to its members. *)
-let order g =
+let order ?decisions g =
   let edges =
     Hashtbl.fold (fun (x, y) w acc -> (w, x, y) :: acc) g.weights []
     |> List.sort (fun (w1, x1, y1) (w2, x2, y2) ->
@@ -65,12 +65,15 @@ let order g =
     go 0 chain
   in
   List.iter
-    (fun (_, x, y) ->
+    (fun (w, x, y) ->
       ensure x;
       ensure y;
       let cx = Hashtbl.find chain_of x and cy = Hashtbl.find chain_of y in
       if cx <> cy then begin
         let a = Hashtbl.find chains cx and b = Hashtbl.find chains cy in
+        Decision_trace.emit decisions ~stage:"pettis-hansen" ~action:"chain-merge" ~x ~y
+          ~weight:w ~group:cx
+          ~size:(List.length a + List.length b) ();
         (* Orient A so x sits near its end, B so y sits near its start:
            of Pettis-Hansen's four concatenations this pair minimizes the
            x..y distance. *)
@@ -99,7 +102,7 @@ let order g =
          if w1 <> w2 then compare w2 w1 else compare m1 m2)
   |> List.concat_map (fun (_, _, members) -> members)
 
-let layout_for program calls =
+let layout_for ?decisions program calls =
   let g = graph_of_call_trace ~num_funcs:(Colayout_ir.Program.num_funcs program) calls in
-  let hot = order g in
+  let hot = order ?decisions g in
   Layout.of_function_order program (Layout.function_order_of_hot_list program ~hot)

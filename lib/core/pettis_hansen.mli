@@ -25,10 +25,13 @@ val graph_of_edges : num_funcs:int -> (int * int * int) list -> graph
 
 val edge_weight : graph -> int -> int -> int
 
-val order : graph -> int list
+val order : ?decisions:Decision_trace.t -> graph -> int list
 (** The placement: functions that call each other frequently end up
     adjacent. Functions with no call edges are omitted (callers append them
-    in original order). Deterministic. *)
+    in original order). Deterministic. With [decisions], emits a
+    ["pettis-hansen"] [chain-merge] event per concatenation with the edge
+    weight that drove it and the combined chain length. *)
 
-val layout_for : Colayout_ir.Program.t -> Colayout_util.Int_vec.t -> Layout.t
+val layout_for :
+  ?decisions:Decision_trace.t -> Colayout_ir.Program.t -> Colayout_util.Int_vec.t -> Layout.t
 (** Full function-reordering optimizer from a call trace. *)

@@ -14,14 +14,14 @@ let optimize ?config program ~test_input kind =
   let analysis = Optimizer.analyze ?config program test_input in
   Optimizer.layout_for ?config kind program analysis
 
-let miss_ratio_solo ?prefetch ~params ~layout trace =
-  Colayout_cache.Icache.solo ?prefetch ~params ~layout:(Layout.to_icache layout)
+let miss_ratio_solo ?prefetch ?sink ~params ~layout trace =
+  Colayout_cache.Icache.solo ?prefetch ?sink ~params ~layout:(Layout.to_icache layout)
     (Trace.events trace)
 
-let miss_ratio_corun ?prefetch ?rates ~params ~self ~peer () =
+let miss_ratio_corun ?prefetch ?sink ?rates ~params ~self ~peer () =
   let self_layout, self_trace = self in
   let peer_layout, peer_trace = peer in
-  Colayout_cache.Icache.shared ?prefetch ?rates ~params
+  Colayout_cache.Icache.shared ?prefetch ?sink ?rates ~params
     ~layouts:(Layout.to_icache self_layout, Layout.to_icache peer_layout)
     (Trace.events self_trace, Trace.events peer_trace)
 

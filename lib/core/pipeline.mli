@@ -24,14 +24,18 @@ val optimize :
 
 val miss_ratio_solo :
   ?prefetch:Colayout_cache.Prefetch.t ->
+  ?sink:Colayout_cache.Profile_sink.t ->
   params:Colayout_cache.Params.t ->
   layout:Layout.t ->
   Colayout_trace.Trace.t ->
   Colayout_cache.Cache_stats.t
-(** Replay a reference block trace through the I-cache under a layout. *)
+(** Replay a reference block trace through the I-cache under a layout. With
+    [sink], every demand access is attributed per block and classified (see
+    {!Colayout_cache.Profile_sink}). *)
 
 val miss_ratio_corun :
   ?prefetch:Colayout_cache.Prefetch.t ->
+  ?sink:Colayout_cache.Profile_sink.t ->
   ?rates:float * float ->
   params:Colayout_cache.Params.t ->
   self:Layout.t * Colayout_trace.Trace.t ->

@@ -11,7 +11,7 @@ type result = {
 let edge_cmp (w1, x1, y1) (w2, x2, y2) =
   if w1 <> w2 then compare w1 w2 else compare (x2, y2) (x1, y1)
 
-let reduce trg ~slots =
+let reduce ?decisions trg ~slots =
   if slots < 1 then invalid_arg "Trg_reduce.reduce: slots must be >= 1";
   let n = Trg.num_nodes trg in
   (* Mutable working copy of the adjacency. *)
@@ -63,18 +63,22 @@ let reduce trg ~slots =
     in
     scan 0 (-1) max_int
   in
-  let place v =
+  let place ~w v =
     let k = choose_slot v in
     Vec.push slot_vecs.(k) v;
     slot_of.(v) <- k;
     if rep_of_slot.(k) < 0 then begin
       rep_of_slot.(k) <- v;
+      Decision_trace.emit decisions ~stage:"trg-reduce" ~action:"place" ~x:v ~weight:w ~group:k
+        ~size:(Vec.length slot_vecs.(k)) ();
       drop_cross_slot_edges v
     end
     else begin
       (* Merge v into the slot's node r: combine edge weights, then drop
          cross-slot edges of the merged node. *)
       let r = rep_of_slot.(k) in
+      Decision_trace.emit decisions ~stage:"trg-reduce" ~action:"merge" ~x:v ~y:r ~weight:w
+        ~group:k ~size:(Vec.length slot_vecs.(k)) ();
       let neighbours = Hashtbl.fold (fun nb w acc -> (nb, w) :: acc) adj.(v) [] in
       List.iter
         (fun (nb, w) ->
@@ -100,8 +104,8 @@ let reduce trg ~slots =
         || (is_rep x && is_rep y)
       in
       if not stale then begin
-        if not (placed x) then place x;
-        if not (placed y) then place y
+        if not (placed x) then place ~w x;
+        if not (placed y) then place ~w y
       end;
       drain ()
   in

@@ -22,9 +22,11 @@ type result = {
   slot_lists : int list array;  (** Final link-list contents per slot. *)
 }
 
-val reduce : Trg.t -> slots:int -> result
+val reduce : ?decisions:Decision_trace.t -> Trg.t -> slots:int -> result
 (** @raise Invalid_argument if [slots < 1]. Deterministic: edge ties break
-    toward smaller node ids. *)
+    toward smaller node ids. With [decisions], emits a ["trg-reduce"] event
+    per placement ([place] into an empty slot, [merge] into a slot's node),
+    carrying the driving edge weight and the slot index. *)
 
 val slots_for :
   params:Colayout_cache.Params.t -> block_bytes:int -> cache_multiplier:float -> int

@@ -272,6 +272,53 @@ let smt_corun ?(rotate_peer = false) t ~mode ~self ~peer =
             (self_code, Colayout_trace.Trace.events self_trace)
             (peer_code, peer_events)))
 
+(* Profiled twins of solo_stats/corun_stats. Deliberately unmemoized: a
+   sink is mutable per-run state, and sharing one across callers would
+   double-count. The expensive inputs (layouts, traces) still come from the
+   memo tables, so a profiled run costs one extra simulation pass. *)
+let publish_profile t sink =
+  let add name v = U.Metrics.add t.metrics ("ctx.profile." ^ name) v in
+  add "runs" 1;
+  add "accesses" (C.Profile_sink.accesses sink);
+  add "misses" (C.Profile_sink.misses sink);
+  add "evictions" (C.Profile_sink.evictions sink);
+  add "cold" (C.Profile_sink.cold_misses sink);
+  add "capacity" (C.Profile_sink.capacity_misses sink);
+  add "conflict" (C.Profile_sink.conflict_misses sink)
+
+let profiled_solo t ~hw name kind =
+  let lay = layout t name kind and trace = ref_trace t name in
+  U.Span.with_span t.spans ~cat:"profile"
+    (Printf.sprintf "profile-solo:%s/%s/%s" name (kname kind) (hw_tag hw))
+    (fun () ->
+      let sink =
+        C.Profile_sink.create ~num_blocks:(Array.length lay.Layout.addr) ~params:t.params ()
+      in
+      let prefetch = if hw then Some t.hw_prefetch else None in
+      let stats = Pipeline.miss_ratio_solo ?prefetch ~sink ~params:t.params ~layout:lay trace in
+      publish_cache_stats t ~mode:"solo" stats;
+      publish_profile t sink;
+      (stats, sink))
+
+let profiled_corun t ~hw ~self ~peer =
+  let sn, sk = self and pn, pk = peer in
+  let self_lay = layout t sn sk and self_trace = ref_trace t sn in
+  let peer_lay = layout t pn pk and peer_trace = ref_trace t pn in
+  U.Span.with_span t.spans ~cat:"profile"
+    (Printf.sprintf "profile-corun:%s/%s|%s/%s|%s" sn (kname sk) pn (kname pk) (hw_tag hw))
+    (fun () ->
+      let nb = max (Array.length self_lay.Layout.addr) (Array.length peer_lay.Layout.addr) in
+      let sink = C.Profile_sink.create ~threads:2 ~num_blocks:nb ~params:t.params () in
+      let prefetch = if hw then Some t.hw_prefetch else None in
+      let stats =
+        Pipeline.miss_ratio_corun ?prefetch ~sink
+          ~rates:(fetch_rate t sn, fetch_rate t pn)
+          ~params:t.params ~self:(self_lay, self_trace) ~peer:(peer_lay, peer_trace) ()
+      in
+      publish_cache_stats t ~mode:"corun" stats;
+      publish_profile t sink;
+      (stats, sink))
+
 (* Phase 1 of the two-phase parallel experiment schedule: compute every
    per-program artifact (program build, reference trace, analysis when an
    optimizing kind needs it, and the requested layouts) with one pool task

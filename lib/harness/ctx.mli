@@ -105,6 +105,28 @@ val corun_stats :
   Colayout_cache.Cache_stats.t
 (** Shared-cache co-run at the two programs' fetch rates; thread 0 = self. *)
 
+val profiled_solo :
+  t ->
+  hw:bool ->
+  string ->
+  Colayout.Optimizer.kind ->
+  Colayout_cache.Cache_stats.t * Colayout_cache.Profile_sink.t
+(** Like {!solo_stats}, but with a {!Colayout_cache.Profile_sink} attached:
+    every demand access is attributed per block and every miss classified
+    cold/capacity/conflict. Unmemoized (the sink is per-run mutable state);
+    layouts and traces still come from the memo tables. Publishes
+    [ctx.profile.*] counters. With [hw:true] the prefetcher's fills bypass
+    the sink, so classification reflects demand traffic only. *)
+
+val profiled_corun :
+  t ->
+  hw:bool ->
+  self:string * Colayout.Optimizer.kind ->
+  peer:string * Colayout.Optimizer.kind ->
+  Colayout_cache.Cache_stats.t * Colayout_cache.Profile_sink.t
+(** Profiled co-run; the sink attributes per (thread, block), thread 0 =
+    self. Unmemoized, like {!profiled_solo}. *)
+
 val smt_solo : t -> string -> Colayout.Optimizer.kind -> Colayout_exec.Smt.thread_stats
 
 val smt_config : t -> Colayout_exec.Smt.config

@@ -5,35 +5,12 @@
    nonzero Ctx memo hit/miss counters and cache access/miss totals. *)
 
 module J = Colayout_util.Json
-
-let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_obs: " ^ s); exit 1) fmt
-
-let read_file path =
-  let ic = open_in path in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  text
-
-let parse path =
-  match J.parse (read_file path) with
-  | v -> v
-  | exception J.Parse_error (pos, msg) -> fail "%s does not parse: %s at byte %d" path msg pos
-
-let get_int json key =
-  match Option.bind (J.member key json) J.to_int with
-  | Some v -> v
-  | None -> fail "missing integer field %S" key
+open Smoke_check
 
 let check_metrics path =
   let json = parse path in
-  (match Option.bind (J.member "schema" json) J.to_str with
-  | Some "colayout/metrics/v1" -> ()
-  | _ -> fail "%s: wrong or missing schema" path);
-  let counters =
-    match J.member "counters" json with
-    | Some (J.Obj kvs) -> kvs
-    | _ -> fail "%s: no counters object" path
-  in
+  require_schema json ~path "colayout/metrics/v1";
+  let counters = get_obj json ~path "counters" in
   let value name =
     match List.assoc_opt name counters with Some (J.Int v) -> v | _ -> 0
   in
@@ -42,8 +19,12 @@ let check_metrics path =
       (fun acc (k, v) -> match v with J.Int n when pred k -> acc + n | _ -> acc)
       0 counters
   in
-  let memo_hits = sum_matching (fun k -> String.length k > 9 && String.sub k 0 9 = "ctx.memo." && Filename.check_suffix k ".hits") in
-  let memo_misses = sum_matching (fun k -> String.length k > 9 && String.sub k 0 9 = "ctx.memo." && Filename.check_suffix k ".misses") in
+  let memo_hits =
+    sum_matching (fun k -> has_prefix k "ctx.memo." && Filename.check_suffix k ".hits")
+  in
+  let memo_misses =
+    sum_matching (fun k -> has_prefix k "ctx.memo." && Filename.check_suffix k ".misses")
+  in
   if memo_hits <= 0 then fail "%s: no Ctx memo hits recorded" path;
   if memo_misses <= 0 then fail "%s: no Ctx memo misses recorded" path;
   if value "cache.accesses" <= 0 then fail "%s: cache.accesses is zero" path;
@@ -54,27 +35,19 @@ let check_metrics path =
 
 let check_trace path ~experiments =
   let json = parse path in
-  let events =
-    match Option.bind (J.member "traceEvents" json) J.to_list with
-    | Some evs -> evs
-    | None -> fail "%s: no traceEvents array" path
-  in
+  let events = get_list json ~path "traceEvents" in
   if events = [] then fail "%s: empty trace" path;
   let names =
     List.map
       (fun ev ->
-        let name =
-          match Option.bind (J.member "name" ev) J.to_str with
-          | Some n -> n
-          | None -> fail "%s: event without name" path
-        in
+        let name = get_str ev ~path "name" in
         let dur = get_int ev "dur" and ts = get_int ev "ts" in
         if dur < 0 then fail "%s: span %s has negative duration %d" path name dur;
         if ts < 0 then fail "%s: span %s has negative timestamp %d" path name ts;
         name)
       events
   in
-  let has prefix = List.exists (fun n -> String.length n >= String.length prefix && String.sub n 0 (String.length prefix) = prefix) names in
+  let has prefix = List.exists (fun n -> has_prefix n prefix) names in
   List.iter
     (fun id -> if not (List.mem ("exp:" ^ id) names) then fail "%s: no span for experiment %s" path id)
     experiments;
@@ -83,6 +56,7 @@ let check_trace path ~experiments =
   Printf.printf "check_obs: %s ok (%d spans)\n" path (List.length events)
 
 let () =
+  set_tool "check_obs";
   match Array.to_list Sys.argv with
   | _ :: metrics :: trace :: experiments ->
     check_metrics metrics;

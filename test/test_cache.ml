@@ -36,6 +36,93 @@ let test_cache_stats () =
   Cache_stats.merge_into ~dst:s s2;
   check Alcotest.int "merged accesses" 4 (Cache_stats.accesses s)
 
+let test_cache_stats_merged_evictions () =
+  (* set_evictions is an absolute sync from the stats' own simulator;
+     merge_into adds another run's evictions. The two must commute: syncing
+     again after a merge must not erase the merged contribution. *)
+  let a = Cache_stats.create () and b = Cache_stats.create () in
+  Cache_stats.set_evictions a 5;
+  Cache_stats.set_evictions b 3;
+  check Alcotest.int "own evictions" 5 (Cache_stats.evictions a);
+  Cache_stats.merge_into ~dst:a b;
+  check Alcotest.int "merged evictions" 8 (Cache_stats.evictions a);
+  (* The owning simulator re-syncs its (absolute, now larger) count. *)
+  Cache_stats.set_evictions a 7;
+  check Alcotest.int "re-sync keeps merged" 10 (Cache_stats.evictions a);
+  (* Idempotent: syncing the same absolute value changes nothing. *)
+  Cache_stats.set_evictions a 7;
+  check Alcotest.int "sync idempotent" 10 (Cache_stats.evictions a)
+
+(* 256 B / 2-way / 64 B lines: 2 sets, 4 lines of capacity. Even lines map
+   to set 0, odd to set 1 — small enough to classify every miss by hand. *)
+let classify_params = Params.make ~size_bytes:256 ~assoc:2 ~line_bytes:64
+
+let run_classified lines =
+  let c = Set_assoc.create classify_params in
+  let sink = Profile_sink.create ~params:classify_params () in
+  List.iter
+    (fun line -> ignore (Set_assoc.access_line_profiled c sink ~thread:0 ~block:line line))
+    lines;
+  sink
+
+let test_classify_cold () =
+  (* First-ever touches only: every miss is cold. *)
+  let sink = run_classified [ 0; 1; 2; 3 ] in
+  check Alcotest.int "accesses" 4 (Profile_sink.accesses sink);
+  check Alcotest.int "misses" 4 (Profile_sink.misses sink);
+  check Alcotest.int "cold" 4 (Profile_sink.cold_misses sink);
+  check Alcotest.int "capacity" 0 (Profile_sink.capacity_misses sink);
+  check Alcotest.int "conflict" 0 (Profile_sink.conflict_misses sink)
+
+let test_classify_conflict () =
+  (* Lines 0, 2, 4 all map to set 0 (2 ways): the third evicts line 0 even
+     though the cache (capacity 4) could hold all three. Re-touching 0 is a
+     miss here but a hit in the fully-associative shadow — a conflict miss,
+     by construction. *)
+  let sink = run_classified [ 0; 2; 4; 0 ] in
+  check Alcotest.int "accesses" 4 (Profile_sink.accesses sink);
+  check Alcotest.int "misses" 4 (Profile_sink.misses sink);
+  check Alcotest.int "cold" 3 (Profile_sink.cold_misses sink);
+  check Alcotest.int "capacity" 0 (Profile_sink.capacity_misses sink);
+  check Alcotest.int "conflict" 1 (Profile_sink.conflict_misses sink);
+  (* The conflict is attributed to the block that re-missed (block=line 0
+     here), with its access/miss counts intact. *)
+  let row =
+    List.find (fun r -> r.Profile_sink.block = 0) (Profile_sink.block_rows sink)
+  in
+  check Alcotest.int "block 0 accesses" 2 row.Profile_sink.b_accesses;
+  check Alcotest.int "block 0 misses" 2 row.Profile_sink.b_misses;
+  check Alcotest.int "block 0 cold" 1 row.Profile_sink.b_cold;
+  check Alcotest.int "block 0 conflict" 1 row.Profile_sink.b_conflict
+
+let test_classify_capacity () =
+  (* A cyclic sweep over 8 lines — double the 4-line capacity — misses on
+     every access in the second pass, in the shadow cache too (reuse
+     distance 8 > 4): pure capacity misses, zero conflict. *)
+  let sweep = List.init 8 Fun.id in
+  let sink = run_classified (sweep @ sweep) in
+  check Alcotest.int "accesses" 16 (Profile_sink.accesses sink);
+  check Alcotest.int "misses" 16 (Profile_sink.misses sink);
+  check Alcotest.int "cold" 8 (Profile_sink.cold_misses sink);
+  check Alcotest.int "capacity" 8 (Profile_sink.capacity_misses sink);
+  check Alcotest.int "conflict" 0 (Profile_sink.conflict_misses sink)
+
+let test_sink_per_set () =
+  let sink = run_classified [ 0; 2; 4; 0; 1 ] in
+  check Alcotest.int "num_sets" 2 (Profile_sink.num_sets sink);
+  let a0, m0, e0 = Profile_sink.set_counters sink ~set:0 in
+  let a1, m1, e1 = Profile_sink.set_counters sink ~set:1 in
+  check Alcotest.int "set0 accesses" 4 a0;
+  check Alcotest.int "set0 misses" 4 m0;
+  (* Set 0 saw lines 0,2,4,0 through 2 ways: evictions on the 3rd and 4th
+     fills. Set 1 saw one cold fill of an empty way. *)
+  check Alcotest.int "set0 evictions" 2 e0;
+  check Alcotest.int "set1" 1 a1;
+  check Alcotest.int "set1 misses" 1 m1;
+  check Alcotest.int "set1 evictions" 0 e1;
+  check Alcotest.int "set sums = totals" (Profile_sink.accesses sink) (a0 + a1);
+  check Alcotest.int "eviction total" (Profile_sink.evictions sink) (e0 + e1)
+
 let test_set_assoc_lru () =
   (* 1 set, 2 ways: a tiny cache with observable LRU. *)
   let p = Params.make ~size_bytes:128 ~assoc:2 ~line_bytes:64 in
@@ -161,7 +248,18 @@ let () =
   Alcotest.run "cache"
     [
       ("params", [ Alcotest.test_case "geometry" `Quick test_params ]);
-      ("stats", [ Alcotest.test_case "counters" `Quick test_cache_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_cache_stats;
+          Alcotest.test_case "merged evictions" `Quick test_cache_stats_merged_evictions;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "cold" `Quick test_classify_cold;
+          Alcotest.test_case "conflict" `Quick test_classify_conflict;
+          Alcotest.test_case "capacity" `Quick test_classify_capacity;
+          Alcotest.test_case "per-set counters" `Quick test_sink_per_set;
+        ] );
       ( "set_assoc",
         [
           Alcotest.test_case "lru" `Quick test_set_assoc_lru;
