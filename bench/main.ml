@@ -438,6 +438,199 @@ let run_profile_manifest ~quick ~path =
   close_out oc;
   Printf.printf "  wrote %s\n\n%!" path
 
+(* ---------------------------------------------------------- Part 0.95 *)
+
+(* Layout-evaluation engine benchmark (BENCH_layout_eval.json, schema
+   colayout/bench-layout-eval/v1): the PR-5 zero-allocation engine vs the
+   seed evaluate-one-candidate path (Kernel_baseline), on the annealing
+   workload shape — one engine, many candidate function orders. Three
+   measurements: (a) single-thread ns per candidate, engine vs seed, over
+   a fixed shuffled-order set; (b) the annealing search wall-clock before
+   (seed loop) and after (engine-backed); (c) eval_batch wall at
+   jobs ∈ {1, 2, 4}, digest-checked for bit-identical results. Full mode
+   FATALs if the single-thread speedup falls under 5x — the tentpole
+   claim; quick mode only requires positive timings (CI boxes are noisy
+   and may be single-core). *)
+
+let layout_eval_profile =
+  {
+    W.Gen.default_profile with
+    pname = "bench-layout-eval";
+    seed = 2014;
+    phases = 3;
+    funcs_per_phase = 3;
+    shared_funcs = 1;
+    arms = 4;
+    arm_blocks = 3;
+    arm_work = 40;
+    cold_funcs = 1;
+    iters_per_phase = 60;
+  }
+
+let layout_eval_params = C.Params.make ~size_bytes:2048 ~assoc:2 ~line_bytes:64
+
+let run_layout_eval_bench ~quick ~path =
+  Printf.printf "== Layout-evaluation engine: zero-allocation scoring vs seed path ==\n%!";
+  let params = layout_eval_params in
+  let program = W.Gen.build layout_eval_profile in
+  let nf = Colayout_ir.Program.num_funcs program in
+  let max_blocks = if quick then 8_000 else 40_000 in
+  let trace = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks ()) in
+  Printf.printf "   (%d functions, %d-event trace, %s)\n%!" nf (T.Trace.length trace)
+    (C.Params.to_string params);
+  let prng = U.Prng.create ~seed:7 in
+  let shuffled () =
+    let a = Array.init nf Fun.id in
+    U.Prng.shuffle prng a;
+    a
+  in
+  let orders = Array.init 32 (fun _ -> shuffled ()) in
+  let budget = if quick then 0.05 else 0.5 in
+  (* (a) single-thread per-candidate cost. One engine reused across all
+     candidates — the usage pattern every search loop has. *)
+  let engine = Layout_eval.create ~params program trace in
+  let n = float_of_int (Array.length orders) in
+  let engine_ns =
+    time_ns ~budget (fun () ->
+        Array.iter (fun o -> ignore (Layout_eval.miss_ratio_of_order engine o)) orders)
+    /. n
+  in
+  let seed_ns =
+    time_ns ~budget (fun () ->
+        Array.iter
+          (fun o ->
+            ignore (Kernel_baseline.miss_ratio_of_function_order ~params program trace o))
+          orders)
+    /. n
+  in
+  let st_speedup = seed_ns /. engine_ns in
+  Printf.printf "  %-40s %12.1f us/candidate\n%!" "engine (Layout_eval)" (engine_ns /. 1e3);
+  Printf.printf "  %-40s %12.1f us/candidate\n%!" "seed path (Kernel_baseline)" (seed_ns /. 1e3);
+  Printf.printf "  speedup %-32s %12.2fx\n%!" "single-thread" st_speedup;
+  (* Differential spot-check on the exact bench inputs: a fast-but-wrong
+     engine must not publish a manifest. *)
+  Array.iter
+    (fun o ->
+      let got = Layout_eval.miss_ratio_of_order engine o in
+      let want = Kernel_baseline.miss_ratio_of_function_order ~params program trace o in
+      if got <> want then begin
+        Printf.eprintf "FATAL: engine diverges from the seed evaluator (%.17g vs %.17g)\n%!"
+          got want;
+        exit 1
+      end)
+    orders;
+  (* (b) annealing wall-clock, before vs after. The two searches draw
+     slightly different PRNG streams (the seed loop burns steps on a = b
+     proposals), so only wall and final quality are compared. *)
+  let wall f =
+    let t0 = U.Metrics.default_clock () in
+    let r = f () in
+    (r, Int64.to_int (Int64.sub (U.Metrics.default_clock ()) t0))
+  in
+  let steps = if quick then 100 else 400 in
+  let (_, before_mr, _), before_ns =
+    wall (fun () -> Kernel_baseline.anneal_search ~seed:11 ~steps ~params program trace)
+  in
+  let after_r, after_ns = wall (fun () -> Anneal.search ~seed:11 ~steps ~params program trace) in
+  let anneal_speedup = float_of_int before_ns /. float_of_int after_ns in
+  Printf.printf "  anneal %d steps: seed %.2f ms -> engine %.2f ms (%.2fx), miss %.4f -> %.4f\n%!"
+    steps
+    (float_of_int before_ns /. 1e6)
+    (float_of_int after_ns /. 1e6)
+    anneal_speedup before_mr after_r.Anneal.miss_ratio;
+  (* (c) batch fan-out at jobs ∈ {1, 2, 4}: digest-checked determinism. *)
+  let batch = Array.init (if quick then 32 else 128) (fun _ -> shuffled ()) in
+  let batch_runs =
+    List.map
+      (fun jobs ->
+        let results, ns =
+          wall (fun () ->
+              U.Pool.with_pool ~jobs (fun pool ->
+                  let e = Layout_eval.create ~pool ~params program trace in
+                  Layout_eval.eval_batch e batch))
+        in
+        let digest =
+          Digest.to_hex
+            (Digest.string
+               (String.concat ";"
+                  (Array.to_list (Array.map (Printf.sprintf "%.17g") results))))
+        in
+        Printf.printf "  batch %d candidates, jobs=%d  %8.2f ms  (digest %s)\n%!"
+          (Array.length batch) jobs
+          (float_of_int ns /. 1e6)
+          (String.sub digest 0 12);
+        (jobs, ns, digest))
+      parallel_jobs
+  in
+  let digests = List.map (fun (_, _, d) -> d) batch_runs in
+  if not (List.for_all (fun d -> d = List.hd digests) digests) then begin
+    Printf.eprintf "FATAL: eval_batch results differ across jobs counts — determinism broken\n%!";
+    exit 1
+  end;
+  if engine_ns <= 0.0 || seed_ns <= 0.0 then begin
+    Printf.eprintf "FATAL: non-positive timing\n%!";
+    exit 1
+  end;
+  if (not quick) && st_speedup < 5.0 then begin
+    Printf.eprintf
+      "FATAL: single-thread engine speedup %.2fx < 5x over the seed evaluator — the \
+       zero-allocation engine has regressed\n%!"
+      st_speedup;
+    exit 1
+  end;
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-layout-eval/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        ( "params",
+          U.Json.Obj
+            [
+              ("program", U.Json.Str (Colayout_ir.Program.name program));
+              ("num_funcs", U.Json.Int nf);
+              ("trace_len", U.Json.Int (T.Trace.length trace));
+              ("cache", U.Json.Str (C.Params.to_string params));
+              ("orders", U.Json.Int (Array.length orders));
+              ("anneal_steps", U.Json.Int steps);
+              ("batch_candidates", U.Json.Int (Array.length batch));
+            ] );
+        ("cores_available", U.Json.Int (Domain.recommended_domain_count ()));
+        ( "single_thread",
+          U.Json.Obj
+            [
+              ("engine_ns_per_eval", U.Json.Float engine_ns);
+              ("seed_ns_per_eval", U.Json.Float seed_ns);
+              ("speedup", U.Json.Float st_speedup);
+            ] );
+        ( "anneal",
+          U.Json.Obj
+            [
+              ("seed_wall_ns", U.Json.Int before_ns);
+              ("engine_wall_ns", U.Json.Int after_ns);
+              ("speedup", U.Json.Float anneal_speedup);
+              ("seed_miss_ratio", U.Json.Float before_mr);
+              ("engine_miss_ratio", U.Json.Float after_r.Anneal.miss_ratio);
+            ] );
+        ( "batch",
+          U.Json.Arr
+            (List.map
+               (fun (jobs, ns, digest) ->
+                 U.Json.Obj
+                   [
+                     ("jobs", U.Json.Int jobs);
+                     ("wall_ns", U.Json.Int ns);
+                     ("digest", U.Json.Str digest);
+                   ])
+               batch_runs) );
+        ("identical_batches", U.Json.Bool true);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
 (* ------------------------------------------------------------- Part 1 *)
 
 let tests () =
@@ -648,10 +841,12 @@ let () =
   let kernels_only = ref false in
   let parallel_only = ref false in
   let profile_only = ref false in
+  let layout_eval_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
   let parallel_json = ref "BENCH_parallel.json" in
   let profile_json = ref "BENCH_profile.json" in
+  let layout_eval_json = ref "BENCH_layout_eval.json" in
   let jobs = ref 1 in
   Arg.parse
     [
@@ -663,6 +858,9 @@ let () =
       ( "--profile-only",
         Arg.Set profile_only,
         " cache-profile manifest only (regenerates BENCH_profile.json)" );
+      ( "--layout-eval-only",
+        Arg.Set layout_eval_only,
+        " layout-evaluation engine benchmark only (regenerates BENCH_layout_eval.json)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
@@ -673,12 +871,15 @@ let () =
       ( "--profile-json",
         Arg.Set_string profile_json,
         "FILE path for the cache-profile manifest" );
+      ( "--layout-eval-json",
+        Arg.Set_string layout_eval_json,
+        "FILE path for the layout-evaluation engine manifest" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
@@ -690,11 +891,17 @@ let () =
     run_profile_manifest ~quick:!quick ~path:!profile_json;
     exit 0
   end;
+  if !layout_eval_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
   if not !kernels_only then begin
     run_harness_manifest ~quick:!quick ~path:!harness_json;
     run_parallel_bench ~quick:!quick ~path:!parallel_json;
-    run_profile_manifest ~quick:!quick ~path:!profile_json
+    run_profile_manifest ~quick:!quick ~path:!profile_json;
+    run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json
   end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();

@@ -7,6 +7,21 @@ type result = {
   improved_from : float;
 }
 
+(* Move application in place: a swap of positions [a]/[b], or a relocate of
+   position [a] to position [b] with the gap shifted over. Both are their
+   own undo with the roles reversed, so a rejected proposal costs two
+   O(|a - b|) blits and no allocation. *)
+let apply_swap order a b =
+  let v = order.(a) in
+  order.(a) <- order.(b);
+  order.(b) <- v
+
+let apply_relocate order a b =
+  let v = order.(a) in
+  if a < b then Array.blit order (a + 1) order a (b - a)
+  else Array.blit order b order (b + 1) (a - b);
+  order.(b) <- v
+
 let search ?(seed = 1) ?(steps = 300) ?initial ~params program trace =
   if steps <= 0 then invalid_arg "Anneal.search: steps must be positive";
   let nf = Colayout_ir.Program.num_funcs program in
@@ -17,47 +32,105 @@ let search ?(seed = 1) ?(steps = 300) ?initial ~params program trace =
       if Array.length o <> nf then invalid_arg "Anneal.search: initial order length mismatch";
       Array.copy o
   in
-  let rng = Prng.create ~seed in
-  let eval order = Optimal.miss_ratio_of_function_order ~params program trace order in
-  let initial_mr = eval current in
-  let cur_mr = ref initial_mr in
-  let best = ref (Array.copy current) in
-  let best_mr = ref initial_mr in
-  (* Temperature scaled to the objective (miss ratios live in [0,1]);
-     geometric decay reaches ~1e-3 of the start by the last step. *)
-  let t0 = 0.02 in
-  let decay = exp (log 1e-3 /. float_of_int steps) in
-  let temp = ref t0 in
-  for _ = 1 to steps do
-    let a = Prng.int rng nf and b = Prng.int rng nf in
-    if a <> b then begin
-      let proposal = Array.copy current in
-      if Prng.bool rng ~p:0.5 then begin
-        (* Swap. *)
-        proposal.(a) <- current.(b);
-        proposal.(b) <- current.(a)
-      end
-      else begin
-        (* Relocate a to position b, shifting the gap. *)
-        let v = current.(a) in
-        if a < b then Array.blit current (a + 1) proposal a (b - a)
-        else Array.blit current b proposal (b + 1) (a - b);
-        proposal.(b) <- v
-      end;
-      let mr = eval proposal in
+  let engine = Layout_eval.create ~params program trace in
+  let initial_mr = Layout_eval.miss_ratio_of_order engine current in
+  if nf < 2 then { order = current; miss_ratio = initial_mr; steps; improved_from = initial_mr }
+  else begin
+    let rng = Prng.create ~seed in
+    let cur_mr = ref initial_mr in
+    let best = Array.copy current in
+    let best_mr = ref initial_mr in
+    (* Temperature scaled to the objective (miss ratios live in [0,1]);
+       geometric decay reaches ~1e-3 of the start by the last step. *)
+    let t0 = 0.02 in
+    let decay = exp (log 1e-3 /. float_of_int steps) in
+    let temp = ref t0 in
+    for _ = 1 to steps do
+      let a = Prng.int rng nf in
+      let b = ref (Prng.int rng nf) in
+      while !b = a do
+        b := Prng.int rng nf
+      done;
+      let b = !b in
+      let swap = Prng.bool rng ~p:0.5 in
+      if swap then apply_swap current a b else apply_relocate current a b;
+      let mr = Layout_eval.miss_ratio_of_order engine current in
       let accept =
         mr <= !cur_mr
         || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
       in
       if accept then begin
-        Array.blit proposal 0 current 0 nf;
         cur_mr := mr;
         if mr < !best_mr then begin
           best_mr := mr;
-          best := Array.copy proposal
+          Array.blit current 0 best 0 nf
         end
       end
-    end;
-    temp := !temp *. decay
-  done;
-  { order = !best; miss_ratio = !best_mr; steps; improved_from = initial_mr }
+      else if swap then apply_swap current a b
+      else apply_relocate current b a;
+      temp := !temp *. decay
+    done;
+    { order = best; miss_ratio = !best_mr; steps; improved_from = initial_mr }
+  end
+
+let search_batch ?(seed = 1) ?(steps = 60) ?(width = 8) ?initial engine =
+  if steps <= 0 then invalid_arg "Anneal.search_batch: steps must be positive";
+  if width <= 0 then invalid_arg "Anneal.search_batch: width must be positive";
+  let nf = Layout_eval.num_funcs engine in
+  let current =
+    match initial with
+    | None -> Array.init nf Fun.id
+    | Some o ->
+      if Array.length o <> nf then
+        invalid_arg "Anneal.search_batch: initial order length mismatch";
+      Array.copy o
+  in
+  let initial_mr = Layout_eval.miss_ratio_of_order engine current in
+  if nf < 2 then
+    { order = current; miss_ratio = initial_mr; steps = 1; improved_from = initial_mr }
+  else begin
+    let rng = Prng.create ~seed in
+    (* The candidate arrays are allocated once and refilled every step;
+       eval_batch scores the whole neighborhood in one fan-out. *)
+    let cands = Array.init width (fun _ -> Array.make nf 0) in
+    let cur_mr = ref initial_mr in
+    let best = Array.copy current in
+    let best_mr = ref initial_mr in
+    let evals = ref 1 in
+    let t0 = 0.02 in
+    let decay = exp (log 1e-3 /. float_of_int steps) in
+    let temp = ref t0 in
+    for _ = 1 to steps do
+      for c = 0 to width - 1 do
+        let cand = cands.(c) in
+        Array.blit current 0 cand 0 nf;
+        let a = Prng.int rng nf in
+        let b = ref (Prng.int rng nf) in
+        while !b = a do
+          b := Prng.int rng nf
+        done;
+        if Prng.bool rng ~p:0.5 then apply_swap cand a !b else apply_relocate cand a !b
+      done;
+      let ratios = Layout_eval.eval_batch engine cands in
+      evals := !evals + width;
+      let pick = ref 0 in
+      for c = 1 to width - 1 do
+        if ratios.(c) < ratios.(!pick) then pick := c
+      done;
+      let mr = ratios.(!pick) in
+      let accept =
+        mr <= !cur_mr
+        || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
+      in
+      if accept then begin
+        Array.blit cands.(!pick) 0 current 0 nf;
+        cur_mr := mr;
+        if mr < !best_mr then begin
+          best_mr := mr;
+          Array.blit current 0 best 0 nf
+        end
+      end;
+      temp := !temp *. decay
+    done;
+    { order = best; miss_ratio = !best_mr; steps = !evals; improved_from = initial_mr }
+  end

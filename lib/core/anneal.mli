@@ -6,7 +6,14 @@
     miss ratio. Too slow to be a compiler pass (each step is a full cache
     simulation) but useful to estimate how much headroom the heuristics
     leave — the experiment harness uses it in the Petrank-Rawitz wall
-    study. Deterministic for a fixed seed. *)
+    study. Deterministic for a fixed seed.
+
+    Both searches evaluate candidates through a {!Layout_eval} engine: one
+    streaming pass per candidate over precompiled state, no per-candidate
+    allocation (the seed evaluator survives as
+    {!Kernel_baseline.miss_ratio_of_function_order}). Moves are applied to
+    the current order {e in place} and undone on rejection — no
+    [Array.copy] proposal per step. *)
 
 type result = {
   order : int array;
@@ -25,4 +32,33 @@ val search :
   result
 (** [steps] defaults to 300; [initial] to the identity (original) order;
     temperature decays geometrically to ~0 over the budget. Neighbourhood:
-    swap two random functions, or relocate one (50/50). *)
+    swap two random functions, or relocate one (50/50).
+
+    Every step now performs a real move: when the two drawn positions
+    collide ([a = b]) the second draw is repeated rather than burning the
+    step (the seed loop consumed the step — and both draws — as a no-op).
+
+    Seed compatibility: for a fixed [seed], runs whose move sequence is
+    unchanged (no [a = b] collision ever occurred under the seed loop)
+    draw the identical PRNG stream and produce the identical accepted-order
+    sequence and result. Where the seed loop did collide, this search
+    spends those steps on real moves, so the streams — and possibly the
+    result — diverge from pre-PR-5 outputs (never in quality contract:
+    [miss_ratio <= improved_from] still holds). *)
+
+val search_batch :
+  ?seed:int ->
+  ?steps:int ->
+  ?width:int ->
+  ?initial:int array ->
+  Layout_eval.t ->
+  result
+(** Batched variant: each of the [steps] (default 60) temperature steps
+    draws [width] (default 8) independent moves from the current order,
+    scores the whole neighborhood with one {!Layout_eval.eval_batch} call
+    (fanned across the engine's pool when it has one), and
+    Metropolis-accepts the best candidate. [result.steps] reports
+    simulations performed ([steps * width + 1]). Deterministic for a fixed
+    seed at any jobs count — batch evaluation is bit-identical to
+    sequential. The candidate buffers are allocated once and reused, so
+    the per-step cost is the evaluations themselves. *)

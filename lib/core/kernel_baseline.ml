@@ -136,3 +136,74 @@ let affine_pairs trace ~w =
       end)
     wits;
   List.sort compare !pairs
+
+(* ------------------------------------------------------------------ *)
+(* The seed layout evaluator and annealer, kept verbatim as the
+   differential oracle / honest bench baseline for [Layout_eval] (PR 5),
+   exactly as [Trg.build]/[Affinity.affine_pairs] keep their seed twins
+   above. Per candidate this path allocates a full [Layout.t], a tuple per
+   trace event inside the line expansion, and a fresh simulator — the
+   costs the engine exists to amortize. *)
+
+let miss_ratio_of_function_order ~params program trace forder =
+  let layout = Layout.of_function_order program forder in
+  Colayout_cache.Cache_stats.miss_ratio
+    (Colayout_cache.Icache.solo ~params ~layout:(Layout.to_icache layout)
+       (Colayout_trace.Trace.events trace))
+
+let miss_ratio_of_block_order ?function_stubs ~params program trace order =
+  let layout = Layout.of_block_order ?function_stubs program order in
+  Colayout_cache.Cache_stats.miss_ratio
+    (Colayout_cache.Icache.solo ~params ~layout:(Layout.to_icache layout)
+       (Colayout_trace.Trace.events trace))
+
+let anneal_search ?(seed = 1) ?(steps = 300) ?initial ~params program trace =
+  if steps <= 0 then invalid_arg "Anneal.search: steps must be positive";
+  let nf = Colayout_ir.Program.num_funcs program in
+  let current =
+    match initial with
+    | None -> Array.init nf Fun.id
+    | Some o ->
+      if Array.length o <> nf then invalid_arg "Anneal.search: initial order length mismatch";
+      Array.copy o
+  in
+  let rng = Colayout_util.Prng.create ~seed in
+  let eval order = miss_ratio_of_function_order ~params program trace order in
+  let initial_mr = eval current in
+  let cur_mr = ref initial_mr in
+  let best = ref (Array.copy current) in
+  let best_mr = ref initial_mr in
+  let t0 = 0.02 in
+  let decay = exp (log 1e-3 /. float_of_int steps) in
+  let temp = ref t0 in
+  for _ = 1 to steps do
+    let a = Colayout_util.Prng.int rng nf and b = Colayout_util.Prng.int rng nf in
+    if a <> b then begin
+      let proposal = Array.copy current in
+      if Colayout_util.Prng.bool rng ~p:0.5 then begin
+        proposal.(a) <- current.(b);
+        proposal.(b) <- current.(a)
+      end
+      else begin
+        let v = current.(a) in
+        if a < b then Array.blit current (a + 1) proposal a (b - a)
+        else Array.blit current b proposal (b + 1) (a - b);
+        proposal.(b) <- v
+      end;
+      let mr = eval proposal in
+      let accept =
+        mr <= !cur_mr
+        || Colayout_util.Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
+      in
+      if accept then begin
+        Array.blit proposal 0 current 0 nf;
+        cur_mr := mr;
+        if mr < !best_mr then begin
+          best_mr := mr;
+          best := Array.copy proposal
+        end
+      end
+    end;
+    temp := !temp *. decay
+  done;
+  (!best, !best_mr, initial_mr)

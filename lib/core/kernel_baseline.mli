@@ -30,3 +30,40 @@ val affine_pairs : Colayout_trace.Trace.t -> w:int -> (int * int) list
 (** The seed [Affinity.affine_pairs] with tuple-keyed witness records,
     returning the sorted [(x, y)], [x < y] pair list — directly comparable
     to [Affinity.pair_list (Affinity.affine_pairs ...)]. *)
+
+(** {2 Seed layout evaluator (PR 5 oracle)} *)
+
+val miss_ratio_of_function_order :
+  params:Colayout_cache.Params.t ->
+  Colayout_ir.Program.t ->
+  Colayout_trace.Trace.t ->
+  int array ->
+  float
+(** The seed [Optimal.miss_ratio_of_function_order], verbatim:
+    [Layout.of_function_order] + [Icache.solo] + [Cache_stats.miss_ratio],
+    paying a fresh layout, a tuple per trace event and a fresh simulator
+    per call. {!Layout_eval.miss_ratio_of_order} must match it
+    bit-for-bit; [bench/main.exe --layout-eval-only] times both. *)
+
+val miss_ratio_of_block_order :
+  ?function_stubs:bool ->
+  params:Colayout_cache.Params.t ->
+  Colayout_ir.Program.t ->
+  Colayout_trace.Trace.t ->
+  int array ->
+  float
+(** Seed evaluation of an arbitrary block order (with optional entry
+    stubs), the oracle for {!Layout_eval.miss_ratio_of_block_order}. *)
+
+val anneal_search :
+  ?seed:int ->
+  ?steps:int ->
+  ?initial:int array ->
+  params:Colayout_cache.Params.t ->
+  Colayout_ir.Program.t ->
+  Colayout_trace.Trace.t ->
+  int array * float * float
+(** The seed [Anneal.search] loop, verbatim (one [Array.copy] proposal and
+    one full seed evaluation per step; [a = b] draws burn the step), used
+    as the before-side of the anneal wall-clock benchmark. Returns
+    [(best_order, best_miss_ratio, initial_miss_ratio)]. *)

@@ -1,0 +1,278 @@
+open Colayout_ir
+module Pool = Colayout_util.Pool
+
+(* The engine splits into an immutable precompiled part (shared by clones)
+   and per-instance scratch buffers. All candidate evaluation state lives
+   in the scratch: [order_buf] holds the lowered block order, [baddr] and
+   [bbytes] the streaming layout geometry, and [tags]/[vcnt]/[set_epoch]
+   the set-associative LRU state. Nothing is allocated per candidate.
+
+   Epoch-reset trick: a set's ways are valid only when [set_epoch.(s)]
+   equals the engine's current [cache_epoch]; bumping the epoch at the
+   start of a candidate invalidates the whole cache in O(1). Because lines
+   are only ever inserted at the MRU slot and shifted down, the valid ways
+   of a set always form a prefix, so a single [vcnt.(s)] valid-count per
+   set replaces per-way validity bits. *)
+
+type t = {
+  (* Immutable precompiled state (shared between clones). *)
+  nf : int;
+  nb : int;
+  line_shift : int; (* log2 line_bytes *)
+  set_mask : int; (* num_sets - 1 *)
+  assoc : int;
+  ev : int array; (* trace events, validated block ids *)
+  blk_size : int array; (* base body+terminator bytes per block *)
+  blk_ft : int array; (* fallthrough target per block, or -1 *)
+  blk_entry : bool array; (* is the block its function's entry? *)
+  fn_off : int array; (* nf + 1: CSR offsets into fn_blocks *)
+  fn_blocks : int array; (* blocks grouped by function, declaration order *)
+  pool : Pool.t option;
+  (* Per-instance scratch. *)
+  order_buf : int array; (* nb: lowered block order of a function order *)
+  baddr : int array; (* nb: per-block start address of the candidate *)
+  bbytes : int array; (* nb: per-block size incl. added jumps *)
+  tags : int array; (* num_sets * assoc, way 0 of a set is MRU *)
+  vcnt : int array; (* num_sets: valid-prefix length *)
+  set_epoch : int array; (* num_sets: epoch the set was last touched in *)
+  mutable cache_epoch : int;
+  seen : int array; (* max nf nb: epoch-stamped permutation check *)
+  mutable seen_epoch : int;
+  mutable clones : t array; (* lazy per-chunk engines for eval_batch *)
+}
+
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else go (k + 1) in
+  go 0
+
+let create ?pool ~params program trace =
+  let nf = Program.num_funcs program in
+  let nb = Program.num_blocks program in
+  let ev = Colayout_util.Int_vec.to_array (Colayout_trace.Trace.events trace) in
+  Array.iter
+    (fun bid ->
+      if bid < 0 || bid >= nb then
+        invalid_arg
+          (Printf.sprintf "Layout_eval.create: trace event %d is not a block id of %s" bid
+             (Program.name program)))
+    ev;
+  let blk_size = Array.make (max 1 nb) 0 in
+  let blk_ft = Array.make (max 1 nb) (-1) in
+  let blk_entry = Array.make (max 1 nb) false in
+  for bid = 0 to nb - 1 do
+    let b = Program.block program bid in
+    blk_size.(bid) <- b.Program.size_bytes;
+    (match Program.fallthrough_target program bid with
+    | Some target -> blk_ft.(bid) <- target
+    | None -> ());
+    blk_entry.(bid) <- (Program.func program b.Program.fn).Program.entry = bid
+  done;
+  let fn_off = Array.make (nf + 1) 0 in
+  for fid = 0 to nf - 1 do
+    fn_off.(fid + 1) <- fn_off.(fid) + Array.length (Program.func program fid).Program.blocks
+  done;
+  let fn_blocks = Array.make (max 1 nb) 0 in
+  for fid = 0 to nf - 1 do
+    Array.iteri
+      (fun i bid -> fn_blocks.(fn_off.(fid) + i) <- bid)
+      (Program.func program fid).Program.blocks
+  done;
+  let num_sets = params.Colayout_cache.Params.num_sets in
+  let assoc = params.Colayout_cache.Params.assoc in
+  {
+    nf;
+    nb;
+    line_shift = log2_exact params.Colayout_cache.Params.line_bytes;
+    set_mask = num_sets - 1;
+    assoc;
+    ev;
+    blk_size;
+    blk_ft;
+    blk_entry;
+    fn_off;
+    fn_blocks;
+    pool;
+    order_buf = Array.make (max 1 nb) 0;
+    baddr = Array.make (max 1 nb) 0;
+    bbytes = Array.make (max 1 nb) 0;
+    tags = Array.make (num_sets * assoc) 0;
+    vcnt = Array.make num_sets 0;
+    set_epoch = Array.make num_sets 0;
+    cache_epoch = 0;
+    seen = Array.make (max 1 (max nf nb)) 0;
+    seen_epoch = 0;
+    clones = [||];
+  }
+
+(* A clone shares every immutable array and gets fresh scratch; it never
+   carries the pool (clones are the pool's workers, not its consumers). *)
+let clone t =
+  {
+    t with
+    pool = None;
+    order_buf = Array.make (Array.length t.order_buf) 0;
+    baddr = Array.make (Array.length t.baddr) 0;
+    bbytes = Array.make (Array.length t.bbytes) 0;
+    tags = Array.make (Array.length t.tags) 0;
+    vcnt = Array.make (Array.length t.vcnt) 0;
+    set_epoch = Array.make (Array.length t.set_epoch) 0;
+    cache_epoch = 0;
+    seen = Array.make (Array.length t.seen) 0;
+    seen_epoch = 0;
+    clones = [||];
+  }
+
+let num_funcs t = t.nf
+
+let num_blocks t = t.nb
+
+let trace_length t = Array.length t.ev
+
+(* Allocation-free permutation check: [seen] doubles as a visited-set via
+   epoch stamps, so no [bool array] is created per candidate (the cost the
+   seed [Layout.check_permutation] pays on every evaluation). *)
+let check_perm t what n order =
+  if Array.length order <> n then
+    invalid_arg
+      (Printf.sprintf "Layout_eval: %s order has %d entries, expected %d" what
+         (Array.length order) n);
+  t.seen_epoch <- t.seen_epoch + 1;
+  let ep = t.seen_epoch in
+  let seen = t.seen in
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Layout_eval: bad %s id %d" what v);
+    if seen.(v) = ep then
+      invalid_arg (Printf.sprintf "Layout_eval: duplicate %s id %d" what v);
+    seen.(v) <- ep
+  done
+
+(* Streaming equivalent of [Layout.of_block_order]: walk the order once,
+   writing each block's address and jump-adjusted size into the scratch
+   geometry. Identical byte accounting — a broken fall-through edge adds
+   [Size_model.jump_bytes], and [function_stubs] adds the entry stub. *)
+let layout_pass t order ~function_stubs =
+  let nb = t.nb in
+  let jb = Size_model.jump_bytes in
+  let blk_size = t.blk_size and blk_ft = t.blk_ft and blk_entry = t.blk_entry in
+  let baddr = t.baddr and bbytes = t.bbytes in
+  let cursor = ref 0 in
+  for pos = 0 to nb - 1 do
+    let bid = order.(pos) in
+    let ft = Array.unsafe_get blk_ft bid in
+    let needs_jump = ft >= 0 && (pos + 1 >= nb || order.(pos + 1) <> ft) in
+    let stub = function_stubs && Array.unsafe_get blk_entry bid in
+    let bytes =
+      Array.unsafe_get blk_size bid
+      + (if needs_jump then jb else 0)
+      + if stub then jb else 0
+    in
+    Array.unsafe_set baddr bid !cursor;
+    Array.unsafe_set bbytes bid bytes;
+    cursor := !cursor + bytes
+  done
+
+(* Fused line expansion + set-associative LRU simulation: one pass over the
+   precompiled event array, counting accesses and misses in locals. The
+   replacement decisions are exactly [Set_assoc.access_line]'s (scan for
+   the tag, promote on hit, shift-and-insert at MRU on miss), so the
+   hit/miss sequence — and therefore the final ratio — matches the seed
+   simulator bit-for-bit. *)
+let simulate t =
+  t.cache_epoch <- t.cache_epoch + 1;
+  let ep = t.cache_epoch in
+  let ev = t.ev and baddr = t.baddr and bbytes = t.bbytes in
+  let tags = t.tags and vcnt = t.vcnt and set_epoch = t.set_epoch in
+  let shift = t.line_shift and mask = t.set_mask and assoc = t.assoc in
+  let acc = ref 0 and miss = ref 0 in
+  for e = 0 to Array.length ev - 1 do
+    let bid = Array.unsafe_get ev e in
+    let addr = Array.unsafe_get baddr bid in
+    let first = addr asr shift in
+    let last = (addr + Array.unsafe_get bbytes bid - 1) asr shift in
+    acc := !acc + (last - first + 1);
+    for line = first to last do
+      let s = line land mask in
+      let base = s * assoc in
+      let k =
+        if Array.unsafe_get set_epoch s = ep then Array.unsafe_get vcnt s
+        else begin
+          Array.unsafe_set set_epoch s ep;
+          Array.unsafe_set vcnt s 0;
+          0
+        end
+      in
+      (* MRU fast path: sequential code re-touches the line a fall-through
+         neighbour just ended in, so way 0 hits are the common case — and
+         they need no state change at all. *)
+      if k > 0 && Array.unsafe_get tags base = line then ()
+      else begin
+        let i = ref 1 in
+        while !i < k && Array.unsafe_get tags (base + !i) <> line do
+          incr i
+        done;
+        if !i < k then begin
+          (* Hit: promote way [i] to MRU. The shifts are open-coded — an
+             [Array.blit] pays a C-call per access, which at assoc <= 4
+             costs more than the one or two moves it performs. *)
+          let j = ref !i in
+          while !j > 0 do
+            Array.unsafe_set tags (base + !j) (Array.unsafe_get tags (base + !j - 1));
+            decr j
+          done;
+          Array.unsafe_set tags base line
+        end
+        else begin
+          (* Miss: evict LRU by shifting the whole set down one. *)
+          incr miss;
+          let j = ref (assoc - 1) in
+          while !j > 0 do
+            Array.unsafe_set tags (base + !j) (Array.unsafe_get tags (base + !j - 1));
+            decr j
+          done;
+          Array.unsafe_set tags base line;
+          if k < assoc then Array.unsafe_set vcnt s (k + 1)
+        end
+      end
+    done
+  done;
+  if !acc = 0 then 0.0 else float_of_int !miss /. float_of_int !acc
+
+let miss_ratio_of_block_order ?(function_stubs = false) t order =
+  check_perm t "block" t.nb order;
+  layout_pass t order ~function_stubs;
+  simulate t
+
+let miss_ratio_of_order t forder =
+  check_perm t "function" t.nf forder;
+  let order_buf = t.order_buf and fn_off = t.fn_off and fn_blocks = t.fn_blocks in
+  let pos = ref 0 in
+  for idx = 0 to t.nf - 1 do
+    let fid = forder.(idx) in
+    for j = fn_off.(fid) to fn_off.(fid + 1) - 1 do
+      order_buf.(!pos) <- Array.unsafe_get fn_blocks j;
+      incr pos
+    done
+  done;
+  (* [order_buf] is a block permutation by construction — no re-check. *)
+  layout_pass t order_buf ~function_stubs:false;
+  simulate t
+
+let eval_batch t orders =
+  let n = Array.length orders in
+  match t.pool with
+  | Some pool when Pool.jobs pool > 1 && n > 1 ->
+    let jobs = min (Pool.jobs pool) n in
+    if Array.length t.clones < jobs then t.clones <- Array.init jobs (fun _ -> clone t);
+    let chunk = (n + jobs - 1) / jobs in
+    let ranges = Array.init jobs (fun i -> (i, i * chunk, min n ((i + 1) * chunk))) in
+    let parts =
+      Pool.map_array pool
+        (fun (i, lo, hi) ->
+          let eng = t.clones.(i) in
+          Array.init (max 0 (hi - lo)) (fun j -> miss_ratio_of_order eng orders.(lo + j)))
+        ranges
+    in
+    Array.concat (Array.to_list parts)
+  | _ -> Array.map (fun o -> miss_ratio_of_order t o) orders

@@ -1,0 +1,85 @@
+(** Zero-allocation layout-evaluation engine for search loops.
+
+    Every layout-search step ({!Anneal.search}, {!Optimal.search}, the
+    wall-clock experiments) needs the same question answered many times:
+    {e what is the solo miss ratio of this candidate order?} The seed path
+    re-pays the full cost per candidate — a fresh {!Layout.t} (three
+    [num_blocks]-sized arrays plus permutation bookkeeping), a tuple
+    allocation per trace event inside the line expansion, and a freshly
+    allocated {!Colayout_cache.Set_assoc.t} simulator. This engine is
+    created {e once} per [(program, trace, params)] and answers
+    {!miss_ratio_of_order} with {b zero per-candidate heap allocation}:
+
+    - the trace and per-block geometry (sizes, fallthrough targets, entry
+      flags, per-function block lists) are precompiled into flat [int]
+      arrays at construction;
+    - layout construction, line expansion and LRU cache simulation are
+      fused into one streaming pass over preallocated scratch buffers — no
+      intermediate {!Colayout_trace.Trace.t}, no per-candidate {!Layout.t};
+    - cache state is reset between candidates by bumping an {e epoch
+      stamp} checked on every set lookup, instead of reallocating (or even
+      clearing) the way arrays.
+
+    Results are bit-equal to the seed evaluator
+    ({!Kernel_baseline.miss_ratio_of_function_order}, i.e.
+    [Layout.of_function_order] + [Icache.solo] + [Cache_stats.miss_ratio]):
+    the engine performs the same line-access sequence against the same LRU
+    replacement decisions and divides the same integer counters, so the
+    returned [float] is identical, not merely close. [test_layout_eval.ml]
+    proves this differentially over random programs, orders and cache
+    geometries. *)
+
+type t
+
+val create :
+  ?pool:Colayout_util.Pool.t ->
+  params:Colayout_cache.Params.t ->
+  Colayout_ir.Program.t ->
+  Colayout_trace.Trace.t ->
+  t
+(** Precompile [program] and [trace] against the cache geometry [params].
+    O(num_blocks + trace length) time and space, paid once. When [pool] is
+    given, {!eval_batch} fans candidates across its worker domains (one
+    engine clone per chunk); without it, batches run sequentially on the
+    caller.
+
+    @raise Invalid_argument if a trace event is not a valid block id of
+    [program]. *)
+
+val num_funcs : t -> int
+
+val num_blocks : t -> int
+
+val trace_length : t -> int
+
+val miss_ratio_of_order : t -> int array -> float
+(** Solo L1I miss ratio of the layout that places whole functions in the
+    given order (blocks of each function stay in declaration order) — the
+    same number as
+    [Kernel_baseline.miss_ratio_of_function_order ~params program trace],
+    bit-for-bit. Allocation-free. The order array is read, never retained.
+
+    @raise Invalid_argument if [order] is not a permutation of the
+    function ids. *)
+
+val miss_ratio_of_block_order : ?function_stubs:bool -> t -> int array -> float
+(** Solo miss ratio of an arbitrary {e basic-block} order, mirroring
+    [Layout.of_block_order ?function_stubs] — broken fall-through edges
+    cost {!Colayout_ir.Size_model.jump_bytes} of added unconditional jump,
+    and [function_stubs] adds the call-stub bytes at each function entry.
+    Bit-equal to the seed path; allocation-free.
+
+    @raise Invalid_argument if [order] is not a permutation of the block
+    ids. *)
+
+val eval_batch : t -> int array array -> float array
+(** Score a whole neighborhood of candidate {e function} orders.
+    [eval_batch t orders] returns one miss ratio per candidate, in input
+    order. With a construction-time [pool] of [jobs > 1], candidates are
+    split into contiguous chunks fanned across the pool (one private
+    engine clone per chunk, created lazily on first use and reused across
+    batches); results are index-ordered and bit-identical to a sequential
+    evaluation at any jobs count — each candidate is a pure function of
+    the engine's immutable precompiled state. Must be called from outside
+    the pool's worker domains (nested fan-out is rejected by
+    {!Colayout_util.Pool.map}). *)

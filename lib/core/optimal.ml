@@ -7,11 +7,12 @@ type result = {
   evaluated : int;
 }
 
+(* One-shot evaluation goes through a throwaway [Layout_eval] engine: same
+   bit-exact result as the seed path (which lives on as
+   [Kernel_baseline.miss_ratio_of_function_order]), and the searches below
+   share the amortized engine instead. *)
 let miss_ratio_of_function_order ~params program trace forder =
-  let layout = Layout.of_function_order program forder in
-  Colayout_cache.Cache_stats.miss_ratio
-    (Colayout_cache.Icache.solo ~params ~layout:(Layout.to_icache layout)
-       (Colayout_trace.Trace.events trace))
+  Layout_eval.miss_ratio_of_order (Layout_eval.create ~params program trace) forder
 
 (* Heap's algorithm, iterative enough for our sizes: visits all n!
    permutations of [a], calling [f] on each. Stops when [f] returns false. *)
@@ -46,12 +47,15 @@ let search ?max_layouts ~params program trace =
   | _ -> ());
   let cap = Option.value ~default:max_int max_layouts in
   if cap <= 0 then invalid_arg "Optimal.search: max_layouts must be positive";
+  (* One engine for the whole walk: each permutation costs one streaming
+     pass over the precompiled trace, with no per-candidate allocation. *)
+  let engine = Layout_eval.create ~params program trace in
   let best_order = ref (Array.init nf Fun.id) in
   let best = ref infinity in
   let worst = ref neg_infinity in
   let evaluated = ref 0 in
   permutations (Array.init nf Fun.id) (fun forder ->
-      let mr = miss_ratio_of_function_order ~params program trace forder in
+      let mr = Layout_eval.miss_ratio_of_order engine forder in
       incr evaluated;
       if mr < !best then begin
         best := mr;

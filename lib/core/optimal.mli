@@ -6,7 +6,11 @@
     For a program with [F] functions there are [F!] layouts; this module
     searches them exhaustively (feasible only for small [F]), giving the true
     optimum that the paper's heuristics can be measured against. The gap to
-    optimum — and how quickly [F!] explodes — is the wall. *)
+    optimum — and how quickly [F!] explodes — is the wall.
+
+    Candidates are scored through one {!Layout_eval} engine built up front
+    (bit-equal to the seed evaluator kept in {!Kernel_baseline}), so the
+    permutation walk allocates nothing per layout. *)
 
 type result = {
   best_order : int array;  (** Function order with the fewest misses. *)

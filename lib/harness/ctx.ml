@@ -84,6 +84,8 @@ let scale t = t.scale
 
 let jobs t = match t.pool with None -> 1 | Some p -> U.Pool.jobs p
 
+let pool t = t.pool
+
 (* Parallel fan-out seam for the experiments: a pooled context maps over
    the pool's worker domains, an unpooled one (or jobs = 1, where the pool
    spawns no domains) is plain List.map on the calling domain. Results are

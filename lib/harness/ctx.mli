@@ -42,6 +42,12 @@ val scale : t -> scale
 val jobs : t -> int
 (** The pool's parallelism width; 1 for an unpooled context. *)
 
+val pool : t -> Colayout_util.Pool.t option
+(** The context's pool, for experiments that drive pool-aware engines
+    directly (e.g. a {!Colayout.Layout_eval} batch evaluator). [None] for
+    an unpooled context. Callers must respect the pool's single-consumer
+    contract: fan out from the experiment's own (caller) domain only. *)
+
 val par_map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Map over the context's pool (plain [List.map] when unpooled or
     [jobs = 1]); results are always in input order, so the caller's table

@@ -84,6 +84,20 @@ let run ctx =
   add
     (Printf.sprintf "simulated annealing (%d sims)" annealed.Anneal.steps)
     annealed.Anneal.miss_ratio;
+  (* Batched annealing: the same search driven through Layout_eval's batch
+     API — a whole neighborhood scored per temperature step, fanned across
+     the context's pool when it has one. Results are bit-identical at any
+     jobs count (the engine's determinism contract), so this row is safe
+     under the parallel table-equality tests. *)
+  let engine = Layout_eval.create ?pool:(Ctx.pool ctx) ~params program trace in
+  let batched =
+    Anneal.search_batch ~seed:11
+      ~steps:(match Ctx.scale ctx with Ctx.Fast -> 30 | Ctx.Full -> 80)
+      ~width:8 engine
+  in
+  add
+    (Printf.sprintf "batched annealing (%d sims, width 8)" batched.Anneal.steps)
+    batched.Anneal.miss_ratio;
   add "worst permutation" opt.Optimal.worst_miss_ratio;
   (* Why this stops at toy scale: the paper's programs. *)
   let t2 =

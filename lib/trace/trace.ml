@@ -4,11 +4,19 @@ type t = {
   name : string;
   num_symbols : int;
   events : Int_vec.t;
+  (* Occurrence counts, materialized on the first [occurrences] or
+     [distinct_count] query and kept current incrementally by [push]
+     afterwards. Lazy rather than eager because [num_symbols] may vastly
+     exceed the distinct symbols actually pushed (the 2^31-universe guard
+     traces, line traces over sparse layouts): a trace that is never asked
+     pays nothing. *)
+  mutable occ : int array option;
+  mutable distinct : int; (* meaningful only when [occ] is materialized *)
 }
 
 let create ?(name = "trace") ~num_symbols () =
   if num_symbols <= 0 then invalid_arg "Trace.create: num_symbols must be positive";
-  { name; num_symbols; events = Int_vec.create () }
+  { name; num_symbols; events = Int_vec.create (); occ = None; distinct = 0 }
 
 let name t = t.name
 
@@ -19,7 +27,13 @@ let length t = Int_vec.length t.events
 let push t sym =
   if sym < 0 || sym >= t.num_symbols then
     invalid_arg (Printf.sprintf "Trace.push: symbol %d out of [0,%d)" sym t.num_symbols);
-  Int_vec.push t.events sym
+  Int_vec.push t.events sym;
+  match t.occ with
+  | None -> ()
+  | Some occ ->
+    let c = occ.(sym) in
+    if c = 0 then t.distinct <- t.distinct + 1;
+    occ.(sym) <- c + 1
 
 let get t i = Int_vec.get t.events i
 
@@ -41,13 +55,26 @@ let to_list t = Int_vec.to_list t.events
 
 let events t = t.events
 
-let occurrences t =
-  let occ = Array.make t.num_symbols 0 in
-  iter (fun s -> occ.(s) <- occ.(s) + 1) t;
-  occ
+let materialize_occ t =
+  match t.occ with
+  | Some occ -> occ
+  | None ->
+    let occ = Array.make t.num_symbols 0 in
+    let distinct = ref 0 in
+    iter
+      (fun s ->
+        if occ.(s) = 0 then incr distinct;
+        occ.(s) <- occ.(s) + 1)
+      t;
+    t.occ <- Some occ;
+    t.distinct <- !distinct;
+    occ
+
+let occurrences t = Array.copy (materialize_occ t)
 
 let distinct_count t =
-  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 (occurrences t)
+  ignore (materialize_occ t);
+  t.distinct
 
 let first_occurrence t =
   let first = Array.make t.num_symbols (-1) in

@@ -35,10 +35,14 @@ val events : t -> Colayout_util.Int_vec.t
 (** The underlying storage (shared, not copied). *)
 
 val distinct_count : t -> int
-(** Number of distinct symbols that actually occur. *)
+(** Number of distinct symbols that actually occur. O(1) after the first
+    query on a given trace: the count is cached and kept current
+    incrementally by {!push} (the seed recomputed a full occurrence pass
+    per call). *)
 
 val occurrences : t -> int array
-(** Occurrence count per symbol id. *)
+(** Occurrence count per symbol id; a fresh array the caller may mutate.
+    Backed by the same lazily-materialized cache as {!distinct_count}. *)
 
 val first_occurrence : t -> int array
 (** First position per symbol, or [-1] if absent. *)

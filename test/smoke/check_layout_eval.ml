@@ -1,0 +1,88 @@
+(* Layout-evaluation engine smoke validator:
+
+   [check_layout_eval bench BENCH_layout_eval.json] — the manifest
+   conforms to colayout/bench-layout-eval/v1: positive single-thread
+   timings for both the engine and the seed evaluator, positive annealing
+   walls, batch runs for jobs 1, 2 and 4 whose result digests are all
+   identical (the engine's determinism contract), and — following the
+   cores_available gating convention of check_parallel — on a host with
+   >= 2 recorded cores the engine's single-thread speedup over the seed
+   path must be at least 1.0; on a single-core CI box timings are too
+   noisy to gate magnitude and positivity is all we ask. The >= 5x
+   tentpole claim is enforced where it is measured: the bench itself
+   FATALs in full mode below 5x, so a committed full-mode manifest has
+   already passed it. *)
+
+module J = Colayout_util.Json
+open Smoke_check
+
+let get_float json ~path key =
+  match Option.bind (J.member key json) J.to_float with
+  | Some v -> v
+  | None -> fail "%s: missing number field %S" path key
+
+let check_bench path =
+  let json = parse path in
+  require_schema json ~path "colayout/bench-layout-eval/v1";
+  let mode = get_str json ~path "mode" in
+  if mode <> "quick" && mode <> "full" then fail "%s: unknown mode %S" path mode;
+  if not (get_bool json ~path "identical_batches") then
+    fail "%s: identical_batches is not true — jobs counts disagreed" path;
+  let st =
+    match J.member "single_thread" json with
+    | Some o -> o
+    | None -> fail "%s: missing object field \"single_thread\"" path
+  in
+  let engine_ns = get_float st ~path "engine_ns_per_eval" in
+  let seed_ns = get_float st ~path "seed_ns_per_eval" in
+  let speedup = get_float st ~path "speedup" in
+  if engine_ns <= 0.0 || seed_ns <= 0.0 || speedup <= 0.0 then
+    fail "%s: non-positive single-thread timings (%.1f / %.1f ns, %.2fx)" path engine_ns
+      seed_ns speedup;
+  let anneal =
+    match J.member "anneal" json with
+    | Some o -> o
+    | None -> fail "%s: missing object field \"anneal\"" path
+  in
+  if get_int anneal "seed_wall_ns" <= 0 || get_int anneal "engine_wall_ns" <= 0 then
+    fail "%s: non-positive annealing wall-clock" path;
+  let runs =
+    match get_list json ~path "batch" with
+    | [] -> fail "%s: no batch runs" path
+    | runs -> runs
+  in
+  let digests =
+    List.map
+      (fun run ->
+        let jobs = get_int run "jobs" in
+        if get_int run "wall_ns" <= 0 then
+          fail "%s: batch jobs=%d has a non-positive wall_ns" path jobs;
+        match Option.bind (J.member "digest" run) J.to_str with
+        | Some d when String.length d > 0 -> (jobs, d)
+        | _ -> fail "%s: batch jobs=%d has no digest" path jobs)
+      runs
+  in
+  List.iter
+    (fun jobs ->
+      if not (List.mem_assoc jobs digests) then fail "%s: no batch run for jobs=%d" path jobs)
+    [ 1; 2; 4 ];
+  let first = snd (List.hd digests) in
+  List.iter
+    (fun (jobs, d) ->
+      if d <> first then fail "%s: batch jobs=%d digest differs from jobs=%d" path jobs
+          (fst (List.hd digests)))
+    digests;
+  let cores = get_int json "cores_available" in
+  if cores >= 2 && speedup < 1.0 then
+    fail "%s: %d cores available but engine speedup is %.2fx (< 1.0)" path cores speedup;
+  Printf.printf
+    "check_layout_eval: %s ok (mode %s, %d cores, single-thread %.2fx, %d batch runs)\n" path
+    mode cores speedup (List.length runs)
+
+let () =
+  set_tool "check_layout_eval";
+  match Array.to_list Sys.argv with
+  | [ _; "bench"; path ] -> check_bench path
+  | _ ->
+    prerr_endline "usage: check_layout_eval bench FILE";
+    exit 2

@@ -13,6 +13,32 @@ let test_trace_basics () =
   Alcotest.check_raises "push oob" (Invalid_argument "Trace.push: symbol 5 out of [0,5)")
     (fun () -> Trace.push t 5)
 
+let test_distinct_count_incremental () =
+  (* The cached count must stay exact as pushes interleave with queries:
+     query materializes the occurrence cache, then push maintains it
+     incrementally (a stale cache would undercount new symbols or keep
+     counting repeats). *)
+  let t = Trace.create ~num_symbols:6 () in
+  check Alcotest.int "empty" 0 (Trace.distinct_count t);
+  Trace.push t 2;
+  Trace.push t 2;
+  check Alcotest.int "one distinct after repeats" 1 (Trace.distinct_count t);
+  Trace.push t 0;
+  check Alcotest.int "push after query is counted" 2 (Trace.distinct_count t);
+  Trace.push t 0;
+  Trace.push t 5;
+  check Alcotest.int "repeat not double-counted" 3 (Trace.distinct_count t);
+  check (Alcotest.array Alcotest.int) "occurrences track pushes" [| 2; 0; 2; 0; 0; 1 |]
+    (Trace.occurrences t);
+  (* The cross-check the seed computed from scratch every call. *)
+  let reference = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 (Trace.occurrences t) in
+  check Alcotest.int "agrees with full recount" reference (Trace.distinct_count t);
+  (* Queries never freeze the trace: a never-queried trace and a
+     queried-then-extended trace agree. *)
+  let fresh = Trace.of_list ~num_symbols:6 (Trace.to_list t) in
+  check Alcotest.int "matches never-queried trace" (Trace.distinct_count fresh)
+    (Trace.distinct_count t)
+
 let test_trim () =
   let t = Trace.of_list ~num_symbols:4 [ 0; 0; 1; 1; 1; 2; 1; 1; 0 ] in
   let trimmed = Trim.trim t in
@@ -166,7 +192,11 @@ let () =
   Alcotest.run "trace"
     [
       ( "trace",
-        [ Alcotest.test_case "basics" `Quick test_trace_basics ] );
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "distinct_count cache stays exact" `Quick
+            test_distinct_count_incremental;
+        ] );
       ( "trim",
         [
           Alcotest.test_case "trim" `Quick test_trim;
