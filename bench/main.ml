@@ -631,6 +631,268 @@ let run_layout_eval_bench ~quick ~path =
   close_out oc;
   Printf.printf "  wrote %s\n\n%!" path
 
+(* ---------------------------------------------------------- Part 0.96 *)
+
+(* Delta (incremental) evaluation benchmark (BENCH_layout_eval_delta.json,
+   schema colayout/bench-layout-eval-delta/v1): the PR-6 dirty-set
+   re-simulation path vs full recompute, on the move pattern annealing
+   actually produces. Two measurements:
+
+   (a) a dirty-% sweep — four move-locality scenarios (nominal 1% / 5% /
+       25% / 100% dirty sets), each replaying the IDENTICAL move sequence
+       down both paths: a [Layout_eval.Delta] session (all moves
+       committed, periodic resync audits included in the wall) and a
+       per-move full [miss_ratio_of_order]. The per-move ratio streams are
+       digest-compared — a fast-but-wrong delta path must not publish a
+       manifest. Measured dirty-% and replayed-event fractions come from
+       [Delta.stats], not the nominal labels.
+
+   (b) the 400-step anneal wall, [Anneal.search ~max_span:2] (the local
+       refinement regime) in [`Full] vs [`Delta] mode. Both modes draw the
+       same PRNG stream, so the results must be byte-identical — checked,
+       then the walls compared. Full mode FATALs below 3x; the committed
+       manifest is expected to clear 5x (ISSUE acceptance).
+
+   The program is many small functions under a 1024-set cache — the
+   shape delta evaluation exists for: a local move perturbs a few hundred
+   bytes of address space, so only a handful of sets go dirty and the
+   replayed-event fraction stays in the low single digits. *)
+
+let layout_eval_delta_profile =
+  {
+    W.Gen.default_profile with
+    pname = "bench-layout-eval-delta";
+    seed = 2014;
+    phases = 16;
+    funcs_per_phase = 8;
+    shared_funcs = 2;
+    arms = 2;
+    arm_blocks = 1;
+    arm_work = 12;
+    cold_funcs = 6;
+    iters_per_phase = 40;
+  }
+
+let layout_eval_delta_params = C.Params.make ~size_bytes:131_072 ~assoc:2 ~line_bytes:64
+
+let run_layout_eval_delta_bench ~quick ~path =
+  Printf.printf "== Delta evaluation: dirty-set re-simulation vs full recompute ==\n%!";
+  let params = layout_eval_delta_params in
+  let program = W.Gen.build layout_eval_delta_profile in
+  let nf = Colayout_ir.Program.num_funcs program in
+  let max_blocks = if quick then 8_000 else 40_000 in
+  let trace = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks ()) in
+  let trace_len = T.Trace.length trace in
+  Printf.printf "   (%d functions, %d-event trace, %s)\n%!" nf trace_len
+    (C.Params.to_string params);
+  let wall f =
+    let t0 = U.Metrics.default_clock () in
+    let r = f () in
+    (r, Int64.to_int (Int64.sub (U.Metrics.default_clock ()) t0))
+  in
+  let engine = Layout_eval.create ~params program trace in
+  let digest_of ratios =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%.17g") ratios))))
+  in
+  (* (a) dirty-% sweep. Each scenario is a move-locality rule; the drawn
+     sequence is materialized up front so both paths replay byte-identical
+     moves. *)
+  let moves = if quick then 150 else 600 in
+  let scenarios =
+    (* (label, nominal dirty-%, draw rule). [span] limits |a - b|;
+       [far_relocate] forces end-to-end relocations, which shift every
+       function between the endpoints and dirty (essentially) every set. *)
+    [
+      ("local-swap", 1, `Span 1);
+      ("near", 5, `Span 3);
+      ("mid", 25, `Span (max 2 (nf / 5)));
+      ("global", 100, `Far);
+    ]
+  in
+  let scenario_rows =
+    List.map
+      (fun (label, nominal_pct, rule) ->
+        let prng = U.Prng.create ~seed:(19 + nominal_pct) in
+        let mv_a = Array.make moves 0 and mv_b = Array.make moves 0 in
+        let mv_swap = Array.make moves false in
+        for i = 0 to moves - 1 do
+          (match rule with
+          | `Span span ->
+            let a = U.Prng.int prng nf in
+            let lo = max 0 (a - span) and hi = min (nf - 1) (a + span) in
+            let b = ref (U.Prng.int_in prng ~lo ~hi) in
+            while !b = a do
+              b := U.Prng.int_in prng ~lo ~hi
+            done;
+            mv_a.(i) <- a;
+            mv_b.(i) <- !b;
+            mv_swap.(i) <- U.Prng.bool prng ~p:0.5
+          | `Far ->
+            (* Relocate between the two ends: everything in between
+               shifts, so the whole footprint is dirty. *)
+            let head = U.Prng.int prng (max 1 (nf / 16)) in
+            let tail = nf - 1 - U.Prng.int prng (max 1 (nf / 16)) in
+            let fwd = U.Prng.bool prng ~p:0.5 in
+            mv_a.(i) <- (if fwd then head else tail);
+            mv_b.(i) <- (if fwd then tail else head);
+            mv_swap.(i) <- false);
+        done;
+        (* Delta path: one session, every move committed (resync audits at
+           the default cadence are part of the measured wall). *)
+        let (delta_ratios, delta_stats), delta_ns =
+          wall (fun () ->
+              let sess = Layout_eval.Delta.start engine (Array.init nf Fun.id) in
+              let ratios =
+                Array.init moves (fun i ->
+                    let mr =
+                      if mv_swap.(i) then Layout_eval.Delta.apply_swap sess mv_a.(i) mv_b.(i)
+                      else Layout_eval.Delta.apply_relocate sess mv_a.(i) mv_b.(i)
+                    in
+                    Layout_eval.Delta.commit sess;
+                    mr)
+              in
+              (ratios, Layout_eval.Delta.stats sess))
+        in
+        (* Full path: identical move sequence, one full streaming
+           evaluation per move. *)
+        let full_ratios, full_ns =
+          wall (fun () ->
+              let order = Array.init nf Fun.id in
+              Array.init moves (fun i ->
+                  if mv_swap.(i) then Anneal.apply_swap order mv_a.(i) mv_b.(i)
+                  else Anneal.apply_relocate order mv_a.(i) mv_b.(i);
+                  Layout_eval.miss_ratio_of_order engine order))
+        in
+        let delta_digest = digest_of delta_ratios in
+        let full_digest = digest_of full_ratios in
+        if delta_digest <> full_digest then begin
+          Printf.eprintf
+            "FATAL: scenario %s: delta ratios diverge from full recompute (digest %s vs %s)\n%!"
+            label delta_digest full_digest;
+          exit 1
+        end;
+        let st = delta_stats in
+        let denom = float_of_int st.Layout_eval.Delta.moves in
+        let dirty_pct =
+          100.0
+          *. float_of_int st.Layout_eval.Delta.dirty_sets
+          /. (denom *. float_of_int params.C.Params.num_sets)
+        in
+        let replayed_pct =
+          100.0
+          *. float_of_int st.Layout_eval.Delta.replayed_events
+          /. (denom *. float_of_int trace_len)
+        in
+        let speedup = float_of_int full_ns /. float_of_int delta_ns in
+        Printf.printf
+          "  %-12s nominal %3d%%  measured dirty %5.1f%%  replayed %5.1f%%  full %8.2f ms  \
+           delta %8.2f ms  %6.2fx\n%!"
+          label nominal_pct dirty_pct replayed_pct
+          (float_of_int full_ns /. 1e6)
+          (float_of_int delta_ns /. 1e6)
+          speedup;
+        (label, nominal_pct, dirty_pct, replayed_pct, full_ns, delta_ns, speedup, delta_digest, st)
+      )
+      scenarios
+  in
+  (* (b) the anneal wall: `Full vs `Delta at max_span 2, same seed, same
+     stream — results must be byte-identical before walls are compared. *)
+  let steps = if quick then 100 else 400 in
+  let anneal_seed = 11 in
+  let run mode =
+    wall (fun () ->
+        Anneal.search ~seed:anneal_seed ~steps ~max_span:2 ~mode ~params program trace)
+  in
+  let full_r, full_ns = run `Full in
+  let delta_r, delta_ns = run `Delta in
+  let identical =
+    full_r.Anneal.order = delta_r.Anneal.order
+    && Int64.bits_of_float full_r.Anneal.miss_ratio
+       = Int64.bits_of_float delta_r.Anneal.miss_ratio
+  in
+  if not identical then begin
+    Printf.eprintf "FATAL: anneal results differ across evaluation modes — delta path is wrong\n%!";
+    exit 1
+  end;
+  let anneal_speedup = float_of_int full_ns /. float_of_int delta_ns in
+  Printf.printf
+    "  anneal %d steps (max_span 2): full %.2f ms -> delta %.2f ms (%.2fx), miss %.4f (identical)\n%!"
+    steps
+    (float_of_int full_ns /. 1e6)
+    (float_of_int delta_ns /. 1e6)
+    anneal_speedup full_r.Anneal.miss_ratio;
+  List.iter
+    (fun (label, _, _, _, full_ns, delta_ns, _, _, _) ->
+      if full_ns <= 0 || delta_ns <= 0 then begin
+        Printf.eprintf "FATAL: non-positive timing in scenario %s\n%!" label;
+        exit 1
+      end)
+    scenario_rows;
+  if (not quick) && anneal_speedup < 3.0 then begin
+    Printf.eprintf
+      "FATAL: delta anneal speedup %.2fx < 3x over full recompute — the incremental path has \
+       regressed\n%!"
+      anneal_speedup;
+    exit 1
+  end;
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-layout-eval-delta/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        ( "params",
+          U.Json.Obj
+            [
+              ("program", U.Json.Str (Colayout_ir.Program.name program));
+              ("num_funcs", U.Json.Int nf);
+              ("trace_len", U.Json.Int trace_len);
+              ("cache", U.Json.Str (C.Params.to_string params));
+              ("num_sets", U.Json.Int params.C.Params.num_sets);
+              ("moves_per_scenario", U.Json.Int moves);
+              ("anneal_steps", U.Json.Int steps);
+              ("anneal_max_span", U.Json.Int 2);
+            ] );
+        ("cores_available", U.Json.Int (Domain.recommended_domain_count ()));
+        ( "scenarios",
+          U.Json.Arr
+            (List.map
+               (fun (label, nominal_pct, dirty_pct, replayed_pct, full_ns, delta_ns, speedup,
+                     digest, st) ->
+                 U.Json.Obj
+                   [
+                     ("label", U.Json.Str label);
+                     ("nominal_dirty_pct", U.Json.Int nominal_pct);
+                     ("measured_dirty_pct", U.Json.Float dirty_pct);
+                     ("replayed_events_pct", U.Json.Float replayed_pct);
+                     ("full_wall_ns", U.Json.Int full_ns);
+                     ("delta_wall_ns", U.Json.Int delta_ns);
+                     ("speedup", U.Json.Float speedup);
+                     ("digest", U.Json.Str digest);
+                     ("digests_equal", U.Json.Bool true);
+                     ("resyncs", U.Json.Int st.Layout_eval.Delta.resyncs);
+                     ("full_walks", U.Json.Int st.Layout_eval.Delta.full_walks);
+                   ])
+               scenario_rows) );
+        ( "anneal",
+          U.Json.Obj
+            [
+              ("steps", U.Json.Int steps);
+              ("full_wall_ns", U.Json.Int full_ns);
+              ("delta_wall_ns", U.Json.Int delta_ns);
+              ("speedup", U.Json.Float anneal_speedup);
+              ("miss_ratio", U.Json.Float delta_r.Anneal.miss_ratio);
+              ("identical_results", U.Json.Bool identical);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
 (* ------------------------------------------------------------- Part 1 *)
 
 let tests () =
@@ -842,11 +1104,13 @@ let () =
   let parallel_only = ref false in
   let profile_only = ref false in
   let layout_eval_only = ref false in
+  let layout_eval_delta_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
   let parallel_json = ref "BENCH_parallel.json" in
   let profile_json = ref "BENCH_profile.json" in
   let layout_eval_json = ref "BENCH_layout_eval.json" in
+  let layout_eval_delta_json = ref "BENCH_layout_eval_delta.json" in
   let jobs = ref 1 in
   Arg.parse
     [
@@ -861,6 +1125,9 @@ let () =
       ( "--layout-eval-only",
         Arg.Set layout_eval_only,
         " layout-evaluation engine benchmark only (regenerates BENCH_layout_eval.json)" );
+      ( "--layout-eval-delta-only",
+        Arg.Set layout_eval_delta_only,
+        " delta-evaluation benchmark only (regenerates BENCH_layout_eval_delta.json)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
@@ -874,12 +1141,15 @@ let () =
       ( "--layout-eval-json",
         Arg.Set_string layout_eval_json,
         "FILE path for the layout-evaluation engine manifest" );
+      ( "--layout-eval-delta-json",
+        Arg.Set_string layout_eval_delta_json,
+        "FILE path for the delta-evaluation manifest" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
@@ -896,12 +1166,18 @@ let () =
     run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json;
     exit 0
   end;
+  if !layout_eval_delta_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
   if not !kernels_only then begin
     run_harness_manifest ~quick:!quick ~path:!harness_json;
     run_parallel_bench ~quick:!quick ~path:!parallel_json;
     run_profile_manifest ~quick:!quick ~path:!profile_json;
-    run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json
+    run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json;
+    run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json
   end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();

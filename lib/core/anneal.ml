@@ -7,6 +7,8 @@ type result = {
   improved_from : float;
 }
 
+type eval_mode = [ `Delta | `Full ]
+
 (* Move application in place: a swap of positions [a]/[b], or a relocate of
    position [a] to position [b] with the gap shifted over. Both are their
    own undo with the roles reversed, so a rejected proposal costs two
@@ -22,8 +24,78 @@ let apply_relocate order a b =
   else Array.blit order b order (b + 1) (a - b);
   order.(b) <- v
 
-let search ?(seed = 1) ?(steps = 300) ?initial ~params program trace =
+(* The shared proposal draw: position [a] uniform, then [b <> a] — uniform
+   over all positions (the PR-5 stream, unchanged), or within [max_span]
+   positions of [a] for the local-refinement neighbourhood the delta
+   engine thrives on. With [nf >= 2] (and [max_span >= 1]) the redraw
+   window always holds a value other than [a], so the loop terminates;
+   degenerate inputs never reach it (the searches return the trivial order
+   for [nf <= 1] before drawing anything). *)
+let draw_pair rng nf ~max_span =
+  let a = Prng.int rng nf in
+  let b =
+    match max_span with
+    | None ->
+      let b = ref (Prng.int rng nf) in
+      while !b = a do
+        b := Prng.int rng nf
+      done;
+      !b
+    | Some span ->
+      let lo = max 0 (a - span) and hi = min (nf - 1) (a + span) in
+      let b = ref (Prng.int_in rng ~lo ~hi) in
+      while !b = a do
+        b := Prng.int_in rng ~lo ~hi
+      done;
+      !b
+  in
+  (a, b)
+
+let check_max_span what = function
+  | Some span when span <= 0 ->
+    invalid_arg (Printf.sprintf "Anneal.%s: max_span must be positive" what)
+  | _ -> ()
+
+(* One Metropolis loop shared by both evaluation strategies; the
+   per-proposal mechanics arrive as closures. [eval ~swap a b] applies the
+   move and returns the candidate ratio; [keep]/[revert] finalize the
+   decision; [blit_current] snapshots the current order on improvement.
+   The delta and full paths draw the identical PRNG stream and their
+   ratios are bit-equal, so the accepted-order trajectory — and the result
+   — is byte-identical across modes. *)
+let metropolis_loop ~rng ~steps ~nf ~max_span ~initial_mr ~eval ~keep ~revert ~blit_current
+    ~best =
+  let cur_mr = ref initial_mr in
+  let best_mr = ref initial_mr in
+  (* Temperature scaled to the objective (miss ratios live in [0,1]);
+     geometric decay reaches ~1e-3 of the start by the last step. *)
+  let t0 = 0.02 in
+  let decay = exp (log 1e-3 /. float_of_int steps) in
+  let temp = ref t0 in
+  for _ = 1 to steps do
+    let a, b = draw_pair rng nf ~max_span in
+    let swap = Prng.bool rng ~p:0.5 in
+    let mr = eval ~swap a b in
+    let accept =
+      mr <= !cur_mr || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
+    in
+    if accept then begin
+      keep ~swap a b;
+      cur_mr := mr;
+      if mr < !best_mr then begin
+        best_mr := mr;
+        blit_current best
+      end
+    end
+    else revert ~swap a b;
+    temp := !temp *. decay
+  done;
+  !best_mr
+
+let search ?(seed = 1) ?(steps = 300) ?initial ?max_span ?(resync_interval = 64)
+    ?(mode = `Delta) ~params program trace =
   if steps <= 0 then invalid_arg "Anneal.search: steps must be positive";
+  check_max_span "search" max_span;
   let nf = Colayout_ir.Program.num_funcs program in
   let current =
     match initial with
@@ -34,48 +106,46 @@ let search ?(seed = 1) ?(steps = 300) ?initial ~params program trace =
   in
   let engine = Layout_eval.create ~params program trace in
   let initial_mr = Layout_eval.miss_ratio_of_order engine current in
+  (* Degenerate universes (0 or 1 function) have exactly one layout: return
+     it before any proposal machinery spins on an empty neighbourhood. *)
   if nf < 2 then { order = current; miss_ratio = initial_mr; steps; improved_from = initial_mr }
   else begin
     let rng = Prng.create ~seed in
-    let cur_mr = ref initial_mr in
     let best = Array.copy current in
-    let best_mr = ref initial_mr in
-    (* Temperature scaled to the objective (miss ratios live in [0,1]);
-       geometric decay reaches ~1e-3 of the start by the last step. *)
-    let t0 = 0.02 in
-    let decay = exp (log 1e-3 /. float_of_int steps) in
-    let temp = ref t0 in
-    for _ = 1 to steps do
-      let a = Prng.int rng nf in
-      let b = ref (Prng.int rng nf) in
-      while !b = a do
-        b := Prng.int rng nf
-      done;
-      let b = !b in
-      let swap = Prng.bool rng ~p:0.5 in
-      if swap then apply_swap current a b else apply_relocate current a b;
-      let mr = Layout_eval.miss_ratio_of_order engine current in
-      let accept =
-        mr <= !cur_mr
-        || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
-      in
-      if accept then begin
-        cur_mr := mr;
-        if mr < !best_mr then begin
-          best_mr := mr;
-          Array.blit current 0 best 0 nf
-        end
-      end
-      else if swap then apply_swap current a b
-      else apply_relocate current b a;
-      temp := !temp *. decay
-    done;
-    { order = best; miss_ratio = !best_mr; steps; improved_from = initial_mr }
+    let best_mr =
+      match mode with
+      | `Full ->
+        (* PR 5's engine path: every proposal pays one full streaming
+           evaluation. Kept selectable as the honest before-side of the
+           delta benchmark. *)
+        metropolis_loop ~rng ~steps ~nf ~max_span ~initial_mr
+          ~eval:(fun ~swap a b ->
+            if swap then apply_swap current a b else apply_relocate current a b;
+            Layout_eval.miss_ratio_of_order engine current)
+          ~keep:(fun ~swap:_ _ _ -> ())
+          ~revert:(fun ~swap a b ->
+            if swap then apply_swap current a b else apply_relocate current b a)
+          ~blit_current:(fun best -> Array.blit current 0 best 0 nf)
+          ~best
+      | `Delta ->
+        let sess = Layout_eval.Delta.start ~resync_interval engine current in
+        metropolis_loop ~rng ~steps ~nf ~max_span ~initial_mr
+          ~eval:(fun ~swap a b ->
+            if swap then Layout_eval.Delta.apply_swap sess a b
+            else Layout_eval.Delta.apply_relocate sess a b)
+          ~keep:(fun ~swap:_ _ _ -> Layout_eval.Delta.commit sess)
+          ~revert:(fun ~swap:_ _ _ -> Layout_eval.Delta.undo sess)
+          ~blit_current:(Layout_eval.Delta.blit_order sess)
+          ~best
+    in
+    { order = best; miss_ratio = best_mr; steps; improved_from = initial_mr }
   end
 
-let search_batch ?(seed = 1) ?(steps = 60) ?(width = 8) ?initial engine =
+let search_batch ?(seed = 1) ?(steps = 60) ?(width = 8) ?initial ?max_span
+    ?(resync_interval = 64) engine =
   if steps <= 0 then invalid_arg "Anneal.search_batch: steps must be positive";
   if width <= 0 then invalid_arg "Anneal.search_batch: width must be positive";
+  check_max_span "search_batch" max_span;
   let nf = Layout_eval.num_funcs engine in
   let current =
     match initial with
@@ -90,9 +160,6 @@ let search_batch ?(seed = 1) ?(steps = 60) ?(width = 8) ?initial engine =
     { order = current; miss_ratio = initial_mr; steps = 1; improved_from = initial_mr }
   else begin
     let rng = Prng.create ~seed in
-    (* The candidate arrays are allocated once and refilled every step;
-       eval_batch scores the whole neighborhood in one fan-out. *)
-    let cands = Array.init width (fun _ -> Array.make nf 0) in
     let cur_mr = ref initial_mr in
     let best = Array.copy current in
     let best_mr = ref initial_mr in
@@ -100,18 +167,45 @@ let search_batch ?(seed = 1) ?(steps = 60) ?(width = 8) ?initial engine =
     let t0 = 0.02 in
     let decay = exp (log 1e-3 /. float_of_int steps) in
     let temp = ref t0 in
+    (* Per-candidate move records, drawn identically in both regimes so the
+       PRNG stream — and therefore the result — is independent of the
+       evaluation strategy. *)
+    let mv_a = Array.make width 0 and mv_b = Array.make width 0 in
+    let mv_swap = Array.make width false in
+    let ratios = Array.make width 0.0 in
+    let pooled = Layout_eval.pooled engine in
+    (* Pooled: materialized candidate arrays fanned out via [eval_batch]'s
+       index-ordered merge. Sequential: the delta session scores each move
+       with an apply/undo pair — bit-equal ratios, no candidate copies. *)
+    let cands =
+      if pooled then Array.init width (fun _ -> Array.make nf 0) else [||]
+    in
+    let sess =
+      if pooled then None else Some (Layout_eval.Delta.start ~resync_interval engine current)
+    in
     for _ = 1 to steps do
       for c = 0 to width - 1 do
-        let cand = cands.(c) in
-        Array.blit current 0 cand 0 nf;
-        let a = Prng.int rng nf in
-        let b = ref (Prng.int rng nf) in
-        while !b = a do
-          b := Prng.int rng nf
-        done;
-        if Prng.bool rng ~p:0.5 then apply_swap cand a !b else apply_relocate cand a !b
+        let a, b = draw_pair rng nf ~max_span in
+        mv_a.(c) <- a;
+        mv_b.(c) <- b;
+        mv_swap.(c) <- Prng.bool rng ~p:0.5
       done;
-      let ratios = Layout_eval.eval_batch engine cands in
+      (match sess with
+      | None ->
+        for c = 0 to width - 1 do
+          let cand = cands.(c) in
+          Array.blit current 0 cand 0 nf;
+          if mv_swap.(c) then apply_swap cand mv_a.(c) mv_b.(c)
+          else apply_relocate cand mv_a.(c) mv_b.(c)
+        done;
+        Array.blit (Layout_eval.eval_batch engine cands) 0 ratios 0 width
+      | Some sess ->
+        for c = 0 to width - 1 do
+          ratios.(c) <-
+            (if mv_swap.(c) then Layout_eval.Delta.apply_swap sess mv_a.(c) mv_b.(c)
+             else Layout_eval.Delta.apply_relocate sess mv_a.(c) mv_b.(c));
+          Layout_eval.Delta.undo sess
+        done);
       evals := !evals + width;
       let pick = ref 0 in
       for c = 1 to width - 1 do
@@ -119,11 +213,17 @@ let search_batch ?(seed = 1) ?(steps = 60) ?(width = 8) ?initial engine =
       done;
       let mr = ratios.(!pick) in
       let accept =
-        mr <= !cur_mr
-        || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
+        mr <= !cur_mr || Prng.float rng < exp ((!cur_mr -. mr) /. Float.max 1e-9 !temp)
       in
       if accept then begin
-        Array.blit cands.(!pick) 0 current 0 nf;
+        (match sess with
+        | None -> Array.blit cands.(!pick) 0 current 0 nf
+        | Some sess ->
+          ignore
+            (if mv_swap.(!pick) then Layout_eval.Delta.apply_swap sess mv_a.(!pick) mv_b.(!pick)
+             else Layout_eval.Delta.apply_relocate sess mv_a.(!pick) mv_b.(!pick));
+          Layout_eval.Delta.commit sess;
+          Layout_eval.Delta.blit_order sess current);
         cur_mr := mr;
         if mr < !best_mr then begin
           best_mr := mr;

@@ -8,12 +8,14 @@
     leave — the experiment harness uses it in the Petrank-Rawitz wall
     study. Deterministic for a fixed seed.
 
-    Both searches evaluate candidates through a {!Layout_eval} engine: one
-    streaming pass per candidate over precompiled state, no per-candidate
-    allocation (the seed evaluator survives as
-    {!Kernel_baseline.miss_ratio_of_function_order}). Moves are applied to
-    the current order {e in place} and undone on rejection — no
-    [Array.copy] proposal per step. *)
+    Since PR 6 the sequential searches score proposals through
+    {!Layout_eval.Delta}: the engine keeps a per-cache-set ledger alive
+    across moves and re-simulates only the trace segments a move actually
+    perturbs, with a periodic full-recount audit (the [resync_interval]).
+    The delta ratios are {e bit-equal} to a full streaming evaluation, so
+    results are byte-identical to the PR-5 full-recompute path — which
+    stays selectable as [~mode:`Full], both as the honest before-side of
+    [BENCH_layout_eval_delta.json] and as a differential oracle. *)
 
 type result = {
   order : int array;
@@ -22,43 +24,69 @@ type result = {
   improved_from : float;  (** Miss ratio of the initial order. *)
 }
 
+type eval_mode = [ `Delta | `Full ]
+(** How proposals are scored: [`Delta] (default) through a
+    {!Layout_eval.Delta} session, [`Full] through one full streaming
+    evaluation per proposal (the PR-5 behaviour). Both modes draw the same
+    PRNG stream and produce bit-equal ratios, hence byte-identical
+    results. *)
+
+val apply_swap : int array -> int -> int -> unit
+(** Exchange positions [a] and [b] in place. Its own inverse. Exposed for
+    the delta benchmark and tests that replay identical move sequences
+    down both evaluation paths. *)
+
+val apply_relocate : int array -> int -> int -> unit
+(** Move position [a] to position [b] in place, shifting the gap over.
+    [apply_relocate o a b] is undone by [apply_relocate o b a]. *)
+
 val search :
   ?seed:int ->
   ?steps:int ->
   ?initial:int array ->
+  ?max_span:int ->
+  ?resync_interval:int ->
+  ?mode:eval_mode ->
   params:Colayout_cache.Params.t ->
   Colayout_ir.Program.t ->
   Colayout_trace.Trace.t ->
   result
 (** [steps] defaults to 300; [initial] to the identity (original) order;
     temperature decays geometrically to ~0 over the budget. Neighbourhood:
-    swap two random functions, or relocate one (50/50).
+    swap two random functions, or relocate one (50/50). With [max_span]
+    the second position is drawn within [max_span] positions of the first
+    — the local-refinement regime where delta evaluation shines (a local
+    move dirties few cache sets); without it the draw is uniform, the
+    exact PR-5 stream. [resync_interval] (default 64 accepted moves) sets
+    the cadence of the delta ledger's full-recount audit; [mode] selects
+    the evaluation strategy (see {!eval_mode}).
 
-    Every step now performs a real move: when the two drawn positions
-    collide ([a = b]) the second draw is repeated rather than burning the
-    step (the seed loop consumed the step — and both draws — as a no-op).
+    Degenerate inputs ([num_funcs <= 1]) return the trivial order
+    immediately — there is no neighbourhood to draw from, and the
+    redraw-until-distinct loop must never spin on one.
 
-    Seed compatibility: for a fixed [seed], runs whose move sequence is
-    unchanged (no [a = b] collision ever occurred under the seed loop)
-    draw the identical PRNG stream and produce the identical accepted-order
-    sequence and result. Where the seed loop did collide, this search
-    spends those steps on real moves, so the streams — and possibly the
-    result — diverge from pre-PR-5 outputs (never in quality contract:
-    [miss_ratio <= improved_from] still holds). *)
+    Every step performs a real move: when two drawn positions collide
+    ([a = b]) the second draw is repeated rather than burning the step.
+    For a fixed [seed] and [max_span], the accepted-order trajectory and
+    result are byte-identical across modes. *)
 
 val search_batch :
   ?seed:int ->
   ?steps:int ->
   ?width:int ->
   ?initial:int array ->
+  ?max_span:int ->
+  ?resync_interval:int ->
   Layout_eval.t ->
   result
 (** Batched variant: each of the [steps] (default 60) temperature steps
     draws [width] (default 8) independent moves from the current order,
-    scores the whole neighborhood with one {!Layout_eval.eval_batch} call
-    (fanned across the engine's pool when it has one), and
-    Metropolis-accepts the best candidate. [result.steps] reports
-    simulations performed ([steps * width + 1]). Deterministic for a fixed
-    seed at any jobs count — batch evaluation is bit-identical to
-    sequential. The candidate buffers are allocated once and reused, so
-    the per-step cost is the evaluations themselves. *)
+    scores the whole neighborhood, and Metropolis-accepts the best
+    candidate. On a pooled engine ({!Layout_eval.pooled}) the neighborhood
+    is materialized and fanned out through {!Layout_eval.eval_batch}'s
+    index-ordered merge, exactly as before; on a sequential engine each
+    move is scored by a delta apply/undo pair instead — no candidate
+    copies, no full re-streams. The two regimes draw the same PRNG stream
+    and produce bit-equal ratios, so the search stays deterministic at any
+    jobs count. [result.steps] reports simulations performed
+    ([steps * width + 1]). *)

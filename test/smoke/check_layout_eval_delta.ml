@@ -1,0 +1,122 @@
+(* Delta-evaluation smoke validator:
+
+   [check_layout_eval_delta bench BENCH_layout_eval_delta.json] — the
+   manifest conforms to colayout/bench-layout-eval-delta/v1 and, more to
+   the point, is not too good to be true:
+
+   - every scenario replayed its move sequence down both paths and the
+     per-move ratio digests agreed ([digests_equal]) — a fast-but-wrong
+     delta path must not publish;
+   - speedups are monotone non-increasing in the nominal dirty fraction
+     (modulo timing slack): a delta path that gets FASTER as more sets go
+     dirty is re-simulating less than it must;
+   - the 100 %-dirty scenario shows no real speedup (<= 1.5x): replaying
+     the whole trace cannot beat the full recompute by more than
+     bookkeeping noise, so a large number here means the "full replay" is
+     skipping work;
+   - walls are positive, resync/full-walk counters non-negative, and the
+     anneal comparison ran to byte-identical results.
+
+   Following the cores_available gating convention of check_parallel,
+   magnitude gates (lowest-dirty scenario and anneal speedup >= 1.0) only
+   apply with >= 2 recorded cores; the >= 5x tentpole number itself is
+   enforced where it is measured — the bench FATALs in full mode below
+   3x, so a committed full-mode manifest has already passed. *)
+
+module J = Colayout_util.Json
+open Smoke_check
+
+let get_float json ~path key =
+  match Option.bind (J.member key json) J.to_float with
+  | Some v -> v
+  | None -> fail "%s: missing number field %S" path key
+
+let check_bench path =
+  let json = parse path in
+  require_schema json ~path "colayout/bench-layout-eval-delta/v1";
+  let mode = get_str json ~path "mode" in
+  if mode <> "quick" && mode <> "full" then fail "%s: unknown mode %S" path mode;
+  let scenarios =
+    match get_list json ~path "scenarios" with
+    | [] -> fail "%s: no scenarios" path
+    | l -> l
+  in
+  let rows =
+    List.map
+      (fun sc ->
+        let label = get_str sc ~path "label" in
+        let nominal = get_int sc "nominal_dirty_pct" in
+        let speedup = get_float sc ~path "speedup" in
+        if not (get_bool sc ~path "digests_equal") then
+          fail "%s: scenario %s: delta ratios diverged from the full recompute" path label;
+        if String.length (get_str sc ~path "digest") = 0 then
+          fail "%s: scenario %s: empty digest" path label;
+        if get_int sc "full_wall_ns" <= 0 || get_int sc "delta_wall_ns" <= 0 then
+          fail "%s: scenario %s: non-positive wall-clock" path label;
+        if speedup <= 0.0 then fail "%s: scenario %s: non-positive speedup" path label;
+        if get_int sc "resyncs" < 0 || get_int sc "full_walks" < 0 then
+          fail "%s: scenario %s: negative work counters" path label;
+        let dirty = get_float sc ~path "measured_dirty_pct" in
+        let replayed = get_float sc ~path "replayed_events_pct" in
+        if dirty < 0.0 || dirty > 100.0 || replayed < 0.0 || replayed > 100.0 then
+          fail "%s: scenario %s: dirty/replayed fractions out of [0, 100]" path label;
+        (label, nominal, speedup))
+      scenarios
+  in
+  (* Impossible-speedup guard: at 100 % dirty the delta path replays the
+     whole trace and must not "win". *)
+  (match List.find_opt (fun (_, nominal, _) -> nominal >= 100) rows with
+  | None -> fail "%s: no 100%%-dirty scenario" path
+  | Some (label, _, speedup) ->
+    if speedup > 1.5 then
+      fail
+        "%s: scenario %s claims %.2fx at 100%% dirty — a full replay cannot beat a full \
+         recompute"
+        path label speedup);
+  (* Monotonicity: less-dirty scenarios must not be slower than
+     more-dirty ones. Quick-mode timings are short and noisy, so the
+     allowed slack widens. *)
+  let slack = if mode = "quick" then 1.35 else 1.10 in
+  let sorted = List.sort (fun (_, a, _) (_, b, _) -> compare a b) rows in
+  let rec check_monotone = function
+    | (la, na, sa) :: ((lb, nb, sb) :: _ as rest) ->
+      if sb > sa *. slack then
+        fail
+          "%s: speedup is not monotone non-increasing in dirty-%%: %s (%d%%) %.2fx < %s \
+           (%d%%) %.2fx"
+          path la na sa lb nb sb;
+      check_monotone rest
+    | _ -> ()
+  in
+  check_monotone sorted;
+  let anneal =
+    match J.member "anneal" json with
+    | Some o -> o
+    | None -> fail "%s: missing object field \"anneal\"" path
+  in
+  if not (get_bool anneal ~path "identical_results") then
+    fail "%s: anneal results differ across evaluation modes" path;
+  if get_int anneal "steps" <= 0 then fail "%s: anneal ran no steps" path;
+  if get_int anneal "full_wall_ns" <= 0 || get_int anneal "delta_wall_ns" <= 0 then
+    fail "%s: non-positive anneal wall-clock" path;
+  let anneal_speedup = get_float anneal ~path "speedup" in
+  let cores = get_int json "cores_available" in
+  (match sorted with
+  | (label, nominal, speedup) :: _ when cores >= 2 && speedup < 1.0 ->
+    fail "%s: %d cores available but %s (%d%% dirty) speedup is %.2fx (< 1.0)" path cores
+      label nominal speedup
+  | _ -> ());
+  if cores >= 2 && anneal_speedup < 1.0 then
+    fail "%s: %d cores available but anneal speedup is %.2fx (< 1.0)" path cores
+      anneal_speedup;
+  Printf.printf
+    "check_layout_eval_delta: %s ok (mode %s, %d cores, %d scenarios, anneal %.2fx)\n" path
+    mode cores (List.length rows) anneal_speedup
+
+let () =
+  set_tool "check_layout_eval_delta";
+  match Array.to_list Sys.argv with
+  | [ _; "bench"; path ] -> check_bench path
+  | _ ->
+    prerr_endline "usage: check_layout_eval_delta bench FILE";
+    exit 2
