@@ -29,6 +29,13 @@ module T = Colayout_trace
 
 let params = C.Params.default_l1i
 
+(* Single source for the recorded host width. Every BENCH_*.json manifest
+   carries this field and the smoke checkers gate their magnitude
+   assertions on it, so all of them must read the same value. *)
+let cores_available () = Domain.recommended_domain_count ()
+
+let cores_field () = ("cores_available", U.Json.Int (cores_available ()))
+
 (* Shared inputs for parts 1-3, prepared once — lazily, so the kernel-only
    modes never pay for the workload build and interpreter runs. *)
 let shared =
@@ -336,7 +343,7 @@ let run_parallel_bench ~quick ~path =
         ("kinds", U.Json.Int (List.length kinds));
         ("selves", U.Json.Int (List.length selves));
         ("probes", U.Json.Int (List.length probes));
-        ("cores_available", U.Json.Int (Domain.recommended_domain_count ()));
+        cores_field ();
         ( "runs",
           U.Json.Arr
             (List.map
@@ -594,7 +601,7 @@ let run_layout_eval_bench ~quick ~path =
               ("anneal_steps", U.Json.Int steps);
               ("batch_candidates", U.Json.Int (Array.length batch));
             ] );
-        ("cores_available", U.Json.Int (Domain.recommended_domain_count ()));
+        cores_field ();
         ( "single_thread",
           U.Json.Obj
             [
@@ -854,7 +861,7 @@ let run_layout_eval_delta_bench ~quick ~path =
               ("anneal_steps", U.Json.Int steps);
               ("anneal_max_span", U.Json.Int 2);
             ] );
-        ("cores_available", U.Json.Int (Domain.recommended_domain_count ()));
+        cores_field ();
         ( "scenarios",
           U.Json.Arr
             (List.map
@@ -885,6 +892,296 @@ let run_layout_eval_delta_bench ~quick ~path =
               ("miss_ratio", U.Json.Float delta_r.Anneal.miss_ratio);
               ("identical_results", U.Json.Bool identical);
             ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
+(* ---------------------------------------------------------- Part 0.97 *)
+
+(* Strong/weak scaling study (BENCH_scaling.json, schema
+   colayout/bench-scaling/v1): the work-stealing pool measured against the
+   batch shapes the optimizer search actually produces. A pool task is a
+   *group* of candidate evaluations run on a per-worker engine:
+
+   - uniform: every task is a single candidate — the homogeneous batch a
+     fixed contiguous split handles adequately;
+   - skewed: a few front-loaded "giant" tasks carrying many candidates
+     ahead of a tail of singletons — the heterogeneous shape of §IV's
+     defensiveness/politeness sweep, which pins the heavy tasks plus a
+     full share of the tail onto the first chunk under a fixed split.
+
+   Strong scaling holds total work fixed while jobs grows, and runs each
+   width under both schedulers: work-stealing (one pool task per group)
+   and a reproduction of the PR-3 fixed-chunk schedule (the contiguous
+   split committed up front as [jobs] meta-tasks through the same pool, so
+   only the scheduling differs). Weak scaling replicates the base workload
+   [jobs] times, so per-worker work is constant and efficiency is T1/Tj.
+   Every pooled run is digest-compared against a jobs = 1 run of the same
+   workload — stealing may move work, never change results (FATAL in every
+   mode). The magnitude gates are cores-gated like every other bench:
+   full mode on a host with >= 2 cores FATALs if skewed-batch throughput
+   under work-stealing is not >= 1.3x the fixed-chunk baseline at
+   gate_jobs = min(cores, jobs_max) (at wider jobs the workers
+   oversubscribe the cores and the OS scheduler, not the pool, sets the
+   makespan), or if the best uniform strong-scaling speedup falls below
+   1.0; quick mode and single-core hosts only require positive walls. *)
+
+let run_scaling_bench ~quick ~path =
+  Printf.printf "== Scaling study: work-stealing vs fixed chunks, strong/weak curves ==\n%!";
+  let params = layout_eval_params in
+  let program = W.Gen.build layout_eval_profile in
+  let nf = Colayout_ir.Program.num_funcs program in
+  let max_blocks = if quick then 6_000 else 30_000 in
+  let trace = Pipeline.reference_trace program (E.Interp.ref_input ~max_blocks ()) in
+  let jobs_max = max 4 (U.Pool.default_jobs ()) in
+  let gate_jobs = max 1 (min (cores_available ()) jobs_max) in
+  let jobs_list = List.init jobs_max (fun i -> i + 1) in
+  Printf.printf "   (%d functions, %d-event trace, jobs 1..%d, %s)\n%!" nf
+    (T.Trace.length trace) jobs_max (C.Params.to_string params);
+  (* One engine per worker slot, shared by every run below: a task indexes
+     scratch by worker id only, so ratios cannot depend on scheduling. *)
+  let engines = Array.init jobs_max (fun _ -> Layout_eval.create ~params program trace) in
+  let prng = U.Prng.create ~seed:42 in
+  let order () =
+    let a = Array.init nf Fun.id in
+    U.Prng.shuffle prng a;
+    a
+  in
+  let small_tasks = if quick then 12 else 48 in
+  let giants = 2 in
+  let giant_evals = if quick then 6 else 24 in
+  let mk_uniform n = Array.init n (fun _ -> [| order () |]) in
+  let mk_skewed ~giants ~small =
+    Array.append
+      (Array.init giants (fun _ -> Array.init giant_evals (fun _ -> order ())))
+      (Array.init small (fun _ -> [| order () |]))
+  in
+  let total_evals groups = Array.fold_left (fun acc g -> acc + Array.length g) 0 groups in
+  let wall f =
+    let t0 = U.Metrics.default_clock () in
+    let r = f () in
+    (r, Int64.to_int (Int64.sub (U.Metrics.default_clock ()) t0))
+  in
+  let digest_of ratios =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%.17g") ratios))))
+  in
+  let eval_group ~worker g =
+    Array.map (fun o -> Layout_eval.miss_ratio_of_order engines.(worker) o) g
+  in
+  let flatten parts = Array.concat (Array.to_list parts) in
+  (* Work-stealing run: one pool task per group; the pool's initial
+     contiguous split is rebalanced by idle workers stealing. *)
+  let run_steal ~jobs groups =
+    let metrics = U.Metrics.create () in
+    let ratios, ns =
+      U.Pool.with_pool ~jobs ~metrics (fun pool ->
+          wall (fun () ->
+              flatten
+                (U.Pool.map_array_w pool (fun ~worker g -> eval_group ~worker g) groups)))
+    in
+    let steals = Option.value ~default:0 (U.Metrics.find_counter metrics "pool.steals") in
+    (ratios, ns, steals)
+  in
+  (* Fixed-chunk baseline: the PR-3 schedule reproduced on today's pool.
+     The contiguous split is committed up front as [jobs] meta-tasks, so
+     no task boundary exists inside a chunk for stealing to exploit. *)
+  let run_fixed ~jobs groups =
+    let n = Array.length groups in
+    let chunk = (n + jobs - 1) / jobs in
+    let chunks = Array.init jobs (fun i -> (min n (i * chunk), min n ((i + 1) * chunk))) in
+    U.Pool.with_pool ~jobs (fun pool ->
+        wall (fun () ->
+            flatten
+              (U.Pool.map_array_w pool
+                 (fun ~worker (lo, hi) ->
+                   flatten
+                     (Array.init (hi - lo) (fun k -> eval_group ~worker groups.(lo + k))))
+                 chunks)))
+  in
+  let check_positive label ns =
+    if ns <= 0 then begin
+      Printf.eprintf "FATAL: non-positive wall for %s\n%!" label;
+      exit 1
+    end
+  in
+  (* --- strong scaling: fixed total work, growing jobs --------------- *)
+  let strong_shape label groups =
+    let total = total_evals groups in
+    let seq_ratios, _, _ = run_steal ~jobs:1 groups in
+    let reference = digest_of seq_ratios in
+    let rows =
+      List.map
+        (fun jobs ->
+          let s_ratios, s_ns, steals = run_steal ~jobs groups in
+          let f_ratios, f_ns = run_fixed ~jobs groups in
+          if digest_of s_ratios <> reference || digest_of f_ratios <> reference then begin
+            Printf.eprintf
+              "FATAL: %s results differ from jobs=1 at jobs=%d — determinism broken\n%!"
+              label jobs;
+            exit 1
+          end;
+          check_positive (Printf.sprintf "strong %s steal jobs=%d" label jobs) s_ns;
+          check_positive (Printf.sprintf "strong %s fixed jobs=%d" label jobs) f_ns;
+          Printf.printf
+            "  strong %-8s jobs=%d  steal %8.2f ms  fixed %8.2f ms  (%4d steals, digest ok)\n%!"
+            label jobs
+            (float_of_int s_ns /. 1e6)
+            (float_of_int f_ns /. 1e6)
+            steals;
+          (jobs, s_ns, f_ns, steals))
+        jobs_list
+    in
+    (label, total, reference, rows)
+  in
+  let strong_uniform = strong_shape "uniform" (mk_uniform (giants * giant_evals + small_tasks)) in
+  let strong_skewed = strong_shape "skewed" (mk_skewed ~giants ~small:small_tasks) in
+  let row_at rows jobs = List.find (fun (j, _, _, _) -> j = jobs) rows in
+  let base_of rows = let _, s, _, _ = row_at rows 1 in float_of_int s in
+  let ratio_of rows jobs =
+    let _, s, f, _ = row_at rows jobs in
+    float_of_int f /. float_of_int s
+  in
+  let best_uniform_speedup =
+    let _, _, _, rows = strong_uniform in
+    let base = base_of rows in
+    List.fold_left (fun acc (_, s, _, _) -> Float.max acc (base /. float_of_int s)) 0.0 rows
+  in
+  let skew_ratio_gate = let _, _, _, rows = strong_skewed in ratio_of rows gate_jobs in
+  let skew_ratio_max = let _, _, _, rows = strong_skewed in ratio_of rows jobs_max in
+  Printf.printf
+    "  skewed steal-vs-fixed: %.2fx at jobs=%d (gate), %.2fx at jobs=%d (max)\n%!"
+    skew_ratio_gate gate_jobs skew_ratio_max jobs_max;
+  (* --- weak scaling: workload grows with jobs ----------------------- *)
+  let weak_shape label mk_base =
+    let rows =
+      List.map
+        (fun jobs ->
+          let groups = flatten (Array.init jobs (fun _ -> mk_base ())) in
+          let s_ratios, s_ns, _ = run_steal ~jobs groups in
+          let ok =
+            jobs = 1
+            ||
+            let seq_ratios, _, _ = run_steal ~jobs:1 groups in
+            digest_of seq_ratios = digest_of s_ratios
+          in
+          if not ok then begin
+            Printf.eprintf
+              "FATAL: weak %s results differ from jobs=1 at jobs=%d — determinism broken\n%!"
+              label jobs;
+            exit 1
+          end;
+          check_positive (Printf.sprintf "weak %s jobs=%d" label jobs) s_ns;
+          (jobs, total_evals groups, s_ns))
+        jobs_list
+    in
+    let base = match rows with (1, _, ns) :: _ -> float_of_int ns | _ -> assert false in
+    List.map
+      (fun (jobs, evals, ns) ->
+        let eff = base /. float_of_int ns in
+        Printf.printf "  weak   %-8s jobs=%d  %6d evals  %8.2f ms  (efficiency %.2f)\n%!"
+          label jobs evals
+          (float_of_int ns /. 1e6)
+          eff;
+        (jobs, evals, ns, eff))
+      rows
+    |> fun r -> (label, r)
+  in
+  let weak_uniform = weak_shape "uniform" (fun () -> mk_uniform (if quick then 8 else 24)) in
+  let weak_skewed =
+    weak_shape "skewed" (fun () -> mk_skewed ~giants:1 ~small:(if quick then 6 else 12))
+  in
+  (* --- cores-gated magnitude assertions ----------------------------- *)
+  if (not quick) && cores_available () >= 2 then begin
+    if skew_ratio_gate < 1.3 then begin
+      Printf.eprintf
+        "FATAL: skewed-batch work-stealing throughput %.2fx < 1.3x the fixed-chunk \
+         baseline at jobs=%d — the scheduler upgrade has regressed\n%!"
+        skew_ratio_gate gate_jobs;
+      exit 1
+    end;
+    if best_uniform_speedup < 1.0 then begin
+      Printf.eprintf
+        "FATAL: best uniform strong-scaling speedup %.2fx < 1.0x — the pool is slower \
+         than sequential on a multi-core host\n%!"
+        best_uniform_speedup;
+      exit 1
+    end
+  end;
+  let strong_json (label, total, digest, rows) =
+    let base = base_of rows in
+    U.Json.Obj
+      [
+        ("shape", U.Json.Str label);
+        ("total_evals", U.Json.Int total);
+        ("digest", U.Json.Str digest);
+        ( "runs",
+          U.Json.Arr
+            (List.map
+               (fun (jobs, s_ns, f_ns, steals) ->
+                 U.Json.Obj
+                   [
+                     ("jobs", U.Json.Int jobs);
+                     ("steal_wall_ns", U.Json.Int s_ns);
+                     ("fixed_wall_ns", U.Json.Int f_ns);
+                     ("steals", U.Json.Int steals);
+                     ("steal_speedup", U.Json.Float (base /. float_of_int s_ns));
+                     ("fixed_speedup", U.Json.Float (base /. float_of_int f_ns));
+                     ( "steal_vs_fixed",
+                       U.Json.Float (float_of_int f_ns /. float_of_int s_ns) );
+                   ])
+               rows) );
+      ]
+  in
+  let weak_json (label, rows) =
+    U.Json.Obj
+      [
+        ("shape", U.Json.Str label);
+        ( "runs",
+          U.Json.Arr
+            (List.map
+               (fun (jobs, evals, ns, eff) ->
+                 U.Json.Obj
+                   [
+                     ("jobs", U.Json.Int jobs);
+                     ("evals", U.Json.Int evals);
+                     ("wall_ns", U.Json.Int ns);
+                     ("efficiency", U.Json.Float eff);
+                     ("digest_ok", U.Json.Bool true);
+                   ])
+               rows) );
+      ]
+  in
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-scaling/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        cores_field ();
+        ("jobs_max", U.Json.Int jobs_max);
+        ("gate_jobs", U.Json.Int gate_jobs);
+        ( "params",
+          U.Json.Obj
+            [
+              ("program", U.Json.Str (Colayout_ir.Program.name program));
+              ("num_funcs", U.Json.Int nf);
+              ("trace_len", U.Json.Int (T.Trace.length trace));
+              ("cache", U.Json.Str (C.Params.to_string params));
+              ("small_tasks", U.Json.Int small_tasks);
+              ("giants", U.Json.Int giants);
+              ("giant_evals", U.Json.Int giant_evals);
+            ] );
+        ("strong", U.Json.Arr [ strong_json strong_uniform; strong_json strong_skewed ]);
+        ("weak", U.Json.Arr [ weak_json weak_uniform; weak_json weak_skewed ]);
+        ("identical_results", U.Json.Bool true);
+        ("skewed_steal_vs_fixed_at_gate_jobs", U.Json.Float skew_ratio_gate);
+        ("skewed_steal_vs_fixed_at_max_jobs", U.Json.Float skew_ratio_max);
+        ("best_uniform_strong_speedup", U.Json.Float best_uniform_speedup);
       ]
   in
   let oc = open_out path in
@@ -1105,12 +1402,14 @@ let () =
   let profile_only = ref false in
   let layout_eval_only = ref false in
   let layout_eval_delta_only = ref false in
+  let scaling_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
   let parallel_json = ref "BENCH_parallel.json" in
   let profile_json = ref "BENCH_profile.json" in
   let layout_eval_json = ref "BENCH_layout_eval.json" in
   let layout_eval_delta_json = ref "BENCH_layout_eval_delta.json" in
+  let scaling_json = ref "BENCH_scaling.json" in
   let jobs = ref 1 in
   Arg.parse
     [
@@ -1128,6 +1427,9 @@ let () =
       ( "--layout-eval-delta-only",
         Arg.Set layout_eval_delta_only,
         " delta-evaluation benchmark only (regenerates BENCH_layout_eval_delta.json)" );
+      ( "--scaling",
+        Arg.Set scaling_only,
+        " strong/weak scaling study only (regenerates BENCH_scaling.json)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
@@ -1144,12 +1446,15 @@ let () =
       ( "--layout-eval-delta-json",
         Arg.Set_string layout_eval_delta_json,
         "FILE path for the delta-evaluation manifest" );
+      ( "--scaling-json",
+        Arg.Set_string scaling_json,
+        "FILE path for the strong/weak scaling manifest" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
@@ -1171,22 +1476,26 @@ let () =
     run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json;
     exit 0
   end;
+  if !scaling_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_scaling_bench ~quick:!quick ~path:!scaling_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
   if not !kernels_only then begin
     run_harness_manifest ~quick:!quick ~path:!harness_json;
     run_parallel_bench ~quick:!quick ~path:!parallel_json;
     run_profile_manifest ~quick:!quick ~path:!profile_json;
     run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json;
-    run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json
+    run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json;
+    run_scaling_bench ~quick:!quick ~path:!scaling_json
   end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();
     Printf.printf "== Ablation studies (DESIGN.md section 5) ==\n\n%!";
     ablations ();
     Printf.printf "== Full experiment suite: every table and figure of the paper ==\n\n%!";
-    let jobs =
-      if !jobs = 0 then max 1 (Domain.recommended_domain_count () - 1) else max 1 !jobs
-    in
+    let jobs = if !jobs = 0 then U.Pool.default_jobs () else max 1 !jobs in
     U.Pool.with_pool ~jobs (fun pool ->
         let ctx = H.Ctx.create ~scale:H.Ctx.Full ~pool () in
         let results = H.Registry.run_by_ids ctx H.Registry.ids in

@@ -112,7 +112,7 @@ let run_cmd =
       if List.mem "all" ids then H.Registry.ids else ids
     in
     let jobs =
-      if jobs = 0 then max 1 (Domain.recommended_domain_count () - 1)
+      if jobs = 0 then U.Pool.default_jobs ()
       else if jobs < 0 then (
         Printf.eprintf "repro run: --jobs must be >= 0\n";
         exit 1)

@@ -38,7 +38,14 @@ type t = {
   mutable cache_epoch : int;
   seen : int array; (* max nf nb: epoch-stamped permutation check *)
   mutable seen_epoch : int;
-  mutable clones : t array; (* lazy per-chunk engines for eval_batch *)
+  (* Per-worker engine clones for eval_batch, keyed by the pool worker
+     index executing the task. A slot is filled lazily, by that worker,
+     on the first candidate it actually evaluates — so a worker that
+     never receives a task (n < jobs, or everything stolen away) builds
+     no clone. Distinct workers touch distinct slots and the consumer
+     only reads the array between batches (synchronized through the
+     pool's batch completion), so the array needs no lock. *)
+  mutable clones : t option array;
   (* Per-block trace touch-lists (CSR over event indices), built lazily on
      the first delta session: [touch_ev.(touch_off.(b) .. touch_off.(b+1)-1)]
      are the ascending positions of block [b] in [ev]. Seeded from the same
@@ -280,22 +287,35 @@ let miss_ratio_of_order t forder =
 let pooled t =
   match t.pool with Some pool -> Pool.jobs pool > 1 | None -> false
 
+let clones_built t =
+  Array.fold_left (fun acc c -> if c = None then acc else acc + 1) 0 t.clones
+
+(* Per-worker clone, built by the executing worker on its first task.
+   Never called for a worker that evaluates nothing — the invariant
+   [clones_built t <= min jobs n] that test_layout_eval asserts. *)
+let clone_for t worker =
+  match t.clones.(worker) with
+  | Some eng -> eng
+  | None ->
+    let eng = clone t in
+    t.clones.(worker) <- Some eng;
+    eng
+
 let eval_batch t orders =
   let n = Array.length orders in
   match t.pool with
   | Some pool when Pool.jobs pool > 1 && n > 1 ->
-    let jobs = min (Pool.jobs pool) n in
-    if Array.length t.clones < jobs then t.clones <- Array.init jobs (fun _ -> clone t);
-    let chunk = (n + jobs - 1) / jobs in
-    let ranges = Array.init jobs (fun i -> (i, i * chunk, min n ((i + 1) * chunk))) in
-    let parts =
-      Pool.map_array pool
-        (fun (i, lo, hi) ->
-          let eng = t.clones.(i) in
-          Array.init (max 0 (hi - lo)) (fun j -> miss_ratio_of_order eng orders.(lo + j)))
-        ranges
-    in
-    Array.concat (Array.to_list parts)
+    (* One pool task per candidate: the work-stealing scheduler balances
+       however the per-candidate costs fall, instead of committing each
+       worker to a fixed contiguous chunk up front. Results are
+       index-ordered by the pool and each candidate is a pure function
+       of the engine's immutable precompiled state, so they are
+       bit-identical to a sequential evaluation at any jobs count. *)
+    let jobs = Pool.jobs pool in
+    if Array.length t.clones <> jobs then t.clones <- Array.make jobs None;
+    Pool.map_array_w pool
+      (fun ~worker order -> miss_ratio_of_order (clone_for t worker) order)
+      orders
   | _ -> Array.map (fun o -> miss_ratio_of_order t o) orders
 
 (* ------------------------------------------------------ delta sessions *)

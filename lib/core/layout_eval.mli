@@ -40,8 +40,8 @@ val create :
 (** Precompile [program] and [trace] against the cache geometry [params].
     O(num_blocks + trace length) time and space, paid once. When [pool] is
     given, {!eval_batch} fans candidates across its worker domains (one
-    engine clone per chunk); without it, batches run sequentially on the
-    caller.
+    lazily-built engine clone per {e worker}); without it, batches run
+    sequentially on the caller.
 
     @raise Invalid_argument if a trace event is not a valid block id of
     [program]. *)
@@ -80,14 +80,25 @@ val pooled : t -> bool
 val eval_batch : t -> int array array -> float array
 (** Score a whole neighborhood of candidate {e function} orders.
     [eval_batch t orders] returns one miss ratio per candidate, in input
-    order. With a construction-time [pool] of [jobs > 1], candidates are
-    split into contiguous chunks fanned across the pool (one private
-    engine clone per chunk, created lazily on first use and reused across
-    batches); results are index-ordered and bit-identical to a sequential
-    evaluation at any jobs count — each candidate is a pure function of
-    the engine's immutable precompiled state. Must be called from outside
-    the pool's worker domains (nested fan-out is rejected by
+    order. With a construction-time [pool] of [jobs > 1], every candidate
+    is its own pool task, scheduled by the pool's work-stealing scheduler
+    — skewed batches rebalance onto idle workers instead of serializing
+    behind a fixed contiguous chunk. Each worker evaluates on a private
+    engine clone sharing the immutable precompiled arrays, created lazily
+    by that worker on the first candidate it actually runs and reused
+    across batches; a worker that evaluates nothing builds no clone
+    ({!clones_built}[ t <= min jobs n]). Results are index-ordered and
+    bit-identical to a sequential evaluation at any jobs count — each
+    candidate is a pure function of the engine's immutable precompiled
+    state, and the worker id only selects scratch. Must be called from
+    outside the pool's worker domains (nested fan-out is rejected by
     {!Colayout_util.Pool.map}). *)
+
+val clones_built : t -> int
+(** Number of per-worker engine clones materialized by {!eval_batch} so
+    far — at most [min jobs n] over all batches, never one for a worker
+    that ran no candidate. Only meaningful between batches (clone slots
+    are written by the worker domains during a batch). *)
 
 (** {2 Delta (incremental) evaluation}
 

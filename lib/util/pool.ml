@@ -1,9 +1,18 @@
-(* Fixed-size domain pool: a mutex/condition work queue feeding [jobs]
-   persistent worker domains. Batches ([map] / [run_all]) enqueue one
-   closure per item; each closure writes its outcome into an
-   index-addressed slot of the batch's result array, so collection order
-   never depends on scheduling. jobs = 1 spawns nothing and runs batches
-   inline on the caller. *)
+(* Work-stealing domain pool. A pool owns [jobs] persistent worker
+   domains. A batch ([map_array] / [map_array_w]) is an index range
+   [0, n): it is pre-split into [jobs] contiguous per-worker ranges (the
+   same block split the old fixed-chunk scheduler used as its *final*
+   assignment), but here the split is only the starting point — each
+   range lives in a single lock-free cell, the owning worker takes task
+   indices from its bottom and any worker that drains its own range
+   steals from the top of another's. Skewed batches (a few expensive
+   tasks among many cheap ones) therefore rebalance dynamically instead
+   of pinning the heavy tail to one domain.
+
+   Determinism is unaffected by who runs what: every task writes its
+   outcome into an index-addressed slot of the batch's result array, so
+   collection order never depends on scheduling. jobs = 1 spawns nothing
+   and runs batches inline on the caller. *)
 
 type outcome = Pending | Ok_done | Raised of exn * Printexc.raw_backtrace
 
@@ -12,14 +21,25 @@ type worker_stats = {
   tasks : Metrics.counter; (* this worker's share *)
   total : Metrics.counter; (* "pool.tasks": summed across workers by merge *)
   busy_ns : Metrics.counter;
+  steals : Metrics.counter; (* tasks this worker took from another's range *)
+  steals_total : Metrics.counter; (* "pool.steals": summed by merge *)
 }
+
+(* One live batch. [run idx w] executes task [idx] on worker [w]
+   (outcome capture, metrics and completion accounting are all inside —
+   it never raises). [ranges.(w)] packs the worker's remaining index
+   interval [lo, hi) as [(lo lsl 31) lor hi]: both bounds move by CAS on
+   the one cell, so owner-take (lo+1) and steal (hi-1) linearize without
+   locks, and an interval only ever shrinks — no ABA. *)
+type batch = { run : int -> int -> unit; ranges : int Atomic.t array }
 
 type t = {
   jobs : int;
   lock : Mutex.t;
-  work : Condition.t; (* work arrived, or the pool is stopping *)
+  work : Condition.t; (* a new batch arrived, or the pool is stopping *)
   batch_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  mutable batch : batch option; (* the in-flight batch, if any *)
+  mutable gen : int; (* bumped per installed batch; workers sleep on it *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   worker_ids : Domain.id list ref;
@@ -29,23 +49,79 @@ type t = {
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
-let worker_loop t (ws : worker_stats) =
+(* Packed-range helpers. 31 bits per bound keeps the pack inside a 63-bit
+   OCaml int; batches beyond 2^31 tasks are rejected at submission. *)
+let range_limit = 1 lsl 31
+
+let pack lo hi = (lo lsl 31) lor hi
+
+let take_own r =
+  let rec go () =
+    let v = Atomic.get r in
+    let lo = v lsr 31 and hi = v land (range_limit - 1) in
+    if lo >= hi then -1
+    else if Atomic.compare_and_set r v (pack (lo + 1) hi) then lo
+    else go ()
+  in
+  go ()
+
+let steal_top r =
+  let rec go () =
+    let v = Atomic.get r in
+    let lo = v lsr 31 and hi = v land (range_limit - 1) in
+    if lo >= hi then -1
+    else if Atomic.compare_and_set r v (pack lo (hi - 1)) then hi - 1
+    else go ()
+  in
+  go ()
+
+(* Drain one batch from worker [w]'s point of view: own range first, then
+   scan the other ranges (starting past [w] so thieves spread out) and
+   steal from their top. Work within a batch only ever shrinks, so a scan
+   that finds every range empty is final for this worker. *)
+let drain_batch (b : batch) w ws =
+  let jobs = Array.length b.ranges in
+  let next () =
+    match take_own b.ranges.(w) with
+    | -1 ->
+      let rec scan k =
+        if k = jobs then -1
+        else
+          let v = (w + k) mod jobs in
+          match steal_top b.ranges.(v) with
+          | -1 -> scan (k + 1)
+          | idx ->
+            Metrics.incr ws.steals;
+            Metrics.incr ws.steals_total;
+            idx
+      in
+      scan 1
+    | idx -> idx
+  in
+  let rec loop () =
+    let idx = next () in
+    if idx >= 0 then begin
+      b.run idx w;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop t w (ws : worker_stats) =
+  let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.stopping do
+    while t.gen = !last_gen && not t.stopping do
       Condition.wait t.work t.lock
     done;
-    if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping *)
+    if t.gen = !last_gen then Mutex.unlock t.lock (* stopping, all drained *)
     else begin
-      let task = Queue.pop t.queue in
+      let gen = t.gen and batch = t.batch in
       Mutex.unlock t.lock;
-      let t0 = Monotonic_clock.now () in
-      task () (* never raises: batch closures capture their own outcome *)
-      ;
-      let dt = Int64.sub (Monotonic_clock.now ()) t0 in
-      Metrics.incr ws.tasks;
-      Metrics.incr ws.total;
-      Metrics.incr ~by:(Int64.to_int (Int64.max 0L dt)) ws.busy_ns;
+      last_gen := gen;
+      (* [batch] can be [None] if the other workers finished the whole
+         batch before this one woke up — nothing left to do but resync. *)
+      (match batch with Some b -> drain_batch b w ws | None -> ());
       loop ()
     end
   in
@@ -63,6 +139,8 @@ let create ?jobs ?metrics () =
           tasks = Metrics.counter w_metrics (Printf.sprintf "pool.worker.%d.tasks" i);
           total = Metrics.counter w_metrics "pool.tasks";
           busy_ns = Metrics.counter w_metrics "pool.busy_ns";
+          steals = Metrics.counter w_metrics (Printf.sprintf "pool.worker.%d.steals" i);
+          steals_total = Metrics.counter w_metrics "pool.steals";
         })
   in
   let t =
@@ -71,7 +149,8 @@ let create ?jobs ?metrics () =
       lock = Mutex.create ();
       work = Condition.create ();
       batch_done = Condition.create ();
-      queue = Queue.create ();
+      batch = None;
+      gen = 0;
       stopping = false;
       workers = [];
       worker_ids = ref [];
@@ -79,7 +158,9 @@ let create ?jobs ?metrics () =
       sink = metrics;
     }
   in
-  let workers = Array.to_list (Array.map (fun ws -> Domain.spawn (fun () -> worker_loop t ws)) stats) in
+  let workers =
+    Array.to_list (Array.mapi (fun w ws -> Domain.spawn (fun () -> worker_loop t w ws)) stats)
+  in
   t.workers <- workers;
   t.worker_ids := List.map Domain.get_id workers;
   t
@@ -87,8 +168,9 @@ let create ?jobs ?metrics () =
 let jobs t = t.jobs
 
 (* Fold each worker's private registry into the sink and zero it, so the
-   next fold only carries new deltas. Only called with all workers idle
-   (end of a batch, or after join), when no worker touches its registry. *)
+   next fold only carries new deltas. Only called with the batch fully
+   accounted (every task's metric updates precede its completion
+   decrement) or after join. *)
 let fold_metrics t =
   match t.sink with
   | None -> ()
@@ -111,38 +193,59 @@ let reraise_first results =
       | Pending | Ok_done -> ())
     results
 
-let map_array t f xs =
+let map_array_w t f xs =
   reject_nested t;
   let n = Array.length xs in
   if n = 0 then [||]
-  else if t.workers = [] then Array.map f xs
+  else if t.workers = [] then Array.map (fun x -> f ~worker:0 x) xs
+  else if n >= range_limit then invalid_arg "Pool: batch too large"
   else begin
     let results : 'b option array = Array.make n None in
     let outcomes = Array.make n Pending in
     let remaining = ref n in
+    (* All accounting — outcome, per-worker metrics — happens before the
+       completion decrement, so once [remaining] hits 0 nothing in the
+       batch is still being written and [fold_metrics] sees it all. *)
+    let run idx w =
+      let ws = t.stats.(w) in
+      let t0 = Monotonic_clock.now () in
+      (match f ~worker:w xs.(idx) with
+      | v -> results.(idx) <- Some v (* slot [idx] is this task's alone *)
+      | exception e -> outcomes.(idx) <- Raised (e, Printexc.get_raw_backtrace ()));
+      let dt = Int64.sub (Monotonic_clock.now ()) t0 in
+      Metrics.incr ws.tasks;
+      Metrics.incr ws.total;
+      Metrics.incr ~by:(Int64.to_int (Int64.max 0L dt)) ws.busy_ns;
+      Mutex.lock t.lock;
+      if outcomes.(idx) = Pending then outcomes.(idx) <- Ok_done;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.lock
+    in
+    (* Initial block-contiguous split: worker [w] starts on the same
+       chunk the fixed scheduler would have pinned it to (good locality
+       for per-worker state), and stealing handles whatever skew the
+       split got wrong. *)
+    let jobs = t.jobs in
+    let chunk = (n + jobs - 1) / jobs in
+    let ranges =
+      Array.init jobs (fun w ->
+          let lo = min n (w * chunk) in
+          let hi = min n ((w + 1) * chunk) in
+          Atomic.make (pack lo hi))
+    in
     Mutex.lock t.lock;
     if t.stopping then begin
       Mutex.unlock t.lock;
       invalid_arg "Pool: used after shutdown"
     end;
-    for i = 0 to n - 1 do
-      let x = xs.(i) in
-      Queue.add
-        (fun () ->
-          (match f x with
-          | v -> results.(i) <- Some v (* slot [i] is this task's alone *)
-          | exception e -> outcomes.(i) <- Raised (e, Printexc.get_raw_backtrace ()));
-          Mutex.lock t.lock;
-          if outcomes.(i) = Pending then outcomes.(i) <- Ok_done;
-          decr remaining;
-          if !remaining = 0 then Condition.broadcast t.batch_done;
-          Mutex.unlock t.lock)
-        t.queue
-    done;
+    t.batch <- Some { run; ranges };
+    t.gen <- t.gen + 1;
     Condition.broadcast t.work;
     while !remaining > 0 do
       Condition.wait t.batch_done t.lock
     done;
+    t.batch <- None;
     Mutex.unlock t.lock;
     fold_metrics t;
     reraise_first outcomes;
@@ -152,6 +255,8 @@ let map_array t f xs =
         | None -> assert false (* every non-raising task filled its slot *))
       results
   end
+
+let map_array t f xs = map_array_w t (fun ~worker:_ x -> f x) xs
 
 let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
 

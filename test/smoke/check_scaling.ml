@@ -1,0 +1,132 @@
+(* Scaling-study smoke validator:
+
+   [check_scaling bench BENCH_scaling.json] — the bench's strong/weak
+   scaling manifest conforms to colayout/bench-scaling/v1: both shapes
+   (uniform and skewed) present in both curves, one run per jobs count in
+   1..jobs_max, positive walls, one digest per strong shape (the
+   determinism contract — the bench itself digest-compares every pooled
+   run against jobs=1 before writing the manifest, and records the
+   outcome as identical_results), weak runs digest_ok with positive
+   efficiencies. Magnitude is gated on the recorded cores_available,
+   matching check_parallel: on a multicore host the skewed-batch
+   work-stealing-vs-fixed-chunk ratio at gate_jobs must clear 1.3x and
+   the best uniform strong-scaling speedup must not fall below 1.0; on a
+   single-core host (CI containers) domains only add overhead, so
+   positivity is all we ask. *)
+
+module J = Colayout_util.Json
+open Smoke_check
+
+let shape_names rows ~path key =
+  List.map (fun row -> get_str row ~path:(path ^ "#" ^ key) "shape") rows
+
+let require_shapes rows ~path key =
+  let names = shape_names rows ~path key in
+  List.iter
+    (fun want ->
+      if not (List.mem want names) then fail "%s: %s has no %S shape" path key want)
+    [ "uniform"; "skewed" ]
+
+let require_jobs_coverage ~path ~label ~jobs_max seen =
+  List.iter
+    (fun jobs ->
+      if not (List.mem jobs seen) then fail "%s: %s has no run for jobs=%d" path label jobs)
+    (List.init jobs_max (fun i -> i + 1))
+
+let check_bench path =
+  let json = parse path in
+  require_schema json ~path "colayout/bench-scaling/v1";
+  let cores = get_int json "cores_available" in
+  let jobs_max = get_int json "jobs_max" in
+  let gate_jobs = get_int json "gate_jobs" in
+  if jobs_max < 1 then fail "%s: jobs_max %d < 1" path jobs_max;
+  if gate_jobs < 1 || gate_jobs > jobs_max then
+    fail "%s: gate_jobs %d outside 1..%d" path gate_jobs jobs_max;
+  if not (get_bool json ~path "identical_results") then
+    fail "%s: identical_results is not true — a pooled run diverged from jobs=1" path;
+  (* Strong curves: per shape, one digest, full jobs coverage, positive
+     walls under both schedulers. *)
+  let strong = get_list json ~path "strong" in
+  require_shapes strong ~path "strong";
+  List.iter
+    (fun shape_row ->
+      let shape = get_str shape_row ~path "shape" in
+      let label = "strong." ^ shape in
+      if get_int shape_row "total_evals" <= 0 then
+        fail "%s: %s has non-positive total_evals" path label;
+      if String.length (get_str shape_row ~path "digest") = 0 then
+        fail "%s: %s has an empty digest" path label;
+      let seen =
+        List.map
+          (fun run ->
+            let jobs = get_int run "jobs" in
+            List.iter
+              (fun key ->
+                if get_int run key <= 0 then
+                  fail "%s: %s jobs=%d has non-positive %s" path label jobs key)
+              [ "steal_wall_ns"; "fixed_wall_ns" ];
+            (match Option.bind (J.member "steal_vs_fixed" run) J.to_float with
+            | Some r when r > 0.0 -> ()
+            | _ -> fail "%s: %s jobs=%d has no positive steal_vs_fixed" path label jobs);
+            jobs)
+          (get_list shape_row ~path "runs")
+      in
+      require_jobs_coverage ~path ~label ~jobs_max seen)
+    strong;
+  (* Weak curves: per shape, full jobs coverage, positive walls and
+     efficiencies, digest_ok on every run. *)
+  let weak = get_list json ~path "weak" in
+  require_shapes weak ~path "weak";
+  List.iter
+    (fun shape_row ->
+      let shape = get_str shape_row ~path "shape" in
+      let label = "weak." ^ shape in
+      let seen =
+        List.map
+          (fun run ->
+            let jobs = get_int run "jobs" in
+            if get_int run "wall_ns" <= 0 then
+              fail "%s: %s jobs=%d has non-positive wall_ns" path label jobs;
+            if get_int run "evals" <= 0 then
+              fail "%s: %s jobs=%d has non-positive evals" path label jobs;
+            (match Option.bind (J.member "efficiency" run) J.to_float with
+            | Some e when e > 0.0 -> ()
+            | _ -> fail "%s: %s jobs=%d has no positive efficiency" path label jobs);
+            if not (get_bool run ~path "digest_ok") then
+              fail "%s: %s jobs=%d diverged from jobs=1" path label jobs;
+            jobs)
+          (get_list shape_row ~path "runs")
+      in
+      require_jobs_coverage ~path ~label ~jobs_max seen)
+    weak;
+  let ratio =
+    match Option.bind (J.member "skewed_steal_vs_fixed_at_gate_jobs" json) J.to_float with
+    | Some r when r > 0.0 -> r
+    | _ -> fail "%s: missing positive skewed_steal_vs_fixed_at_gate_jobs" path
+  in
+  let best =
+    match Option.bind (J.member "best_uniform_strong_speedup" json) J.to_float with
+    | Some s when s > 0.0 -> s
+    | _ -> fail "%s: missing positive best_uniform_strong_speedup" path
+  in
+  (* Like check_parallel, the expectation scales with the recorded host
+     width: on one core there is nothing for the scheduler to win. *)
+  if cores >= 2 then begin
+    if ratio < 1.3 then
+      fail "%s: %d cores but skewed steal-vs-fixed ratio at gate_jobs=%d is %.2fx (< 1.3)"
+        path cores gate_jobs ratio;
+    if best < 1.0 then
+      fail "%s: %d cores but best uniform strong speedup is %.2fx (< 1.0)" path cores best
+  end;
+  Printf.printf
+    "check_scaling: %s ok (jobs 1..%d, %d cores, skew ratio %.2fx @ jobs=%d, best uniform \
+     %.2fx)\n"
+    path jobs_max cores ratio gate_jobs best
+
+let () =
+  set_tool "check_scaling";
+  match Array.to_list Sys.argv with
+  | [ _; "bench"; path ] -> check_bench path
+  | _ ->
+    prerr_endline "usage: check_scaling bench FILE";
+    exit 2

@@ -157,8 +157,42 @@ let test_eval_batch_matches_sequential () =
           Array.iteri
             (fun i got ->
               check_bit_equal (Printf.sprintf "jobs=%d re-batch %d" jobs i) sequential.(i) got)
-            again))
+            again;
+          check Alcotest.bool (Printf.sprintf "jobs=%d builds at most jobs clones" jobs) true
+            (Layout_eval.clones_built engine <= jobs)))
     [ 1; 4 ]
+
+let test_eval_batch_small_batch_clones () =
+  (* n < jobs: the old chunked fan-out built an engine clone per chunk,
+     including for empty ones. Per-worker lazy clones must cap at the
+     number of candidates that can possibly run concurrently. *)
+  let program = List.hd (programs ()) in
+  let trace = trace_of program in
+  let params = List.hd geometries in
+  let nf = Colayout_ir.Program.num_funcs program in
+  let prng = U.Prng.create ~seed:5 in
+  let orders = Array.init 2 (fun _ -> random_perm prng nf) in
+  let sequential =
+    let engine = Layout_eval.create ~params program trace in
+    Array.map (Layout_eval.miss_ratio_of_order engine) orders
+  in
+  U.Pool.with_pool ~jobs:4 (fun pool ->
+      let engine = Layout_eval.create ~pool ~params program trace in
+      check Alcotest.int "no clones before the first batch" 0
+        (Layout_eval.clones_built engine);
+      let batched = Layout_eval.eval_batch engine orders in
+      Array.iteri
+        (fun i got -> check_bit_equal (Printf.sprintf "small batch %d" i) sequential.(i) got)
+        batched;
+      check Alcotest.bool "no clone for a worker that ran nothing" true
+        (Layout_eval.clones_built engine <= Array.length orders);
+      (* A single-candidate batch takes the sequential path: no new
+         clones. *)
+      let built = Layout_eval.clones_built engine in
+      let one = Layout_eval.eval_batch engine [| orders.(0) |] in
+      check_bit_equal "singleton batch" sequential.(0) one.(0);
+      check Alcotest.int "singleton batch built no clone" built
+        (Layout_eval.clones_built engine))
 
 (* ------------------------------------------- engine-backed searches *)
 
@@ -300,6 +334,8 @@ let () =
         [
           Alcotest.test_case "eval_batch jobs 1/4 = sequential" `Quick
             test_eval_batch_matches_sequential;
+          Alcotest.test_case "eval_batch n < jobs builds <= n clones" `Quick
+            test_eval_batch_small_batch_clones;
           Alcotest.test_case "search_batch invariant across jobs" `Quick
             test_search_batch_jobs_invariant;
         ] );

@@ -89,11 +89,121 @@ let test_pool_run_all_and_metrics () =
   let per_worker =
     List.filter
       (fun (name, _) ->
-        String.length name > 12 && String.sub name 0 12 = "pool.worker.")
+        String.length name > 12
+        && String.sub name 0 12 = "pool.worker."
+        && String.sub name (String.length name - 6) 6 = ".tasks")
       (U.Metrics.counters sink)
   in
   check Alcotest.int "per-worker counters sum to the total" 10
     (List.fold_left (fun acc (_, v) -> acc + v) 0 per_worker)
+
+(* ---------- Work-stealing scheduler properties ---------- *)
+
+(* A deterministic task whose cost scales with [weight] and whose result
+   depends only on (weight, index) — never on the executing worker — so
+   any result difference across schedules is a real determinism break. *)
+let spin weight i =
+  let acc = ref (i + 1) in
+  for k = 1 to weight * 200 do
+    acc := (!acc * 31 + k) land 0xFFFFFF
+  done;
+  !acc
+
+(* The three batch shapes the scheduler must not reorder results under:
+   homogeneous, a heavy head (the worst case for a contiguous split — the
+   first worker's chunk holds all the weight), and one giant task among
+   singletons. *)
+let skew_shapes =
+  [
+    ("uniform", Array.make 64 1);
+    ("front-loaded", Array.init 32 (fun i -> if i < 4 then 50 else 1));
+    ("single-giant", Array.init 24 (fun i -> if i = 0 then 200 else 1));
+  ]
+
+let test_pool_skew_determinism () =
+  List.iter
+    (fun (shape, weights) ->
+      let expected = Array.mapi (fun i w -> spin w i) weights in
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let got =
+                Pool.map_array_w pool
+                  (fun ~worker w_and_i ->
+                    check Alcotest.bool
+                      (Printf.sprintf "%s jobs=%d: worker id in range" shape jobs)
+                      true
+                      (worker >= 0 && worker < jobs);
+                    let w, i = w_and_i in
+                    spin w i)
+                  (Array.mapi (fun i w -> (w, i)) weights)
+              in
+              check (Alcotest.array Alcotest.int)
+                (Printf.sprintf "%s jobs=%d: identical to sequential" shape jobs)
+                expected got))
+        [ 1; 2; 4 ])
+    skew_shapes
+
+let test_pool_skew_exception () =
+  (* Stealing redistributes the raising tasks across workers; the caller
+     must still see the lowest-indexed failure, and the whole batch must
+     still run (pooled batches don't stop early). *)
+  let weights = Array.init 32 (fun i -> if i < 4 then 50 else 1) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let ran = Atomic.make 0 in
+      (match
+         Pool.map_array pool
+           (fun (w, i) ->
+             Atomic.incr ran;
+             let r = spin w i in
+             if i = 2 || i = 30 then raise (Boom i);
+             r)
+           (Array.mapi (fun i w -> (w, i)) weights)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        check Alcotest.int "lowest failing index wins under stealing" 2 i);
+      check Alcotest.int "every task still ran" 32 (Atomic.get ran))
+
+let test_pool_skew_task_conservation () =
+  (* Exactly n tasks execute whatever the steal pattern — no task lost,
+     none run twice — and the accounting ([pool.tasks], per-worker splits,
+     [pool.steals]) folds to match. *)
+  List.iter
+    (fun (shape, weights) ->
+      let sink = U.Metrics.create () in
+      let n = Array.length weights in
+      Pool.with_pool ~jobs:4 ~metrics:sink (fun pool ->
+          ignore (Pool.map_array pool (fun (w, i) -> spin w i)
+                    (Array.mapi (fun i w -> (w, i)) weights)));
+      check (Alcotest.option Alcotest.int)
+        (shape ^ ": pool.tasks = batch size")
+        (Some n)
+        (U.Metrics.find_counter sink "pool.tasks");
+      let prefixed prefix suffix name =
+        let lp = String.length prefix and ls = String.length suffix in
+        String.length name > lp + ls
+        && String.sub name 0 lp = prefix
+        && String.sub name (String.length name - ls) ls = suffix
+      in
+      let sum suffix =
+        List.fold_left
+          (fun acc (name, v) ->
+            if prefixed "pool.worker." suffix name then acc + v else acc)
+          0 (U.Metrics.counters sink)
+      in
+      check Alcotest.int (shape ^ ": per-worker task counts sum to the total") n
+        (sum ".tasks");
+      let steals = Option.value ~default:0 (U.Metrics.find_counter sink "pool.steals") in
+      check Alcotest.bool (shape ^ ": steal count folded and sane") true
+        (steals >= 0 && steals <= n))
+    skew_shapes
+
+let test_pool_default_jobs () =
+  check Alcotest.int "default_jobs matches the documented formula"
+    (max 1 (Domain.recommended_domain_count () - 1))
+    (Pool.default_jobs ());
+  check Alcotest.bool "default_jobs is at least 1" true (Pool.default_jobs () >= 1)
 
 (* ---------- Metrics ---------- *)
 
@@ -263,6 +373,10 @@ let () =
           Alcotest.test_case "nested-rejection" `Quick test_pool_nested_rejection;
           Alcotest.test_case "jobs1-inline" `Quick test_pool_jobs1_inline;
           Alcotest.test_case "run-all-metrics" `Quick test_pool_run_all_and_metrics;
+          Alcotest.test_case "skew-determinism" `Quick test_pool_skew_determinism;
+          Alcotest.test_case "skew-exception" `Quick test_pool_skew_exception;
+          Alcotest.test_case "skew-task-conservation" `Quick test_pool_skew_task_conservation;
+          Alcotest.test_case "default-jobs" `Quick test_pool_default_jobs;
         ] );
       ( "metrics",
         [
