@@ -1190,6 +1190,274 @@ let run_scaling_bench ~quick ~path =
   close_out oc;
   Printf.printf "  wrote %s\n\n%!" path
 
+(* -------------------------- streaming profile-ingest service bench *)
+
+(* Throughput study for the `repro serve` ingest layer and its exactness
+   contract. One stream of synthetic users (per-user seed/fuel from each
+   user's own Prng stream, Serve's input distribution) is pre-generated
+   once; every (shards x jobs) grid cell then ingests the identical
+   stream through [Ingest] and must reproduce the batch-kernel digests
+   on the concatenation bit-for-bit — a mismatch anywhere is FATAL in
+   every mode. A bounded section re-runs under tight per-shard caps plus
+   decay and asserts the approximation is deterministic across jobs
+   counts and repeats, that the caps hold at flush boundaries, and that
+   eviction/decay actually fired. One end-to-end [Serve.run] (generation
+   + ingest + epoch re-optimization) rounds out the manifest with
+   service-level throughput and latency percentiles. *)
+let run_serve_bench ~quick ~path =
+  Printf.printf "== Streaming ingest service: sharded online vs batch kernels ==\n\n%!";
+  let program_name = "429.mcf" in
+  let users = if quick then 10 else 96 in
+  let max_fuel = if quick then 1_500 else 6_000 in
+  let seed = 1 in
+  let trg_window = 64 and affinity_w = 16 in
+  let program = W.Spec.build program_name in
+  let num_symbols = Colayout_ir.Program.num_blocks program in
+  (* Serve's per-user distribution, replicated so the grid cells can
+     share one pre-generated stream. *)
+  let gen u =
+    let prng = U.Prng.create ~seed:(seed + ((u + 1) * 0x9E3779B1)) in
+    let input_seed = U.Prng.int prng 1_000_000_000 in
+    let fuel = (max_fuel / 2) + U.Prng.int prng ((max_fuel / 2) + 1) in
+    (E.Interp.run program (E.Interp.test_input ~seed:input_seed ~max_blocks:fuel ()))
+      .E.Interp.bb_trace
+  in
+  let traces = Array.init users gen in
+  let total_events = Array.fold_left (fun a t -> a + T.Trace.length t) 0 traces in
+  let cat = T.Trace.create ~num_symbols () in
+  Array.iter (fun t -> T.Trace.iter (fun s -> T.Trace.push cat s) t) traces;
+  let batch_trg, batch_aff = Ingest.batch_digests ~trg_window ~affinity_w cat in
+  let clock = U.Metrics.default_clock in
+  let wall f =
+    let t0 = clock () in
+    let r = f () in
+    (r, Int64.to_int (Int64.sub (clock ()) t0))
+  in
+  let per_sec count ns =
+    if ns <= 0 then 0.0 else float_of_int count *. 1e9 /. float_of_int ns
+  in
+  (* --- exact grid: shards x jobs, all digest-checked ---------------- *)
+  let grid_shards = [ 1; 2; 4 ] and grid_jobs = [ 1; 2; 4 ] in
+  let cell ~shards ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let cfg = Ingest.config ~num_symbols ~shards ~trg_window ~affinity_w () in
+        let ing = Ingest.create ~pool cfg in
+        let (), ingest_ns = wall (fun () -> Array.iter (Ingest.ingest_trace ing) traces) in
+        let c, merge_ns = wall (fun () -> Ingest.finalize ing) in
+        let trg_d, aff_d = Ingest.consensus_digests c in
+        let st = Ingest.stats ing in
+        if trg_d <> batch_trg || aff_d <> batch_aff then begin
+          Printf.eprintf
+            "FATAL: online digests diverge from the batch kernels at shards=%d jobs=%d\n%!"
+            shards jobs;
+          exit 1
+        end;
+        if ingest_ns <= 0 then begin
+          Printf.eprintf "FATAL: non-positive ingest wall at shards=%d jobs=%d\n%!" shards
+            jobs;
+          exit 1
+        end;
+        Printf.printf
+          "  shards=%d jobs=%d  ingest %8.2f ms  merge %6.2f ms  %8.0f ev/s  digests ok\n%!"
+          shards jobs
+          (float_of_int ingest_ns /. 1e6)
+          (float_of_int merge_ns /. 1e6)
+          (per_sec total_events ingest_ns);
+        (shards, jobs, ingest_ns, merge_ns, st))
+  in
+  let grid =
+    List.concat_map
+      (fun shards -> List.map (fun jobs -> cell ~shards ~jobs) grid_jobs)
+      grid_shards
+  in
+  let serial_ns =
+    match List.find (fun (s, j, _, _, _) -> s = 1 && j = 1) grid with
+    | _, _, ns, _, _ -> ns
+  in
+  let best_parallel_vs_serial =
+    List.fold_left
+      (fun best (_, jobs, ns, _, _) ->
+        if jobs > 1 then Float.max best (float_of_int serial_ns /. float_of_int ns)
+        else best)
+      0.0 grid
+  in
+  (* --- bounded-memory mode: deterministic approximation ------------- *)
+  let trg_cap = 192 and wits_cap = 256 and decay_shift = 1 in
+  let epoch_traces = if quick then 2 else 4 in
+  let bounded_run ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let cfg =
+          Ingest.config ~num_symbols ~shards:2 ~trg_window ~affinity_w ~trg_cap ~wits_cap
+            ~decay_shift ~epoch_traces ()
+        in
+        let ing = Ingest.create ~pool cfg in
+        Array.iter (Ingest.ingest_trace ing) traces;
+        let d = Ingest.consensus_digests (Ingest.finalize ing) in
+        (d, Ingest.stats ing))
+  in
+  let bounded_ref, bounded_stats = bounded_run ~jobs:1 in
+  let bounded_rows =
+    List.map
+      (fun jobs ->
+        let d, st = bounded_run ~jobs in
+        (jobs, d, st))
+      [ 1; 2 ]
+  in
+  let repeat_d, _ = bounded_run ~jobs:2 in
+  let bounded_deterministic =
+    repeat_d = bounded_ref && List.for_all (fun (_, d, _) -> d = bounded_ref) bounded_rows
+  in
+  let caps_respected (st : Ingest.stats) =
+    st.Ingest.trg_peak_shard <= trg_cap && st.Ingest.wits_peak_shard <= wits_cap
+  in
+  let bounded_caps_ok = List.for_all (fun (_, _, st) -> caps_respected st) bounded_rows in
+  let bounded_evicted =
+    bounded_stats.Ingest.trg_evicted > 0 && bounded_stats.Ingest.wits_evicted > 0
+    && bounded_stats.Ingest.decay_dropped > 0
+  in
+  if not bounded_deterministic then begin
+    Printf.eprintf "FATAL: bounded-mode ingest is not deterministic across jobs counts\n%!";
+    exit 1
+  end;
+  if not bounded_caps_ok then begin
+    Printf.eprintf
+      "FATAL: a shard table exceeded its cap at a flush boundary (trg %d/%d, wits %d/%d)\n%!"
+      bounded_stats.Ingest.trg_peak_shard trg_cap bounded_stats.Ingest.wits_peak_shard
+      wits_cap;
+    exit 1
+  end;
+  if not bounded_evicted then begin
+    Printf.eprintf
+      "FATAL: bounded-mode pressure knobs did not fire (evicted trg=%d wits=%d decay=%d)\n%!"
+      bounded_stats.Ingest.trg_evicted bounded_stats.Ingest.wits_evicted
+      bounded_stats.Ingest.decay_dropped;
+    exit 1
+  end;
+  Printf.printf
+    "  bounded: caps %d/%d held, evicted trg=%d wits=%d, decay dropped %d, deterministic\n%!"
+    trg_cap wits_cap bounded_stats.Ingest.trg_evicted bounded_stats.Ingest.wits_evicted
+    bounded_stats.Ingest.decay_dropped;
+  (* --- one end-to-end service run (generation + epochs + reopt) ----- *)
+  let serve_summary =
+    U.Pool.with_pool ~jobs:2 (fun pool ->
+        let cfg =
+          H.Serve.config ~users:(if quick then 8 else 48)
+            ~seed ~fuel:max_fuel ~shards:2 ~trg_window ~affinity_w
+            ~epoch_traces:(if quick then 4 else 12)
+            ~reopt_steps:(if quick then 40 else 120)
+            ~verify:true ~program:program_name ()
+        in
+        H.Serve.run ~pool cfg)
+  in
+  (match serve_summary.H.Serve.digests_match with
+  | Some true -> ()
+  | _ ->
+    Printf.eprintf "FATAL: end-to-end Serve.run digests diverge from the batch kernels\n%!";
+    exit 1);
+  if serve_summary.H.Serve.traces_per_sec <= 0.0 then begin
+    Printf.eprintf "FATAL: non-positive service throughput\n%!";
+    exit 1
+  end;
+  Printf.printf "  serve: %.1f traces/s, %.0f events/s, trace p50/p95/p99 = %.0f/%.0f/%.0f us\n%!"
+    serve_summary.H.Serve.traces_per_sec serve_summary.H.Serve.events_per_sec
+    (serve_summary.H.Serve.trace_p50_ns /. 1e3)
+    (serve_summary.H.Serve.trace_p95_ns /. 1e3)
+    (serve_summary.H.Serve.trace_p99_ns /. 1e3);
+  (* On a multicore host the best pooled grid cell must at least hold its
+     own against the serial walker (the shard drains are the parallel
+     part; generation is outside this timing). One core: positivity only. *)
+  if (not quick) && cores_available () >= 2 && best_parallel_vs_serial < 0.8 then begin
+    Printf.eprintf
+      "FATAL: best pooled ingest is %.2fx serial (< 0.8x) on a %d-core host\n%!"
+      best_parallel_vs_serial (cores_available ());
+    exit 1
+  end;
+  let grid_json =
+    U.Json.Arr
+      (List.map
+         (fun (shards, jobs, ingest_ns, merge_ns, (st : Ingest.stats)) ->
+           U.Json.Obj
+             [
+               ("shards", U.Json.Int shards);
+               ("jobs", U.Json.Int jobs);
+               ("ingest_wall_ns", U.Json.Int ingest_ns);
+               ("merge_ns", U.Json.Int merge_ns);
+               ("events_per_sec", U.Json.Float (per_sec total_events ingest_ns));
+               ("traces_per_sec", U.Json.Float (per_sec users ingest_ns));
+               ( "edge_ops_per_sec",
+                 U.Json.Float (per_sec (st.Ingest.trg_ops + st.Ingest.wit_ops) ingest_ns) );
+               ("flushes", U.Json.Int st.Ingest.flushes);
+               ("digests_match", U.Json.Bool true);
+             ])
+         grid)
+  in
+  let bounded_json =
+    U.Json.Obj
+      [
+        ("shards", U.Json.Int 2);
+        ("trg_cap", U.Json.Int trg_cap);
+        ("wits_cap", U.Json.Int wits_cap);
+        ("decay_shift", U.Json.Int decay_shift);
+        ("epoch_traces", U.Json.Int epoch_traces);
+        ("deterministic", U.Json.Bool bounded_deterministic);
+        ("caps_respected", U.Json.Bool bounded_caps_ok);
+        ("evictions_fired", U.Json.Bool bounded_evicted);
+        ( "runs",
+          U.Json.Arr
+            (List.map
+               (fun (jobs, (trg_d, aff_d), (st : Ingest.stats)) ->
+                 U.Json.Obj
+                   [
+                     ("jobs", U.Json.Int jobs);
+                     ("trg_digest", U.Json.Str trg_d);
+                     ("affine_digest", U.Json.Str aff_d);
+                     ("trg_peak_shard", U.Json.Int st.Ingest.trg_peak_shard);
+                     ("wits_peak_shard", U.Json.Int st.Ingest.wits_peak_shard);
+                     ("trg_evicted", U.Json.Int st.Ingest.trg_evicted);
+                     ("wits_evicted", U.Json.Int st.Ingest.wits_evicted);
+                     ("decay_dropped", U.Json.Int st.Ingest.decay_dropped);
+                     ("dead_pruned", U.Json.Int st.Ingest.dead_pruned);
+                   ])
+               bounded_rows) );
+      ]
+  in
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-serve/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        cores_field ();
+        ( "params",
+          U.Json.Obj
+            [
+              ("program", U.Json.Str program_name);
+              ("users", U.Json.Int users);
+              ("max_fuel", U.Json.Int max_fuel);
+              ("seed", U.Json.Int seed);
+              ("num_symbols", U.Json.Int num_symbols);
+              ("total_events", U.Json.Int total_events);
+              ("trg_window", U.Json.Int trg_window);
+              ("affinity_w", U.Json.Int affinity_w);
+            ] );
+        ( "batch",
+          U.Json.Obj
+            [
+              ("trg_digest", U.Json.Str batch_trg);
+              ("affine_digest", U.Json.Str batch_aff);
+            ] );
+        ("grid", grid_json);
+        ("digests_identical", U.Json.Bool true);
+        ("best_parallel_vs_serial", U.Json.Float best_parallel_vs_serial);
+        ("bounded", bounded_json);
+        ("serve", H.Serve.summary_to_json serve_summary);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
 (* ------------------------------------------------------------- Part 1 *)
 
 let tests () =
@@ -1403,6 +1671,7 @@ let () =
   let layout_eval_only = ref false in
   let layout_eval_delta_only = ref false in
   let scaling_only = ref false in
+  let serve_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
   let parallel_json = ref "BENCH_parallel.json" in
@@ -1410,6 +1679,7 @@ let () =
   let layout_eval_json = ref "BENCH_layout_eval.json" in
   let layout_eval_delta_json = ref "BENCH_layout_eval_delta.json" in
   let scaling_json = ref "BENCH_scaling.json" in
+  let serve_json = ref "BENCH_serve.json" in
   let jobs = ref 1 in
   Arg.parse
     [
@@ -1430,6 +1700,9 @@ let () =
       ( "--scaling",
         Arg.Set scaling_only,
         " strong/weak scaling study only (regenerates BENCH_scaling.json)" );
+      ( "--serve",
+        Arg.Set serve_only,
+        " streaming-ingest service benchmark only (regenerates BENCH_serve.json)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
@@ -1449,12 +1722,15 @@ let () =
       ( "--scaling-json",
         Arg.Set_string scaling_json,
         "FILE path for the strong/weak scaling manifest" );
+      ( "--serve-json",
+        Arg.Set_string serve_json,
+        "FILE path for the streaming-ingest service manifest" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--serve] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
@@ -1481,6 +1757,11 @@ let () =
     run_scaling_bench ~quick:!quick ~path:!scaling_json;
     exit 0
   end;
+  if !serve_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_serve_bench ~quick:!quick ~path:!serve_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
   if not !kernels_only then begin
     run_harness_manifest ~quick:!quick ~path:!harness_json;
@@ -1488,7 +1769,8 @@ let () =
     run_profile_manifest ~quick:!quick ~path:!profile_json;
     run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json;
     run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json;
-    run_scaling_bench ~quick:!quick ~path:!scaling_json
+    run_scaling_bench ~quick:!quick ~path:!scaling_json;
+    run_serve_bench ~quick:!quick ~path:!serve_json
   end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();

@@ -442,7 +442,236 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ prog_arg $ kind_arg $ out $ top $ decisions_out $ scale $ verbosity_arg)
 
+let serve_cmd =
+  let doc =
+    "Run the streaming profile-ingest service: thousands of synthetic users drawn from a \
+     workload's input distribution, folded into sharded online TRG/affinity accumulators \
+     with epoch-based consensus merges and incremental layout re-optimization."
+  in
+  let users =
+    Arg.(value & opt int 256 & info [ "users" ] ~docv:"N" ~doc:"Synthetic user traces to ingest")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed") in
+  let fuel =
+    Arg.(
+      value
+      & opt int 4_000
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Max block-execution budget per user (each user draws from [fuel/2, fuel])")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"S" ~doc:"Accumulator shards")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for generation and sharded flushes; 0 picks the machine width. \
+             Results are byte-identical at any $(docv).")
+  in
+  let window =
+    Arg.(value & opt int 64 & info [ "window" ] ~docv:"W" ~doc:"TRG LRU window (distinct blocks)")
+  in
+  let w_arg =
+    Arg.(value & opt int 16 & info [ "w" ] ~docv:"W" ~doc:"Affinity window footprint bound")
+  in
+  let epoch =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "epoch" ] ~docv:"N" ~doc:"Traces per maintenance/re-optimization epoch; 0 = never")
+  in
+  let trg_cap =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "trg-cap" ] ~docv:"N" ~doc:"Per-shard TRG edge cap (bounded memory); 0 = unbounded")
+  in
+  let wits_cap =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "wits-cap" ] ~docv:"N" ~doc:"Per-shard witness cap (bounded memory); 0 = unbounded")
+  in
+  let decay =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "decay" ] ~docv:"SHIFT" ~doc:"TRG weight decay per epoch (lsr $(docv)); 0 = off")
+  in
+  let reopt =
+    Arg.(
+      value
+      & opt int 120
+      & info [ "reopt-steps" ] ~docv:"N" ~doc:"Anneal steps per epoch re-optimization; 0 = off")
+  in
+  let verify =
+    Arg.(
+      value
+      & flag
+      & info [ "verify" ]
+          ~doc:
+            "Also run the batch kernels on the concatenated trace and check the consensus \
+             digests match (exact configs only: caps and decay off)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the colayout/serve/v1 JSON summary to $(docv)")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a JSON metrics snapshot")
+  in
+  let from_files =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Ingest these saved trace files (chunked streaming reads; repeatable) instead of \
+             generating synthetic users. PROGRAM is ignored for sizing; the symbol universe \
+             comes from the first file.")
+  in
+  let serve_from_files files ~shards ~jobs ~window ~w ~epoch ~trg_cap ~wits_cap ~decay
+      ~metrics_out =
+    let num_symbols =
+      Colayout_trace.Trace_io.with_reader ~path:(List.hd files)
+        Colayout_trace.Trace_io.reader_num_symbols
+    in
+    let metrics = U.Metrics.create () in
+    U.Pool.with_pool ~jobs ~metrics (fun pool ->
+        let cfg =
+          Core.Ingest.config ~num_symbols ~shards ~trg_window:window ~affinity_w:w
+            ~trg_cap ~wits_cap ~decay_shift:decay ~epoch_traces:epoch ()
+        in
+        let ing = Core.Ingest.create ~pool ~metrics cfg in
+        List.iter (fun path -> Core.Ingest.feed_file ing ~path) files;
+        let c = Core.Ingest.finalize ing in
+        let td, ad = Core.Ingest.consensus_digests c in
+        let s = Core.Ingest.stats ing in
+        Printf.printf
+          "ingested %d traces (%d events, %d kept) from %d files\n\
+           trg: %d live edges  affinity: %d pairs\n\
+           digests: trg=%s affine=%s\n"
+          s.Core.Ingest.traces s.Core.Ingest.events s.Core.Ingest.kept_events
+          (List.length files) s.Core.Ingest.trg_live
+          (Array.length c.Core.Ingest.affine)
+          td ad;
+        Option.iter
+          (fun path ->
+            write_file path (U.Json.to_string ~pretty:true (U.Metrics.to_json metrics)))
+          metrics_out)
+  in
+  let run name users seed fuel shards jobs window w epoch trg_cap wits_cap decay reopt verify
+      out metrics_out from_files verbosity =
+    H.Report.setup verbosity;
+    let jobs =
+      if jobs = 0 then U.Pool.default_jobs ()
+      else if jobs < 0 then (
+        Printf.eprintf "repro serve: --jobs must be >= 0\n";
+        exit 1)
+      else jobs
+    in
+    if from_files <> [] then
+      serve_from_files from_files ~shards ~jobs ~window ~w ~epoch ~trg_cap ~wits_cap ~decay
+        ~metrics_out
+    else begin
+      if not (List.mem name W.Spec.names) then begin
+        Printf.eprintf "unknown program %S; run `repro programs` for the list\n" name;
+        exit 1
+      end;
+      let cfg =
+        H.Serve.config ~users ~seed ~fuel ~shards ~trg_window:window ~affinity_w:w ~trg_cap
+          ~wits_cap ~decay_shift:decay ~epoch_traces:epoch ~reopt_steps:reopt ~verify
+          ~program:name ()
+      in
+      let metrics = U.Metrics.create () in
+      U.Pool.with_pool ~jobs ~metrics (fun pool ->
+          let summary = H.Serve.run ~pool ~metrics cfg in
+          let s = summary.H.Serve.stats in
+          Printf.printf
+            "%s: %d users, %d shards, %d jobs\n\
+             ingested %s events (%s kept) in %.2fs wall  |  %.0f traces/s, %s events/s, %s \
+             edge-ops/s\n\
+             trg: %d live (peak/shard %d)  wits: %d live (peak/shard %d)  evicted %d+%d  \
+             pruned %d  decayed %d\n\
+             latency: trace p50 %.0fus p95 %.0fus p99 %.0fus  merge p50 %.0fus\n"
+            name users shards jobs
+            (Table.fmt_int s.Core.Ingest.events)
+            (Table.fmt_int s.Core.Ingest.kept_events)
+            (float_of_int summary.H.Serve.wall_ns /. 1e9)
+            summary.H.Serve.traces_per_sec
+            (Table.fmt_int (int_of_float summary.H.Serve.events_per_sec))
+            (Table.fmt_int (int_of_float summary.H.Serve.edge_ops_per_sec))
+            s.Core.Ingest.trg_live s.Core.Ingest.trg_peak_shard s.Core.Ingest.wits_live
+            s.Core.Ingest.wits_peak_shard s.Core.Ingest.trg_evicted s.Core.Ingest.wits_evicted
+            s.Core.Ingest.dead_pruned s.Core.Ingest.decay_dropped
+            (summary.H.Serve.trace_p50_ns /. 1e3)
+            (summary.H.Serve.trace_p95_ns /. 1e3)
+            (summary.H.Serve.trace_p99_ns /. 1e3)
+            (summary.H.Serve.merge_p50_ns /. 1e3);
+          if summary.H.Serve.epoch_rows <> [] then begin
+            let t =
+              Table.create ~title:"consensus epochs"
+                ~columns:
+                  [
+                    ("epoch", Table.Right);
+                    ("at trace", Table.Right);
+                    ("trg edges", Table.Right);
+                    ("affine pairs", Table.Right);
+                    ("miss ratio", Table.Right);
+                    ("from", Table.Right);
+                  ]
+            in
+            List.iter
+              (fun (r : H.Serve.epoch_row) ->
+                Table.add_row t
+                  [
+                    string_of_int r.H.Serve.epoch;
+                    string_of_int r.H.Serve.at_trace;
+                    Table.fmt_int r.H.Serve.trg_edges;
+                    Table.fmt_int r.H.Serve.affine_pairs;
+                    (if Float.is_nan r.H.Serve.miss_ratio then "-"
+                     else Printf.sprintf "%.4f" r.H.Serve.miss_ratio);
+                    (if Float.is_nan r.H.Serve.improved_from then "-"
+                     else Printf.sprintf "%.4f" r.H.Serve.improved_from);
+                  ])
+              summary.H.Serve.epoch_rows;
+            Table.print t
+          end;
+          (match summary.H.Serve.digests_match with
+          | Some true -> Printf.printf "verify: online digests match batch kernels\n"
+          | Some false ->
+            Printf.eprintf
+              "verify: FAILED — online digests diverge from the batch kernels (bounded-memory \
+               config?)\n";
+            exit 1
+          | None -> ());
+          Option.iter
+            (fun path ->
+              write_file path
+                (U.Json.to_string ~pretty:true (H.Serve.summary_to_json summary));
+              Printf.printf "wrote %s\n" path)
+            out;
+          Option.iter
+            (fun path ->
+              write_file path (U.Json.to_string ~pretty:true (U.Metrics.to_json metrics)))
+            metrics_out)
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ prog_arg $ users $ seed $ fuel $ shards $ jobs $ window $ w_arg $ epoch
+      $ trg_cap $ wits_cap $ decay $ reopt $ verify $ out $ metrics_out $ from_files
+      $ verbosity_arg)
+
 let () =
   let doc = "Reproduction of 'Code Layout Optimization for Defensiveness and Politeness in Shared Cache' (ICPP 2014)" in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd; profile_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd; profile_cmd; serve_cmd ]))

@@ -1,0 +1,549 @@
+open Colayout_util
+open Colayout_trace
+
+(* Streaming profile ingest: the online, sharded form of the two batch
+   analysis kernels ([Trg.build], [Affinity.affine_pairs]).
+
+   The design splits each kernel into its two halves. The *walk* half —
+   advancing one LRU stack over the (trimmed) concatenated event stream
+   and deciding which pair keys each event touches — is inherently
+   sequential, so one walker runs it for both kernels at once and emits
+   the resulting table operations into per-shard buffers (an op is 1 int
+   for a TRG bump, 2 ints for an affinity witness). The *accumulate* half
+   — folding those operations into the flat int-packed open-addressing
+   tables — is where the memory traffic lives, so it is sharded by a hash
+   of the packed pair key: on flush, every shard's buffered ops are
+   applied to that shard's private tables by a [Pool] worker, with no
+   locks and no cross-shard writes on the hot path.
+
+   Determinism/exactness contract: ops for one key always land in one
+   shard's buffer in stream order, TRG bumps commute, and a witness
+   update only depends on prior updates to the same key — so the shard
+   tables hold exactly what the batch kernels' single tables would hold,
+   at any shard count and any jobs count, and [finalize] (which rebuilds
+   a CSR via [Trg.of_edges] and applies the batch affinity
+   saturated-pair test across shards) is bit-identical to the batch
+   result on the concatenated trace. The digest helpers below make that
+   checkable from tests and the bench.
+
+   Bounded memory is epoch-based and deterministic given the ingest
+   order: at epoch boundaries (every [epoch_traces] traces) TRG weights
+   decay by [decay_shift] (dropping zeros), provably-dead affinity
+   witnesses are pruned (exact — see [prune_dead_tbl]), and after every
+   flush each table is clipped back to its per-shard cap by evicting the
+   smallest (rank, key) entries. Decay and caps trade exactness for
+   bounded tables; pruning never changes the final affine set. *)
+
+type config = {
+  num_symbols : int;
+  shards : int;
+  trg_window : int;
+  affinity_w : int;
+  trg_cap : int;
+  wits_cap : int;
+  decay_shift : int;
+  epoch_traces : int;
+  prune_dead : bool;
+  flush_ops : int;
+}
+
+let config ?(shards = 1) ?(trg_window = 256) ?(affinity_w = 16) ?(trg_cap = 0) ?(wits_cap = 0)
+    ?(decay_shift = 0) ?(epoch_traces = 0) ?(prune_dead = true) ?(flush_ops = 1 lsl 16)
+    ~num_symbols () =
+  if num_symbols < 1 then invalid_arg "Ingest.config: num_symbols must be >= 1";
+  if num_symbols > Int_pair_tbl.max_coord then
+    invalid_arg "Ingest.config: num_symbols >= 2^31 exceeds the packed-key coordinate bound";
+  if shards < 1 then invalid_arg "Ingest.config: shards must be >= 1";
+  if trg_window < 1 then invalid_arg "Ingest.config: trg_window must be >= 1";
+  if affinity_w < 1 then invalid_arg "Ingest.config: affinity_w must be >= 1";
+  if trg_cap < 0 || wits_cap < 0 then invalid_arg "Ingest.config: caps must be >= 0";
+  if decay_shift < 0 then invalid_arg "Ingest.config: decay_shift must be >= 0";
+  if epoch_traces < 0 then invalid_arg "Ingest.config: epoch_traces must be >= 0";
+  if flush_ops < 1 then invalid_arg "Ingest.config: flush_ops must be >= 1";
+  {
+    num_symbols;
+    shards;
+    trg_window;
+    affinity_w;
+    trg_cap;
+    wits_cap;
+    decay_shift;
+    epoch_traces;
+    prune_dead;
+    flush_ops;
+  }
+
+type shard = { trg : Int_pair_tbl.t; wits : Int_pair_tbl.t }
+
+(* Declared before [t] so [t]'s same-named mutable fields take label
+   priority; [stats] constructions below are type-annotated. *)
+type stats = {
+  traces : int;
+  events : int;
+  kept_events : int;
+  trg_ops : int;
+  wit_ops : int;
+  flushes : int;
+  epochs : int;
+  merges : int;
+  trg_live : int;
+  wits_live : int;
+  trg_peak_shard : int;
+  wits_peak_shard : int;
+  trg_evicted : int;
+  wits_evicted : int;
+  decay_dropped : int;
+  dead_pruned : int;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t option;
+  metrics : Metrics.t option;
+  h_trace : Metrics.histogram option;
+  h_merge : Metrics.histogram option;
+  clock : unit -> int64;
+  (* Sequential walker state (single-owner). *)
+  stack : Lru_stack.t;
+  occ : int array; (* trimmed-stream occurrence count per symbol *)
+  scratch : Int_vec.t;
+  mutable last_sym : int; (* inline trimming across trace boundaries *)
+  (* Per-shard op buffers filled by the walker, drained on flush. *)
+  trg_bufs : Int_vec.t array; (* packed canonical (lo, hi) keys, +1 each *)
+  wit_bufs : Int_vec.t array; (* (packed ordered (a, b) key, a_occ) pairs *)
+  mutable pending_ops : int;
+  shards : shard array;
+  (* Stats. *)
+  mutable traces : int;
+  mutable events : int;
+  mutable kept_events : int;
+  mutable trg_ops : int;
+  mutable wit_ops : int;
+  mutable flushes : int;
+  mutable epochs : int;
+  mutable merges : int;
+  mutable trg_peak_shard : int;
+  mutable wits_peak_shard : int;
+  mutable trg_evicted : int;
+  mutable wits_evicted : int;
+  mutable decay_dropped : int;
+  mutable dead_pruned : int;
+  mutable trace_started : bool;
+  mutable trace_t0 : int64;
+}
+
+let create ?pool ?metrics cfg =
+  {
+    cfg;
+    pool;
+    metrics;
+    h_trace = Option.map (fun m -> Metrics.histogram m "ingest.trace_ns") metrics;
+    h_merge = Option.map (fun m -> Metrics.histogram m "ingest.merge_ns") metrics;
+    clock = Metrics.default_clock;
+    stack = Lru_stack.create ();
+    occ = Array.make cfg.num_symbols 0;
+    scratch = Int_vec.create ~capacity:(min cfg.trg_window 4096) ();
+    last_sym = -1;
+    trg_bufs = Array.init cfg.shards (fun _ -> Int_vec.create ~capacity:1024 ());
+    wit_bufs = Array.init cfg.shards (fun _ -> Int_vec.create ~capacity:1024 ());
+    pending_ops = 0;
+    shards =
+      Array.init cfg.shards (fun _ ->
+          {
+            trg = Int_pair_tbl.create ~capacity:1024 ();
+            wits = Int_pair_tbl.create ~capacity:1024 ();
+          });
+    traces = 0;
+    events = 0;
+    kept_events = 0;
+    trg_ops = 0;
+    wit_ops = 0;
+    flushes = 0;
+    epochs = 0;
+    merges = 0;
+    trg_peak_shard = 0;
+    wits_peak_shard = 0;
+    trg_evicted = 0;
+    wits_evicted = 0;
+    decay_dropped = 0;
+    dead_pruned = 0;
+    trace_started = false;
+    trace_t0 = 0L;
+  }
+
+let config_of t = t.cfg
+
+(* splitmix64-style finisher over the packed key. Shard choice must be a
+   pure function of the key (never of arrival order) so one key's ops
+   always serialize through one shard's buffer. *)
+let mix k =
+  let h = k lxor (k lsr 31) in
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let shard_of t key = if t.cfg.shards = 1 then 0 else mix key mod t.cfg.shards
+
+(* Deterministic cap eviction: drop the (rank, key) — smallest entries
+   until the table is back under [cap]. The key tiebreak makes the order
+   total, so the survivors depend only on the table contents, which are
+   themselves determined by the ingest order. *)
+let evict_to_cap tbl ~cap ~rank =
+  let n = Int_pair_tbl.length tbl in
+  if cap <= 0 || n <= cap then 0
+  else begin
+    let entries = Array.make n (0, 0) in
+    let i = ref 0 in
+    Int_pair_tbl.iter
+      (fun k v ->
+        entries.(!i) <- (rank k v, k);
+        incr i)
+      tbl;
+    Array.sort compare entries;
+    let drop = n - cap in
+    for j = 0 to drop - 1 do
+      Int_pair_tbl.remove tbl (snd entries.(j))
+    done;
+    drop
+  end
+
+(* Halve-ish TRG weights at epoch boundaries; entries decayed to zero are
+   forgotten. Rebuild rather than replace-in-place: a replace can resize
+   the table mid-iteration. *)
+let decay_tbl tbl shift =
+  let n = Int_pair_tbl.length tbl in
+  if n = 0 then 0
+  else begin
+    let ks = Array.make n 0 and vs = Array.make n 0 in
+    let i = ref 0 in
+    Int_pair_tbl.iter
+      (fun k v ->
+        ks.(!i) <- k;
+        vs.(!i) <- v;
+        incr i)
+      tbl;
+    Int_pair_tbl.clear tbl;
+    let dropped = ref 0 in
+    for j = 0 to n - 1 do
+      let w = vs.(j) lsr shift in
+      if w > 0 then Int_pair_tbl.replace tbl ks.(j) w else incr dropped
+    done;
+    !dropped
+  end
+
+(* Exact dead-witness pruning. An occurrence of [a] can only be witnessed
+   (counted into sat of (a, b)) while it is a's *latest* occurrence: both
+   witness directions pass the current occurrence index. So once [a]
+   recurs, an uncounted older occurrence is missed forever, and the final
+   saturation test sat = occ(a) can never pass. An entry is provably dead
+   when some *closed* occurrence was missed:
+   - last_occ = occ(a): the latest is counted, so sat < occ(a) means a
+     closed occurrence was missed;
+   - last_occ < occ(a): the latest may still be witnessed later, so only
+     sat < occ(a) - 1 is conclusive.
+   Dropping such an entry cannot change the final affine set — absent and
+   unsaturated entries fail the test identically — which is why pruning
+   stays on even in digest-checked exact configurations. *)
+let prune_dead_tbl occ tbl =
+  let dead = Int_vec.create ~capacity:64 () in
+  Int_pair_tbl.iter
+    (fun key p ->
+      let a = Int_pair_tbl.fst_of key in
+      let last = Int_pair_tbl.fst_of p and sat = Int_pair_tbl.snd_of p in
+      let oa = occ.(a) in
+      if (if last = oa then sat < oa else sat < oa - 1) then Int_vec.push dead key)
+    tbl;
+  Int_vec.iter (fun k -> Int_pair_tbl.remove tbl k) dead;
+  Int_vec.length dead
+
+type shard_flush = {
+  sf_trg_evicted : int;
+  sf_wits_evicted : int;
+  sf_decay_dropped : int;
+  sf_dead_pruned : int;
+  sf_trg_live : int;
+  sf_wits_live : int;
+}
+
+(* Drain shard [s]'s op buffers into its tables, then run maintenance.
+   Runs on a pool worker; touches only shard-private state plus the
+   read-only [occ] array (the walker is parked during a flush). Ops apply
+   in buffer order = stream order, so order-sensitive witness updates see
+   exactly the batch kernel's update sequence. *)
+let apply_shard t s ~maintain =
+  let sh = t.shards.(s) in
+  let tb = t.trg_bufs.(s) and wb = t.wit_bufs.(s) in
+  let n = Int_vec.length tb in
+  for i = 0 to n - 1 do
+    ignore (Int_pair_tbl.add_to sh.trg (Int_vec.unsafe_get tb i) 1)
+  done;
+  let m = Int_vec.length wb in
+  let i = ref 0 in
+  while !i < m do
+    let key = Int_vec.unsafe_get wb !i in
+    let a_occ = Int_vec.unsafe_get wb (!i + 1) in
+    let p = Int_pair_tbl.find sh.wits key ~default:0 in
+    if Int_pair_tbl.fst_of p < a_occ then
+      Int_pair_tbl.replace sh.wits key (Int_pair_tbl.pack a_occ (Int_pair_tbl.snd_of p + 1));
+    i := !i + 2
+  done;
+  Int_vec.clear tb;
+  Int_vec.clear wb;
+  let decay_dropped =
+    if maintain && t.cfg.decay_shift > 0 then decay_tbl sh.trg t.cfg.decay_shift else 0
+  in
+  let dead_pruned = if maintain && t.cfg.prune_dead then prune_dead_tbl t.occ sh.wits else 0 in
+  let trg_evicted = evict_to_cap sh.trg ~cap:t.cfg.trg_cap ~rank:(fun _ w -> w) in
+  let wits_evicted =
+    evict_to_cap sh.wits ~cap:t.cfg.wits_cap ~rank:(fun _ p -> Int_pair_tbl.fst_of p)
+  in
+  {
+    sf_trg_evicted = trg_evicted;
+    sf_wits_evicted = wits_evicted;
+    sf_decay_dropped = decay_dropped;
+    sf_dead_pruned = dead_pruned;
+    sf_trg_live = Int_pair_tbl.length sh.trg;
+    sf_wits_live = Int_pair_tbl.length sh.wits;
+  }
+
+let flush_internal t ~maintain =
+  if t.pending_ops > 0 || maintain then begin
+    let run s = apply_shard t s ~maintain in
+    let idx = Array.init t.cfg.shards Fun.id in
+    let results =
+      match t.pool with
+      | Some pool when t.cfg.shards > 1 -> Pool.map_array pool run idx
+      | _ -> Array.map run idx
+    in
+    Array.iter
+      (fun r ->
+        t.trg_evicted <- t.trg_evicted + r.sf_trg_evicted;
+        t.wits_evicted <- t.wits_evicted + r.sf_wits_evicted;
+        t.decay_dropped <- t.decay_dropped + r.sf_decay_dropped;
+        t.dead_pruned <- t.dead_pruned + r.sf_dead_pruned;
+        if r.sf_trg_live > t.trg_peak_shard then t.trg_peak_shard <- r.sf_trg_live;
+        if r.sf_wits_live > t.wits_peak_shard then t.wits_peak_shard <- r.sf_wits_live)
+      results;
+    t.pending_ops <- 0;
+    t.flushes <- t.flushes + 1
+  end
+
+let flush t = flush_internal t ~maintain:false
+
+let feed_sym t x =
+  if x < 0 || x >= t.cfg.num_symbols then invalid_arg "Ingest.feed_sym: symbol out of range";
+  t.events <- t.events + 1;
+  if not t.trace_started then begin
+    t.trace_started <- true;
+    t.trace_t0 <- t.clock ()
+  end;
+  if x <> t.last_sym then begin
+    (* Inline trimming: the batch kernels require a trimmed trace, so the
+       walker drops repeats of the previous kept event — including across
+       trace boundaries, matching trimming of the concatenation. *)
+    if t.kept_events >= Int_pair_tbl.max_coord then
+      invalid_arg "Ingest.feed_sym: stream length >= 2^31 exceeds the packed-payload bound";
+    t.last_sym <- x;
+    t.kept_events <- t.kept_events + 1;
+    t.occ.(x) <- t.occ.(x) + 1;
+    let ops_before = t.trg_ops + t.wit_ops in
+    (* TRG walk — [Trg.build]'s loop with the bump deferred to an op. *)
+    Int_vec.clear t.scratch;
+    let found = ref false in
+    Lru_stack.iter_until_depth t.stack (fun d y ->
+        if y = x then begin
+          found := true;
+          false
+        end
+        else if d >= t.cfg.trg_window then false
+        else begin
+          Int_vec.push t.scratch y;
+          true
+        end);
+    if !found then
+      Int_vec.iter
+        (fun y ->
+          let lo = if x < y then x else y in
+          let hi = if x < y then y else x in
+          let key = Int_pair_tbl.pack lo hi in
+          Int_vec.push t.trg_bufs.(shard_of t key) key;
+          t.trg_ops <- t.trg_ops + 1)
+        t.scratch;
+    (* Affinity walk — [Affinity.affine_pairs]'s loop with both witness
+       directions deferred to ops. *)
+    let w = t.cfg.affinity_w in
+    let kx = t.occ.(x) in
+    let x_seen = ref false in
+    Lru_stack.iter_until_depth t.stack (fun d y ->
+        if y = x then begin
+          x_seen := true;
+          true
+        end
+        else begin
+          let fp = d + if !x_seen then 0 else 1 in
+          if fp <= w then begin
+            let kxy = Int_pair_tbl.pack x y in
+            let buf = t.wit_bufs.(shard_of t kxy) in
+            Int_vec.push buf kxy;
+            Int_vec.push buf kx;
+            let kyx = Int_pair_tbl.pack y x in
+            let buf = t.wit_bufs.(shard_of t kyx) in
+            Int_vec.push buf kyx;
+            Int_vec.push buf t.occ.(y);
+            t.wit_ops <- t.wit_ops + 2
+          end;
+          d < w
+        end);
+    Lru_stack.touch t.stack x;
+    t.pending_ops <- t.pending_ops + (t.trg_ops + t.wit_ops - ops_before);
+    if t.pending_ops >= t.cfg.flush_ops then flush t
+  end
+
+let feed_trace t tr =
+  if Trace.num_symbols tr <> t.cfg.num_symbols then
+    invalid_arg "Ingest.feed_trace: trace symbol universe does not match config";
+  Trace.iter (fun x -> feed_sym t x) tr
+
+let feed_chunk t buf n =
+  if n < 0 || n > Array.length buf then invalid_arg "Ingest.feed_chunk";
+  for i = 0 to n - 1 do
+    feed_sym t buf.(i)
+  done
+
+let end_trace t =
+  t.traces <- t.traces + 1;
+  if t.trace_started then begin
+    (match t.h_trace with
+    | Some h -> Metrics.observe h (Int64.to_int (Int64.sub (t.clock ()) t.trace_t0))
+    | None -> ());
+    t.trace_started <- false
+  end;
+  (match t.metrics with Some m -> Metrics.add m "ingest.traces" 1 | None -> ());
+  if t.cfg.epoch_traces > 0 && t.traces mod t.cfg.epoch_traces = 0 then begin
+    flush_internal t ~maintain:true;
+    t.epochs <- t.epochs + 1
+  end
+
+let ingest_trace t tr =
+  feed_trace t tr;
+  end_trace t
+
+let feed_file t ~path =
+  Trace_io.with_reader ~path (fun r ->
+      if Trace_io.reader_num_symbols r <> t.cfg.num_symbols then
+        invalid_arg "Ingest.feed_file: trace symbol universe does not match config";
+      let buf = Array.make (1 lsl 16) 0 in
+      let rec go () =
+        let n = Trace_io.read_chunk r buf in
+        if n > 0 then begin
+          feed_chunk t buf n;
+          go ()
+        end
+      in
+      go ());
+  end_trace t
+
+let stats t : stats =
+  let trg_live = Array.fold_left (fun a sh -> a + Int_pair_tbl.length sh.trg) 0 t.shards in
+  let wits_live = Array.fold_left (fun a sh -> a + Int_pair_tbl.length sh.wits) 0 t.shards in
+  {
+    traces = t.traces;
+    events = t.events;
+    kept_events = t.kept_events;
+    trg_ops = t.trg_ops;
+    wit_ops = t.wit_ops;
+    flushes = t.flushes;
+    epochs = t.epochs;
+    merges = t.merges;
+    trg_live;
+    wits_live;
+    trg_peak_shard = t.trg_peak_shard;
+    wits_peak_shard = t.wits_peak_shard;
+    trg_evicted = t.trg_evicted;
+    wits_evicted = t.wits_evicted;
+    decay_dropped = t.decay_dropped;
+    dead_pruned = t.dead_pruned;
+  }
+
+type consensus = { trg : Trg.t; affine : int array }
+
+let affine_list c =
+  Array.to_list (Array.map (fun k -> (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k)) c.affine)
+
+(* Non-destructive merge: rebuilds the consensus CSR from the live shard
+   tables and applies the batch saturation test (cross-shard lookup for
+   the reverse direction). Accumulation continues afterwards. *)
+let finalize t =
+  flush t;
+  let t0 = t.clock () in
+  let edges = ref [] in
+  Array.iter
+    (fun (sh : shard) ->
+      Int_pair_tbl.iter
+        (fun k w -> edges := (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k, w) :: !edges)
+        sh.trg)
+    t.shards;
+  let trg = Trg.of_edges ~num_nodes:t.cfg.num_symbols !edges in
+  let pairs = Int_vec.create ~capacity:64 () in
+  Array.iter
+    (fun (sh : shard) ->
+      Int_pair_tbl.iter
+        (fun key p ->
+          let a = Int_pair_tbl.fst_of key in
+          let b = Int_pair_tbl.snd_of key in
+          if a < b then begin
+            let sat_ab = Int_pair_tbl.snd_of p in
+            let rk = Int_pair_tbl.pack b a in
+            let sat_ba =
+              Int_pair_tbl.snd_of
+                (Int_pair_tbl.find t.shards.(shard_of t rk).wits rk ~default:0)
+            in
+            if sat_ab = t.occ.(a) && sat_ba = t.occ.(b) && t.occ.(a) > 0 && t.occ.(b) > 0 then
+              Int_vec.push pairs key
+          end)
+        sh.wits)
+    t.shards;
+  let affine = Int_vec.to_array pairs in
+  Array.sort compare affine;
+  t.merges <- t.merges + 1;
+  (match t.h_merge with
+  | Some h -> Metrics.observe h (Int64.to_int (Int64.sub (t.clock ()) t0))
+  | None -> ());
+  { trg; affine }
+
+(* Digests — the bit-identity contract made checkable. Both sides digest
+   the same canonical renderings: the CSR edge sweep (ascending (x, y))
+   and the sorted packed affine-pair array. *)
+
+let trg_digest trg =
+  let b = Buffer.create 4096 in
+  Trg.iter_edges
+    (fun x y w ->
+      Buffer.add_string b (string_of_int x);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int y);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int w);
+      Buffer.add_char b ';')
+    trg;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let affine_digest packed =
+  let b = Buffer.create 1024 in
+  Array.iter
+    (fun k ->
+      Buffer.add_string b (string_of_int k);
+      Buffer.add_char b ';')
+    packed;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let consensus_digests c = (trg_digest c.trg, affine_digest c.affine)
+
+let batch_digests ~trg_window ~affinity_w trace =
+  let trimmed = if Trim.is_trimmed trace then trace else Trim.trim trace in
+  let trg = Trg.build ~window:trg_window trimmed in
+  let ps = Affinity.affine_pairs trimmed ~w:affinity_w in
+  let packed =
+    Affinity.pair_list ps |> List.map (fun (a, b) -> Int_pair_tbl.pack a b) |> Array.of_list
+  in
+  Array.sort compare packed;
+  (trg_digest trg, affine_digest packed)

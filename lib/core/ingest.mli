@@ -1,0 +1,134 @@
+(** Streaming profile ingest: sharded online TRG and affinity
+    accumulation, bit-identical to the batch kernels.
+
+    One sequential walker advances a single LRU stack over the (inline-
+    trimmed) concatenation of every fed trace, running both the
+    [Trg.build] and [Affinity.affine_pairs] walks per event and emitting
+    the resulting table operations into per-shard buffers keyed by a hash
+    of the packed pair key. On flush, [Pool] workers drain each shard's
+    buffer into that shard's private flat tables — no locks, no
+    cross-shard writes. Because one key's ops always pass through one
+    shard in stream order, {!finalize} reconstructs exactly what the
+    batch kernels produce on the concatenated trace, at any shard count
+    and any jobs count ({!consensus_digests} vs {!batch_digests} makes
+    the contract checkable).
+
+    Memory is bounded, deterministically in the ingest order, by three
+    epoch/flush-time mechanisms: per-shard table caps (evict smallest
+    (rank, key)), TRG weight decay (drop zeros), and exact dead-witness
+    pruning (never changes the final affine set). With caps and decay off
+    the accumulation is exact. *)
+
+type config = {
+  num_symbols : int;
+  shards : int;
+  trg_window : int;  (** TRG LRU window (distinct blocks). *)
+  affinity_w : int;  (** Affinity window footprint bound w. *)
+  trg_cap : int;  (** Per-shard TRG edge cap; 0 = unbounded. *)
+  wits_cap : int;  (** Per-shard witness-entry cap; 0 = unbounded. *)
+  decay_shift : int;  (** TRG weights decay by [lsr decay_shift] per epoch; 0 = off. *)
+  epoch_traces : int;  (** Maintenance every N completed traces; 0 = never. *)
+  prune_dead : bool;  (** Exact dead-witness pruning at epochs. *)
+  flush_ops : int;  (** Buffered ops that trigger a flush. *)
+}
+
+val config :
+  ?shards:int ->
+  ?trg_window:int ->
+  ?affinity_w:int ->
+  ?trg_cap:int ->
+  ?wits_cap:int ->
+  ?decay_shift:int ->
+  ?epoch_traces:int ->
+  ?prune_dead:bool ->
+  ?flush_ops:int ->
+  num_symbols:int ->
+  unit ->
+  config
+(** Validated smart constructor (defaults: 1 shard, window 256, w 16,
+    unbounded, no decay, no epochs, pruning on, flush at 65536 ops).
+    @raise Invalid_argument on out-of-range fields. *)
+
+type t
+
+val create : ?pool:Colayout_util.Pool.t -> ?metrics:Colayout_util.Metrics.t -> config -> t
+(** Without a pool (or with one shard) flushes apply inline on the
+    calling domain. With metrics, per-trace ingest latency lands in the
+    [ingest.trace_ns] histogram and merge latency in [ingest.merge_ns]. *)
+
+val config_of : t -> config
+
+val feed_sym : t -> int -> unit
+(** Feed one event of the current trace.
+    @raise Invalid_argument on an out-of-range symbol or a stream longer
+    than the packed-payload bound (2^31 kept events). *)
+
+val feed_chunk : t -> int array -> int -> unit
+(** [feed_chunk t buf n] feeds [buf.(0..n-1)] — the shape handed out by
+    [Trace_io.read_chunk]. *)
+
+val feed_trace : t -> Colayout_trace.Trace.t -> unit
+(** Feed a whole in-memory trace (does not end it).
+    @raise Invalid_argument when the trace's symbol universe differs from
+    the config's. *)
+
+val end_trace : t -> unit
+(** Mark the current user trace complete: records its ingest latency and
+    runs epoch maintenance when due. Trimming state deliberately persists
+    across traces (the reference semantics is the trimmed concatenation). *)
+
+val ingest_trace : t -> Colayout_trace.Trace.t -> unit
+(** {!feed_trace} then {!end_trace}. *)
+
+val feed_file : t -> path:string -> unit
+(** Stream one trace file through the chunked [Trace_io] reader (never
+    materializing it) and {!end_trace}. *)
+
+val flush : t -> unit
+(** Drain all buffered ops into the shard tables (no epoch maintenance).
+    Called automatically when [flush_ops] is reached and by {!finalize}. *)
+
+type stats = {
+  traces : int;
+  events : int;
+  kept_events : int;  (** Events surviving inline trimming. *)
+  trg_ops : int;
+  wit_ops : int;
+  flushes : int;
+  epochs : int;
+  merges : int;
+  trg_live : int;  (** Current TRG entries, summed over shards. *)
+  wits_live : int;
+  trg_peak_shard : int;  (** Max per-shard TRG entries at any flush boundary. *)
+  wits_peak_shard : int;
+  trg_evicted : int;
+  wits_evicted : int;
+  decay_dropped : int;
+  dead_pruned : int;
+}
+
+val stats : t -> stats
+
+type consensus = { trg : Trg.t; affine : int array }
+(** The merged profile: a finalized CSR TRG plus the affine pairs as a
+    sorted array of packed [(a, b)] keys with [a < b]. *)
+
+val finalize : t -> consensus
+(** Flush, then merge every shard into a consensus profile. Non-
+    destructive: accumulation may continue afterwards. With caps and
+    decay disabled this is bit-identical to [Trg.build] /
+    [Affinity.affine_pairs] on the trimmed concatenated trace. *)
+
+val affine_list : consensus -> (int * int) list
+
+val consensus_digests : consensus -> string * string
+(** [(trg_digest, affine_digest)] over canonical renderings (CSR edge
+    sweep; sorted packed pairs). *)
+
+val trg_digest : Trg.t -> string
+
+val batch_digests :
+  trg_window:int -> affinity_w:int -> Colayout_trace.Trace.t -> string * string
+(** The batch-kernel reference digests for a (concatenated) trace —
+    trims, runs [Trg.build] and [Affinity.affine_pairs], digests the same
+    canonical renderings as {!consensus_digests}. *)

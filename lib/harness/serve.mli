@@ -1,0 +1,96 @@
+(** The `repro serve` driver: a long-lived streaming profile-ingest
+    service over synthetic users.
+
+    Users are independent runs of one workload program with per-user
+    seeds and fuel drawn from each user's own [Prng] stream (the
+    per-workload input distribution). Generation fans out over the pool
+    in batches; ingest commits traces to the sharded online accumulators
+    ([Ingest]) in user order, so every artifact — digests, epoch rows,
+    bounded-mode evictions — is a pure function of the config at any
+    jobs count. At each ingest epoch the consensus profile is merged and
+    the consensus layout re-optimized by a warm-started
+    [Layout_eval.Delta]-mode anneal against the newest trace. *)
+
+type config = {
+  program : string;
+  users : int;
+  seed : int;
+  fuel : int;  (** Max fuel per user; each user draws from [fuel/2, fuel]. *)
+  shards : int;
+  trg_window : int;
+  affinity_w : int;
+  trg_cap : int;
+  wits_cap : int;
+  decay_shift : int;
+  epoch_traces : int;
+  gen_batch : int;  (** Users generated per parallel batch. *)
+  reopt_steps : int;  (** Anneal steps per epoch re-optimization; 0 = off. *)
+  verify : bool;  (** Also run the batch kernels on the concatenation. *)
+}
+
+val config :
+  ?users:int ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?shards:int ->
+  ?trg_window:int ->
+  ?affinity_w:int ->
+  ?trg_cap:int ->
+  ?wits_cap:int ->
+  ?decay_shift:int ->
+  ?epoch_traces:int ->
+  ?gen_batch:int ->
+  ?reopt_steps:int ->
+  ?verify:bool ->
+  program:string ->
+  unit ->
+  config
+(** Validated smart constructor; ingest-level fields are checked by
+    [Ingest.config] at {!run} time. *)
+
+type epoch_row = {
+  epoch : int;
+  at_trace : int;
+  trg_edges : int;
+  affine_pairs : int;
+  miss_ratio : float;  (** Re-optimized order on the newest trace; nan if reopt off. *)
+  improved_from : float;  (** Previous consensus order on that trace; nan if reopt off. *)
+}
+
+type summary = {
+  cfg : config;
+  num_symbols : int;
+  num_funcs : int;
+  stats : Colayout.Ingest.stats;
+  wall_ns : int;
+  gen_ns : int;
+  ingest_ns : int;
+  reopt_ns : int;
+  traces_per_sec : float;  (** Traces over the end-to-end wall. *)
+  events_per_sec : float;  (** Raw events over ingest time alone. *)
+  edge_ops_per_sec : float;  (** TRG + witness table ops over ingest time. *)
+  trg_digest : string;
+  affine_digest : string;
+  batch_trg_digest : string option;  (** [verify] only. *)
+  batch_affine_digest : string option;
+  digests_match : bool option;
+  epoch_rows : epoch_row list;
+  trace_p50_ns : float;
+  trace_p95_ns : float;
+  trace_p99_ns : float;
+  merge_p50_ns : float;
+  final_order : int array;  (** Last re-optimized consensus function order. *)
+}
+
+val run :
+  ?pool:Colayout_util.Pool.t ->
+  ?metrics:Colayout_util.Metrics.t ->
+  ?spans:Colayout_util.Span.t ->
+  config ->
+  summary
+(** Run the service to completion over [cfg.users] users.
+    @raise Not_found on an unknown program name (callers pre-validate
+    against [Workloads.Spec.names]). *)
+
+val summary_to_json : summary -> Colayout_util.Json.t
+(** Schema [colayout/serve/v1]. *)

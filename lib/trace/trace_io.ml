@@ -45,22 +45,95 @@ let save ~path trace =
         trace;
       Buffer.output_buffer oc buf)
 
-let load ~path =
+(* Chunked streaming reader: decodes the header eagerly, then hands out
+   events in caller-sized chunks so ingest never holds a whole trace in
+   memory (403.gcc-scale traces run to gigabytes). The eager [load] below
+   is the same loop with a Trace.t as the sink. *)
+type reader = {
+  ic : in_channel;
+  r_num_symbols : int;
+  r_length : int;
+  mutable r_remaining : int;
+  mutable r_prev : int;
+  mutable r_closed : bool;
+}
+
+let open_reader ~path =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith "Trace_io: bad magic";
-      let num_symbols = read_varint ic in
-      let len = read_varint ic in
-      let t = Trace.create ~name:(Filename.basename path) ~num_symbols () in
-      let prev = ref 0 in
-      for _ = 1 to len do
-        let s = !prev + unzigzag (read_varint ic) in
-        Trace.push t s;
-        prev := s
-      done;
+  match
+    let m = really_input_string ic (String.length magic) in
+    if m <> magic then failwith "Trace_io: bad magic";
+    let num_symbols = read_varint ic in
+    let len = read_varint ic in
+    (num_symbols, len)
+  with
+  | num_symbols, len ->
+    {
+      ic;
+      r_num_symbols = num_symbols;
+      r_length = len;
+      r_remaining = len;
+      r_prev = 0;
+      r_closed = false;
+    }
+  | exception e ->
+    close_in_noerr ic;
+    raise e
+
+let reader_num_symbols r = r.r_num_symbols
+
+let reader_length r = r.r_length
+
+let reader_remaining r = r.r_remaining
+
+let read_chunk r buf =
+  if r.r_closed then invalid_arg "Trace_io.read_chunk: reader closed";
+  let n = min (Array.length buf) r.r_remaining in
+  let prev = ref r.r_prev in
+  for i = 0 to n - 1 do
+    let s = !prev + unzigzag (read_varint r.ic) in
+    buf.(i) <- s;
+    prev := s
+  done;
+  r.r_prev <- !prev;
+  r.r_remaining <- r.r_remaining - n;
+  n
+
+let close_reader r =
+  if not r.r_closed then begin
+    r.r_closed <- true;
+    close_in_noerr r.ic
+  end
+
+let with_reader ~path f =
+  let r = open_reader ~path in
+  Fun.protect ~finally:(fun () -> close_reader r) (fun () -> f r)
+
+let fold_chunks ~path ?(chunk = 1 lsl 16) f acc =
+  with_reader ~path (fun r ->
+      let buf = Array.make (max 1 chunk) 0 in
+      let rec go acc =
+        let n = read_chunk r buf in
+        if n = 0 then acc else go (f acc buf n)
+      in
+      go acc)
+
+let load ~path =
+  with_reader ~path (fun r ->
+      let t =
+        Trace.create ~name:(Filename.basename path) ~num_symbols:(reader_num_symbols r) ()
+      in
+      let buf = Array.make (1 lsl 16) 0 in
+      let rec go () =
+        let n = read_chunk r buf in
+        if n > 0 then begin
+          for i = 0 to n - 1 do
+            Trace.push t buf.(i)
+          done;
+          go ()
+        end
+      in
+      go ();
       t)
 
 let save_mapping ~path ~names =

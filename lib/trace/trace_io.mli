@@ -16,7 +16,46 @@ val save : path:string -> Trace.t -> unit
 (** @raise Sys_error on I/O failure. *)
 
 val load : path:string -> Trace.t
-(** @raise Failure on a malformed or truncated file. *)
+(** Eager read (built on {!with_reader}) for the batch path.
+    @raise Failure on a malformed or truncated file. *)
+
+(** {2 Chunked streaming reads}
+
+    A {!reader} decodes the header eagerly and then streams events in
+    caller-sized chunks, so a consumer (e.g. the ingest service) never
+    materializes a whole trace in memory. Readers are single-owner and
+    not domain-safe. *)
+
+type reader
+
+val open_reader : path:string -> reader
+(** @raise Failure on bad magic or a truncated header;
+    @raise Sys_error on I/O failure. The channel is closed on raise. *)
+
+val reader_num_symbols : reader -> int
+
+val reader_length : reader -> int
+(** Total events in the file (from the header). *)
+
+val reader_remaining : reader -> int
+(** Events not yet handed out by {!read_chunk}. *)
+
+val read_chunk : reader -> int array -> int
+(** [read_chunk r buf] fills a prefix of [buf] with the next events and
+    returns how many were written — 0 exactly at end of stream.
+    @raise Failure on a truncated body;
+    @raise Invalid_argument after {!close_reader}. *)
+
+val close_reader : reader -> unit
+(** Idempotent. *)
+
+val with_reader : path:string -> (reader -> 'a) -> 'a
+(** Open, run, close (exception-safe). *)
+
+val fold_chunks : path:string -> ?chunk:int -> ('a -> int array -> int -> 'a) -> 'a -> 'a
+(** [fold_chunks ~path f acc] folds [f acc buf n] over the stream, where
+    only [buf.(0..n-1)] is valid and the buffer is reused between calls
+    ([chunk] events long, default 65536). *)
 
 val save_mapping : path:string -> names:string array -> unit
 (** One [index<TAB>name] line per symbol. *)

@@ -19,6 +19,12 @@ type counter
 
 type gauge
 
+type histogram
+(** Fixed-bucket latency histogram: samples land in one of 62 binary-
+    magnitude buckets ([2^i, 2^(i+1)); bucket 0 also takes 0), counted
+    with atomics so any domain can [observe] concurrently. Negative
+    samples clamp to 0. *)
+
 val create : ?clock:(unit -> int64) -> unit -> t
 (** [clock] (nanoseconds, monotonic) is used by {!time}; injectable for
     deterministic tests. *)
@@ -43,6 +49,25 @@ val set : gauge -> float -> unit
 
 val set_gauge : t -> string -> float -> unit
 
+val histogram : t -> string -> histogram
+(** Find-or-create; the handle stays valid for the registry's lifetime. *)
+
+val observe : histogram -> int -> unit
+
+val observe_ns : t -> string -> int -> unit
+(** [observe_ns t name v] = [observe (histogram t name) v]. *)
+
+val observations : histogram -> int
+
+val hist_total : histogram -> int
+(** Sum of every observed sample (post clamping). *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] with [p] in [0, 1] (clamped): the upper bound of the
+    bucket holding the rank-[ceil p*n] sample — deterministic, stable
+    under {!merge}, within a factor of two of the true order statistic.
+    0.0 on an empty histogram. *)
+
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk under the named timer (accumulates call count and total
     nanoseconds); exception-safe. *)
@@ -55,6 +80,9 @@ val gauges : t -> (string * float) list
 val timers : t -> (string * int * int64) list
 (** [(name, calls, total_ns)], sorted by name. *)
 
+val histograms : t -> (string * histogram) list
+(** Sorted by name. *)
+
 val find_counter : t -> string -> int option
 
 val reset : t -> unit
@@ -63,9 +91,10 @@ val reset : t -> unit
 
 val merge : into:t -> t -> unit
 (** Fold a (typically per-domain) delta registry into [into]: counter
-    counts and timer calls/nanoseconds {e add} (merging N worker deltas in
-    any order yields one total, preserving hits + misses = lookups),
-    gauges — level readings — are overwritten with the source value.
-    Zero-valued source cells still create no entries in [into]. *)
+    counts, timer calls/nanoseconds and histogram buckets {e add} (merging
+    N worker deltas in any order yields one total, preserving
+    hits + misses = lookups and pooled-sample percentiles), gauges — level
+    readings — are overwritten with the source value. Zero-valued source
+    cells still create no entries in [into]. *)
 
 val to_json : t -> Json.t

@@ -1,0 +1,129 @@
+(* Streaming-ingest service smoke validator:
+
+   [check_serve bench BENCH_serve.json] — the bench's ingest-service
+   manifest conforms to colayout/bench-serve/v1: the full shards x jobs
+   grid is present (every combination of the advertised shard and jobs
+   counts), every grid cell reproduced the batch-kernel digests
+   (digests_match on each cell plus the top-level digests_identical flag
+   — the bench FATALs before writing on any divergence, so these are
+   also a write-path integrity check), positive walls and throughputs
+   everywhere, the bounded-memory section deterministic with caps
+   respected and eviction/decay actually fired at every recorded run,
+   and the embedded end-to-end serve summary verified against the batch
+   kernels with sane latency percentiles (p50 <= p95 <= p99). Magnitude
+   is gated on the recorded cores_available, matching the other
+   checkers: on a multicore host the best pooled grid cell must not fall
+   below 0.8x the serial walker in full mode; on a single-core host
+   domains only add overhead, so positivity is all we ask. *)
+
+module J = Colayout_util.Json
+open Smoke_check
+
+let get_float json ~path key =
+  match Option.bind (J.member key json) J.to_float with
+  | Some f -> f
+  | None -> fail "%s: missing number field %S" path key
+
+let check_bench path =
+  let json = parse path in
+  require_schema json ~path "colayout/bench-serve/v1";
+  let cores = get_int json "cores_available" in
+  let mode = get_str json ~path "mode" in
+  if not (get_bool json ~path "digests_identical") then
+    fail "%s: digests_identical is not true — a grid cell diverged from the batch kernels"
+      path;
+  let batch = J.Obj (get_obj json ~path "batch") in
+  List.iter
+    (fun key ->
+      if String.length (get_str batch ~path key) = 0 then
+        fail "%s: empty batch %s" path key)
+    [ "trg_digest"; "affine_digest" ];
+  (* Grid: every (shards, jobs) combination, each digest-checked with
+     positive timings and throughputs. *)
+  let grid = get_list json ~path "grid" in
+  let want_shards = [ 1; 2; 4 ] and want_jobs = [ 1; 2; 4 ] in
+  let seen =
+    List.map
+      (fun cell ->
+        let shards = get_int cell "shards" and jobs = get_int cell "jobs" in
+        let label = Printf.sprintf "grid shards=%d jobs=%d" shards jobs in
+        if not (get_bool cell ~path "digests_match") then
+          fail "%s: %s diverged from the batch kernels" path label;
+        List.iter
+          (fun key ->
+            if get_int cell key <= 0 then fail "%s: %s has non-positive %s" path label key)
+          [ "ingest_wall_ns"; "merge_ns"; "flushes" ];
+        List.iter
+          (fun key ->
+            if get_float cell ~path key <= 0.0 then
+              fail "%s: %s has non-positive %s" path label key)
+          [ "events_per_sec"; "traces_per_sec"; "edge_ops_per_sec" ];
+        (shards, jobs))
+      grid
+  in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun jobs ->
+          if not (List.mem (shards, jobs) seen) then
+            fail "%s: grid has no cell for shards=%d jobs=%d" path shards jobs)
+        want_jobs)
+    want_shards;
+  (* Bounded-memory section: the approximation must be deterministic,
+     the caps must have held at flush boundaries, and the pressure knobs
+     must actually have fired. *)
+  let bounded = J.Obj (get_obj json ~path "bounded") in
+  List.iter
+    (fun key ->
+      if not (get_bool bounded ~path key) then fail "%s: bounded.%s is not true" path key)
+    [ "deterministic"; "caps_respected"; "evictions_fired" ];
+  let trg_cap = get_int bounded "trg_cap" and wits_cap = get_int bounded "wits_cap" in
+  if trg_cap <= 0 || wits_cap <= 0 then
+    fail "%s: bounded section has non-positive caps (%d, %d)" path trg_cap wits_cap;
+  let bounded_runs = get_list bounded ~path "runs" in
+  if bounded_runs = [] then fail "%s: bounded.runs is empty" path;
+  List.iter
+    (fun run ->
+      let jobs = get_int run "jobs" in
+      let label = Printf.sprintf "bounded jobs=%d" jobs in
+      if get_int run "trg_peak_shard" > trg_cap then
+        fail "%s: %s trg peak %d exceeds cap %d" path label (get_int run "trg_peak_shard")
+          trg_cap;
+      if get_int run "wits_peak_shard" > wits_cap then
+        fail "%s: %s wits peak %d exceeds cap %d" path label (get_int run "wits_peak_shard")
+          wits_cap;
+      if get_int run "trg_evicted" <= 0 || get_int run "wits_evicted" <= 0 then
+        fail "%s: %s recorded no evictions under pressure" path label;
+      if get_int run "decay_dropped" <= 0 then
+        fail "%s: %s recorded no decay drops" path label)
+    bounded_runs;
+  (* Embedded end-to-end serve summary: verified digests, positive
+     throughput, ordered latency percentiles. *)
+  let serve = J.Obj (get_obj json ~path "serve") in
+  require_schema serve ~path:(path ^ "#serve") "colayout/serve/v1";
+  let verify = J.Obj (get_obj serve ~path:(path ^ "#serve") "verify") in
+  if not (get_bool verify ~path "digests_match") then
+    fail "%s: serve summary diverged from the batch kernels" path;
+  let tps = get_float serve ~path "traces_per_sec" in
+  if tps <= 0.0 then fail "%s: serve has non-positive traces_per_sec" path;
+  let p50 = get_float serve ~path "trace_p50_ns"
+  and p95 = get_float serve ~path "trace_p95_ns"
+  and p99 = get_float serve ~path "trace_p99_ns" in
+  if not (p50 > 0.0 && p50 <= p95 && p95 <= p99) then
+    fail "%s: serve latency percentiles are not ordered (%.0f/%.0f/%.0f)" path p50 p95 p99;
+  if get_list serve ~path "epochs" = [] then fail "%s: serve summary has no epoch rows" path;
+  let best = get_float json ~path "best_parallel_vs_serial" in
+  if best <= 0.0 then fail "%s: non-positive best_parallel_vs_serial" path;
+  if cores >= 2 && mode = "full" && best < 0.8 then
+    fail "%s: %d cores but best pooled ingest is %.2fx serial (< 0.8)" path cores best;
+  Printf.printf
+    "check_serve: %s ok (%d grid cells, %d cores, best pooled %.2fx, serve %.1f traces/s)\n"
+    path (List.length grid) cores best tps
+
+let () =
+  set_tool "check_serve";
+  match Array.to_list Sys.argv with
+  | [ _; "bench"; path ] -> check_bench path
+  | _ ->
+    prerr_endline "usage: check_serve bench FILE";
+    exit 2

@@ -68,6 +68,82 @@ let test_bad_magic () =
   | _ -> Alcotest.fail "expected Failure");
   Sys.remove path
 
+(* The chunked streaming reader: header decoded eagerly, events handed
+   out through a caller buffer whose size need not divide the stream —
+   draining through odd-sized chunks must reproduce the eager load. *)
+let test_streaming_reader_chunks () =
+  let path = tmp "reader.trc" in
+  let t =
+    Trace.of_list ~num_symbols:257
+      (List.init 10_000 (fun i -> ((i * i) + (i lsr 3)) mod 257))
+  in
+  Trace_io.save ~path t;
+  let eager = Trace_io.load ~path in
+  Trace_io.with_reader ~path (fun r ->
+      check Alcotest.int "header num_symbols" 257 (Trace_io.reader_num_symbols r);
+      check Alcotest.int "header length" (Trace.length t) (Trace_io.reader_length r);
+      check Alcotest.int "nothing consumed yet" (Trace.length t)
+        (Trace_io.reader_remaining r);
+      let buf = Array.make 777 0 in
+      let got = Trace.create ~num_symbols:257 () in
+      let rec drain () =
+        let n = Trace_io.read_chunk r buf in
+        if n > 0 then begin
+          for i = 0 to n - 1 do
+            Trace.push got buf.(i)
+          done;
+          drain ()
+        end
+      in
+      drain ();
+      check Alcotest.int "stream drained" 0 (Trace_io.reader_remaining r);
+      check Alcotest.int "read past end returns 0" 0 (Trace_io.read_chunk r buf);
+      check Alcotest.bool "chunked == eager load" true (Trace.equal eager got));
+  Sys.remove path
+
+let test_fold_chunks () =
+  let path = tmp "fold.trc" in
+  let t = Trace.of_list ~num_symbols:97 (List.init 5_000 (fun i -> (i * 13) mod 97)) in
+  Trace_io.save ~path t;
+  let got = Trace.create ~num_symbols:97 () in
+  let count =
+    Trace_io.fold_chunks ~path ~chunk:123
+      (fun c buf n ->
+        for i = 0 to n - 1 do
+          Trace.push got buf.(i)
+        done;
+        c + n)
+      0
+  in
+  check Alcotest.int "fold sees every event" (Trace.length t) count;
+  check Alcotest.bool "fold preserves order" true (Trace.equal t got);
+  Sys.remove path
+
+let test_reader_truncated_and_closed () =
+  let path = tmp "trunc.trc" in
+  let t = Trace.of_list ~num_symbols:50 (List.init 1_000 (fun i -> i mod 50)) in
+  Trace_io.save ~path t;
+  (* Chop the file mid-payload: the reader must fail loudly, not hand
+     out a short stream. *)
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub bytes 0 (String.length bytes / 2));
+  close_out oc;
+  (match
+     Trace_io.fold_chunks ~path (fun c _ n -> c + n) 0
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on truncated stream");
+  (* Reading through a closed reader is a programming error. *)
+  Trace_io.save ~path t;
+  let r = Trace_io.open_reader ~path in
+  Trace_io.close_reader r;
+  Trace_io.close_reader r;
+  (match Trace_io.read_chunk r (Array.make 16 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument after close");
+  Sys.remove path
+
 let test_mapping_roundtrip () =
   let path = tmp "mapping.txt" in
   let names = [| "main.entry"; "f.loop"; "weird name with spaces" |] in
@@ -173,6 +249,9 @@ let () =
           QCheck_alcotest.to_alcotest trace_roundtrip_prop;
           Alcotest.test_case "real workload" `Quick test_trace_io_real_workload;
           Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "streaming reader chunks" `Quick test_streaming_reader_chunks;
+          Alcotest.test_case "fold_chunks" `Quick test_fold_chunks;
+          Alcotest.test_case "truncated and closed" `Quick test_reader_truncated_and_closed;
           Alcotest.test_case "mapping roundtrip" `Quick test_mapping_roundtrip;
           Alcotest.test_case "mapping gaps" `Quick test_mapping_rejects_gaps;
         ] );

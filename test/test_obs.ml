@@ -113,6 +113,98 @@ let test_metrics_timer_and_json () =
   check (Alcotest.option Alcotest.int) "reset zeroes counters" (Some 0)
     (U.Metrics.find_counter m "a")
 
+(* Latency histograms: 62 binary-magnitude buckets, percentile = the
+   upper bound (2^(i+1) - 1) of the bucket holding the requested rank. *)
+let test_hist_observe_and_percentiles () =
+  let m = U.Metrics.create () in
+  let h = U.Metrics.histogram m "lat" in
+  check (Alcotest.float 0.0) "empty percentile" 0.0 (U.Metrics.percentile h 0.99);
+  for v = 1 to 10 do
+    U.Metrics.observe h v
+  done;
+  check Alcotest.int "observations" 10 (U.Metrics.observations h);
+  check Alcotest.int "total" 55 (U.Metrics.hist_total h);
+  (* Buckets: {1} {2,3} {4..7} {8,9,10} = counts 1/2/4/3. Rank 1 lands in
+     bucket 0 (bound 1), rank 5 in bucket 2 (bound 7), rank 10 in bucket
+     3 (bound 15). *)
+  check (Alcotest.float 0.0) "p10" 1.0 (U.Metrics.percentile h 0.1);
+  check (Alcotest.float 0.0) "p50" 7.0 (U.Metrics.percentile h 0.5);
+  check (Alcotest.float 0.0) "p95" 15.0 (U.Metrics.percentile h 0.95);
+  (* Out-of-range p clamps; negative samples clamp to 0 and add nothing
+     to the total. *)
+  check (Alcotest.float 0.0) "p>1 clamps" 15.0 (U.Metrics.percentile h 2.0);
+  U.Metrics.observe h (-5);
+  check Alcotest.int "negative sample counted" 11 (U.Metrics.observations h);
+  check Alcotest.int "negative sample adds 0" 55 (U.Metrics.hist_total h);
+  (* [observe_ns] is a name-keyed alias for the same registry cell. *)
+  U.Metrics.observe_ns m "lat" 100;
+  check Alcotest.int "observe_ns aliases" 12 (U.Metrics.observations h);
+  (* The factor-of-two accuracy contract, across magnitudes. *)
+  List.iter
+    (fun v ->
+      let h1 = U.Metrics.histogram (U.Metrics.create ()) "x" in
+      U.Metrics.observe h1 v;
+      let p = U.Metrics.percentile h1 1.0 in
+      check Alcotest.bool
+        (Printf.sprintf "p100 within 2x of %d" v)
+        true
+        (p >= float_of_int v && p < 2.0 *. float_of_int v))
+    [ 1; 2; 3; 5; 8; 1000; 65_535; 65_536; 1 lsl 40 ]
+
+(* Merging per-domain histograms bucket-wise must give the pooled-sample
+   percentiles: split a sample set across two registries, merge, compare
+   against one registry that saw everything. *)
+let test_hist_merge_equivalence () =
+  let spread = [ 3; 900; 17; 2; 45_000; 8; 8; 129; 6; 1_000_000 ] in
+  let pooled = U.Metrics.create () in
+  List.iter (U.Metrics.observe_ns pooled "lat") spread;
+  let a = U.Metrics.create () and b = U.Metrics.create () in
+  List.iteri
+    (fun i v -> U.Metrics.observe_ns (if i mod 2 = 0 then a else b) "lat" v)
+    spread;
+  U.Metrics.merge ~into:a b;
+  let ha = U.Metrics.histogram a "lat" and hp = U.Metrics.histogram pooled "lat" in
+  check Alcotest.int "merged observations" (U.Metrics.observations hp)
+    (U.Metrics.observations ha);
+  check Alcotest.int "merged total" (U.Metrics.hist_total hp) (U.Metrics.hist_total ha);
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "p%g equal after merge" (p *. 100.0))
+        (U.Metrics.percentile hp p) (U.Metrics.percentile ha p))
+    [ 0.0; 0.5; 0.9; 0.95; 0.99; 1.0 ];
+  (* Empty source histograms must not materialize in the destination. *)
+  let c = U.Metrics.create () in
+  ignore (U.Metrics.histogram c "phantom");
+  U.Metrics.merge ~into:a c;
+  check Alcotest.bool "empty histogram not merged" false
+    (List.mem_assoc "phantom" (U.Metrics.histograms a))
+
+let test_hist_reset_and_json () =
+  let m = U.Metrics.create () in
+  U.Metrics.observe_ns m "lat" 5;
+  U.Metrics.observe_ns m "lat" 900;
+  let json = U.Metrics.to_json m in
+  (match J.member "histograms" json with
+  | Some (J.Obj [ ("lat", lat) ]) ->
+    check (Alcotest.option Alcotest.int) "count" (Some 2)
+      (Option.bind (J.member "count" lat) J.to_int);
+    check (Alcotest.option Alcotest.int) "total" (Some 905)
+      (Option.bind (J.member "total" lat) J.to_int);
+    check (Alcotest.option (Alcotest.float 0.0)) "p50" (Some 7.0)
+      (Option.bind (J.member "p50" lat) J.to_float);
+    (match Option.bind (J.member "buckets" lat) J.to_list with
+    | Some l -> check Alcotest.int "two occupied buckets" 2 (List.length l)
+    | None -> Alcotest.fail "no buckets array")
+  | _ -> Alcotest.fail "expected one histogram in to_json");
+  (* Reset zeroes in place: cached handles keep pointing at live cells. *)
+  let h = U.Metrics.histogram m "lat" in
+  U.Metrics.reset m;
+  check Alcotest.int "reset zeroes observations" 0 (U.Metrics.observations h);
+  check (Alcotest.float 0.0) "reset zeroes percentiles" 0.0 (U.Metrics.percentile h 0.5);
+  U.Metrics.observe h 3;
+  check Alcotest.int "handle still live after reset" 1 (U.Metrics.observations h)
+
 (* ---------- Span ---------- *)
 
 let test_span_nesting () =
@@ -304,6 +396,9 @@ let () =
         [
           Alcotest.test_case "counters-gauges" `Quick test_metrics_counters_gauges;
           Alcotest.test_case "timer-json" `Quick test_metrics_timer_and_json;
+          Alcotest.test_case "hist-percentiles" `Quick test_hist_observe_and_percentiles;
+          Alcotest.test_case "hist-merge" `Quick test_hist_merge_equivalence;
+          Alcotest.test_case "hist-reset-json" `Quick test_hist_reset_and_json;
         ] );
       ( "span",
         [

@@ -1,0 +1,267 @@
+(* Tests for the streaming ingest service core ([Ingest]): the sharded
+   online TRG/affinity accumulators must be bit-identical to the batch
+   kernels ([Trg.build] / [Affinity.affine_pairs]) on the trimmed
+   concatenation of the fed traces, at every shard count and jobs count,
+   regardless of feed granularity (whole traces, odd-sized chunks, or
+   files through the streaming reader). Bounded-memory mode (caps +
+   decay) is approximate by design but must be deterministic given the
+   ingest order, keep every shard table under its cap at flush
+   boundaries, and actually evict under pressure. *)
+
+open Colayout
+open Colayout_trace
+module U = Colayout_util
+
+let check = Alcotest.check
+
+let shard_counts = [ 1; 2; 4 ]
+
+let jobs_counts = [ 1; 2; 4 ]
+
+(* Zipf-popularity user traces with deliberate consecutive repeats so the
+   walker's inline trimming is exercised (the batch side trims the
+   concatenation explicitly). *)
+let user_traces ~seed ~users ~num_symbols ~len =
+  let prng = U.Prng.create ~seed in
+  List.init users (fun _ ->
+      let t = Trace.create ~num_symbols () in
+      for _ = 1 to len do
+        let s = U.Prng.zipf prng ~n:num_symbols ~s:0.9 in
+        Trace.push t s;
+        if U.Prng.bool prng ~p:0.2 then Trace.push t s
+      done;
+      t)
+
+let concat_traces ~num_symbols traces =
+  let cat = Trace.create ~num_symbols () in
+  List.iter (fun t -> Trace.iter (fun s -> Trace.push cat s) t) traces;
+  cat
+
+let ingest_all ?pool cfg traces =
+  let ing = Ingest.create ?pool cfg in
+  List.iter (fun t -> Ingest.ingest_trace ing t) traces;
+  ing
+
+(* ---------------------------------------- sharded online == batch *)
+
+let test_sharded_equals_batch () =
+  let num_symbols = 48 in
+  List.iter
+    (fun seed ->
+      let traces = user_traces ~seed ~users:10 ~num_symbols ~len:300 in
+      let cat = concat_traces ~num_symbols traces in
+      let batch = Ingest.batch_digests ~trg_window:12 ~affinity_w:6 cat in
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun jobs ->
+              U.Pool.with_pool ~jobs (fun pool ->
+                  let cfg =
+                    Ingest.config ~num_symbols ~shards ~trg_window:12 ~affinity_w:6
+                      ~flush_ops:512 ()
+                  in
+                  let ing = ingest_all ~pool cfg traces in
+                  let online = Ingest.consensus_digests (Ingest.finalize ing) in
+                  check
+                    Alcotest.(pair string string)
+                    (Printf.sprintf "digests (seed=%d shards=%d jobs=%d)" seed shards jobs)
+                    batch online))
+            jobs_counts)
+        shard_counts)
+    [ 1; 2; 42 ]
+
+(* Property form: random trace sets, every shard count, checked against
+   the batch kernels via the shared digest renderings. *)
+let prop_sharded_equals_batch =
+  QCheck.Test.make ~count:12 ~name:"ingest: sharded online == batch on concatenation"
+    QCheck.(pair (int_range 0 1000) (int_range 1 6))
+    (fun (seed, users) ->
+      let num_symbols = 32 in
+      let traces = user_traces ~seed ~users ~num_symbols ~len:120 in
+      let cat = concat_traces ~num_symbols traces in
+      let batch = Ingest.batch_digests ~trg_window:8 ~affinity_w:4 cat in
+      List.for_all
+        (fun shards ->
+          let cfg =
+            Ingest.config ~num_symbols ~shards ~trg_window:8 ~affinity_w:4 ~flush_ops:64 ()
+          in
+          let ing = ingest_all cfg traces in
+          Ingest.consensus_digests (Ingest.finalize ing) = batch)
+        shard_counts)
+
+(* Feeding granularity must not matter: whole traces, odd chunks, and
+   trace files through the streaming reader all describe the same
+   concatenated stream. *)
+let test_chunked_and_file_feeds () =
+  let num_symbols = 40 in
+  let traces = user_traces ~seed:7 ~users:6 ~num_symbols ~len:250 in
+  let cfg = Ingest.config ~num_symbols ~shards:2 ~trg_window:10 ~affinity_w:5 () in
+  let whole = Ingest.consensus_digests (Ingest.finalize (ingest_all cfg traces)) in
+  (* Odd-sized chunks, mid-trace boundaries. *)
+  let chunked = Ingest.create cfg in
+  List.iter
+    (fun t ->
+      let arr = U.Int_vec.to_array (Trace.events t) in
+      let n = Array.length arr in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min 7 (n - !pos) in
+        Ingest.feed_chunk chunked (Array.sub arr !pos len) len;
+        pos := !pos + len
+      done;
+      Ingest.end_trace chunked)
+    traces;
+  check
+    Alcotest.(pair string string)
+    "chunked == whole" whole
+    (Ingest.consensus_digests (Ingest.finalize chunked));
+  (* Through trace files and the chunked streaming reader. *)
+  let dir = Filename.temp_file "colayout_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let filed = Ingest.create cfg in
+      List.iteri
+        (fun i t ->
+          let path = Filename.concat dir (Printf.sprintf "u%d.trace" i) in
+          Trace_io.save ~path t;
+          Ingest.feed_file filed ~path)
+        traces;
+      check
+        Alcotest.(pair string string)
+        "file-streamed == whole" whole
+        (Ingest.consensus_digests (Ingest.finalize filed)))
+
+(* Dead-witness pruning is exact: epochs with pruning on must not change
+   the affine set (digests equal to batch), while actually pruning. *)
+let test_prune_exactness () =
+  let num_symbols = 36 in
+  let traces = user_traces ~seed:11 ~users:12 ~num_symbols ~len:220 in
+  let cat = concat_traces ~num_symbols traces in
+  let batch = Ingest.batch_digests ~trg_window:10 ~affinity_w:5 cat in
+  let mk prune =
+    let cfg =
+      Ingest.config ~num_symbols ~shards:2 ~trg_window:10 ~affinity_w:5 ~epoch_traces:3
+        ~prune_dead:prune ()
+    in
+    ingest_all cfg traces
+  in
+  let pruned = mk true in
+  let digests = Ingest.consensus_digests (Ingest.finalize pruned) in
+  check Alcotest.(pair string string) "pruned == batch" batch digests;
+  check Alcotest.(pair string string) "no-prune == batch" batch
+    (Ingest.consensus_digests (Ingest.finalize (mk false)));
+  let s = Ingest.stats pruned in
+  Alcotest.(check bool) "pruning actually fired" true (s.dead_pruned > 0);
+  Alcotest.(check bool)
+    "pruned table smaller than unpruned"
+    (s.wits_live < (Ingest.stats (mk false)).wits_live)
+    true
+
+(* ---------------------------------------- bounded-memory mode *)
+
+let bounded_cfg ~num_symbols ~shards =
+  Ingest.config ~num_symbols ~shards ~trg_window:12 ~affinity_w:6 ~trg_cap:64 ~wits_cap:96
+    ~decay_shift:1 ~epoch_traces:4 ~flush_ops:256 ()
+
+let test_bounded_caps_and_determinism () =
+  let num_symbols = 64 in
+  let traces = user_traces ~seed:23 ~users:16 ~num_symbols ~len:400 in
+  let run ~shards ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let ing = ingest_all ~pool (bounded_cfg ~num_symbols ~shards) traces in
+        let d = Ingest.consensus_digests (Ingest.finalize ing) in
+        (d, Ingest.stats ing))
+  in
+  let reference, s = run ~shards:2 ~jobs:1 in
+  (* Under pressure the caps must bite and be respected at flush
+     boundaries. *)
+  Alcotest.(check bool) "trg evictions fired" true (s.trg_evicted > 0);
+  Alcotest.(check bool) "wits evictions fired" true (s.wits_evicted > 0);
+  Alcotest.(check bool) "decay fired" true (s.decay_dropped > 0);
+  Alcotest.(check bool) "trg peak within cap" true (s.trg_peak_shard <= 64);
+  Alcotest.(check bool) "wits peak within cap" true (s.wits_peak_shard <= 96);
+  Alcotest.(check bool) "live within caps" true
+    (s.trg_live <= 2 * 64 && s.wits_live <= 2 * 96);
+  (* Same ingest order => same result: across repeated runs and across
+     jobs counts (shard count is part of the config, so it may change the
+     approximation — but jobs must not). *)
+  List.iter
+    (fun jobs ->
+      let d, _ = run ~shards:2 ~jobs in
+      check Alcotest.(pair string string) (Printf.sprintf "jobs=%d identical" jobs) reference d)
+    jobs_counts;
+  let again, _ = run ~shards:2 ~jobs:2 in
+  check Alcotest.(pair string string) "repeated run identical" reference again
+
+(* Decay arithmetic on a hand-checked example: one epoch of shift-1 decay
+   halves (floor) every TRG weight and forgets weight-1 edges. *)
+let test_decay_example () =
+  let num_symbols = 8 in
+  let mk_trace l =
+    let t = Trace.create ~num_symbols () in
+    List.iter (Trace.push t) l;
+    t
+  in
+  (* Trace [0;1;0;1;0]: each event from the third on recurs within
+     window 4 with the other symbol in between, so TRG edge (0,1) ends
+     at weight 3. *)
+  let cfg_decay =
+    Ingest.config ~num_symbols ~trg_window:4 ~affinity_w:4 ~decay_shift:1 ~epoch_traces:1 ()
+  in
+  let ing = Ingest.create cfg_decay in
+  Ingest.ingest_trace ing (mk_trace [ 0; 1; 0; 1; 0 ]);
+  (* All of this trace's ops flush at its end_trace epoch, so the full
+     weight decays once: 3 lsr 1 = 1. *)
+  let c = Ingest.finalize ing in
+  check Alcotest.int "decayed weight" 1 (Trg.weight c.trg 0 1);
+  (* A second epoch with no new evidence forgets the edge entirely. *)
+  Ingest.ingest_trace ing (mk_trace [ 2; 3 ]);
+  let c2 = Ingest.finalize ing in
+  check Alcotest.int "edge forgotten" 0 (Trg.weight c2.trg 0 1)
+
+(* Cross-boundary trimming: a trace ending in [s] followed by one
+   starting with [s] contributes a single kept event, exactly like
+   trimming the concatenation. *)
+let test_cross_trace_trimming () =
+  let num_symbols = 8 in
+  let mk l =
+    let t = Trace.create ~num_symbols () in
+    List.iter (Trace.push t) l;
+    t
+  in
+  let parts = [ mk [ 0; 1; 2; 2 ]; mk [ 2; 2; 3 ]; mk [ 3; 3; 3 ] ] in
+  let cat = concat_traces ~num_symbols parts in
+  let batch = Ingest.batch_digests ~trg_window:4 ~affinity_w:3 cat in
+  let cfg = Ingest.config ~num_symbols ~trg_window:4 ~affinity_w:3 () in
+  let ing = ingest_all cfg parts in
+  check Alcotest.(pair string string) "trimmed across boundaries" batch
+    (Ingest.consensus_digests (Ingest.finalize ing));
+  let s = Ingest.stats ing in
+  check Alcotest.int "kept events" 4 s.kept_events;
+  check Alcotest.int "raw events" 10 s.events
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "ingest",
+        [
+          Alcotest.test_case "sharded online == batch across shards x jobs" `Quick
+            test_sharded_equals_batch;
+          QCheck_alcotest.to_alcotest prop_sharded_equals_batch;
+          Alcotest.test_case "chunked and file feeds equivalent" `Quick
+            test_chunked_and_file_feeds;
+          Alcotest.test_case "dead-witness pruning exact" `Quick test_prune_exactness;
+          Alcotest.test_case "cross-trace trimming" `Quick test_cross_trace_trimming;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "caps + determinism under pressure" `Quick
+            test_bounded_caps_and_determinism;
+          Alcotest.test_case "decay example" `Quick test_decay_example;
+        ] );
+    ]
