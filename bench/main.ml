@@ -36,6 +36,22 @@ let cores_available () = Domain.recommended_domain_count ()
 
 let cores_field () = ("cores_available", U.Json.Int (cores_available ()))
 
+(* Standard provenance block every manifest carries: how long this bench
+   part ran, what the GC did getting there, and the host width — so a
+   committed manifest says under what conditions its numbers were taken.
+   Call with the clock value captured at the part's entry. *)
+let runtime_field t0 =
+  let s = Gc.quick_stat () in
+  ( "runtime",
+    U.Json.Obj
+      [
+        ("wall_ns", U.Json.Int (Int64.to_int (Int64.sub (U.Metrics.default_clock ()) t0)));
+        ("minor_words", U.Json.Float s.Gc.minor_words);
+        ("major_words", U.Json.Float s.Gc.major_words);
+        ("compactions", U.Json.Int s.Gc.compactions);
+        cores_field ();
+      ] )
+
 (* Shared inputs for parts 1-3, prepared once — lazily, so the kernel-only
    modes never pay for the workload build and interpreter runs. *)
 let shared =
@@ -82,12 +98,13 @@ let json_escape s =
   String.concat "" (List.map (fun c -> if c = '"' || c = '\\' then "\\" ^ String.make 1 c else String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_kernels_json ~path ~mode ~num_symbols ~trace_len ~w ~slots ~kernels ~speedups
+let write_kernels_json ~path ~mode ~t0 ~num_symbols ~trace_len ~w ~slots ~kernels ~speedups
     ~packed_words ~legacy_words =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"schema\": \"colayout/bench-kernels/v1\",\n";
+  out "  \"runtime\": %s,\n" (U.Json.to_string (snd (runtime_field t0)));
   out "  \"mode\": \"%s\",\n" (json_escape mode);
   out "  \"params\": { \"num_symbols\": %d, \"trace_len\": %d, \"w\": %d, \"window\": %d, \"slots\": %d },\n"
     num_symbols trace_len w w slots;
@@ -112,6 +129,7 @@ let write_kernels_json ~path ~mode ~num_symbols ~trace_len ~w ~slots ~kernels ~s
   close_out oc
 
 let run_kernels ~quick ~json_path =
+  let t0 = U.Metrics.default_clock () in
   let num_symbols = if quick then 1024 else 4096 in
   let len = if quick then 12_000 else 120_000 in
   let w = 512 in
@@ -163,8 +181,8 @@ let run_kernels ~quick ~json_path =
   end;
   write_kernels_json ~path:json_path
     ~mode:(if quick then "quick" else "full")
-    ~num_symbols ~trace_len:(T.Trace.length trace) ~w ~slots ~kernels ~speedups ~packed_words
-    ~legacy_words;
+    ~t0 ~num_symbols ~trace_len:(T.Trace.length trace) ~w ~slots ~kernels ~speedups
+    ~packed_words ~legacy_words;
   Printf.printf "  wrote %s\n\n%!" json_path
 
 (* ----------------------------------------------------------- Part 0.5 *)
@@ -181,6 +199,7 @@ let harness_program = "445.gobmk"
 let harness_probe = "403.gcc"
 
 let run_harness_manifest ~quick ~path =
+  let t0 = U.Metrics.default_clock () in
   Printf.printf "== Harness stage timings (end-to-end pipeline, fast scale) ==\n%!";
   let ctx = H.Ctx.create ~scale:H.Ctx.Fast () in
   let spans = H.Ctx.spans ctx in
@@ -221,6 +240,7 @@ let run_harness_manifest ~quick ~path =
         ("stages", U.Json.Arr stages);
         ("category_totals_ns", U.Json.Obj totals);
         ("counters", U.Json.Obj counters);
+        runtime_field t0;
       ]
   in
   let oc = open_out path in
@@ -294,6 +314,7 @@ let run_parallel_matrix ~kinds ~selves ~probes ~jobs =
   (wall_ns, digest, List.length cells)
 
 let run_parallel_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
   Printf.printf "== Parallel scaling: fig6 co-run matrix under the domain pool ==\n%!";
   let kinds = if quick then [ Optimizer.Func_affinity ] else H.Exp_fig6.optimizers in
   let selves =
@@ -357,6 +378,7 @@ let run_parallel_bench ~quick ~path =
                runs) );
         ("identical_tables", U.Json.Bool identical);
         ("speedup", U.Json.Obj speedups);
+        runtime_field t_start;
       ]
   in
   let oc = open_out path in
@@ -391,6 +413,7 @@ let classification_json sink =
     ]
 
 let run_profile_manifest ~quick ~path =
+  let t0 = U.Metrics.default_clock () in
   Printf.printf "== Cache-profile manifest: conflict-miss reduction by layout ==\n%!";
   let workloads =
     if quick then [ List.hd profile_workloads ] else profile_workloads
@@ -437,6 +460,7 @@ let run_profile_manifest ~quick ~path =
                    ])
                rows) );
         ("any_conflict_drop", U.Json.Bool any_drop);
+        runtime_field t0;
       ]
   in
   let oc = open_out path in
@@ -477,6 +501,7 @@ let layout_eval_profile =
 let layout_eval_params = C.Params.make ~size_bytes:2048 ~assoc:2 ~line_bytes:64
 
 let run_layout_eval_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
   Printf.printf "== Layout-evaluation engine: zero-allocation scoring vs seed path ==\n%!";
   let params = layout_eval_params in
   let program = W.Gen.build layout_eval_profile in
@@ -630,6 +655,7 @@ let run_layout_eval_bench ~quick ~path =
                    ])
                batch_runs) );
         ("identical_batches", U.Json.Bool true);
+        runtime_field t_start;
       ]
   in
   let oc = open_out path in
@@ -683,6 +709,7 @@ let layout_eval_delta_profile =
 let layout_eval_delta_params = C.Params.make ~size_bytes:131_072 ~assoc:2 ~line_bytes:64
 
 let run_layout_eval_delta_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
   Printf.printf "== Delta evaluation: dirty-set re-simulation vs full recompute ==\n%!";
   let params = layout_eval_delta_params in
   let program = W.Gen.build layout_eval_delta_profile in
@@ -892,6 +919,7 @@ let run_layout_eval_delta_bench ~quick ~path =
               ("miss_ratio", U.Json.Float delta_r.Anneal.miss_ratio);
               ("identical_results", U.Json.Bool identical);
             ] );
+        runtime_field t_start;
       ]
   in
   let oc = open_out path in
@@ -931,6 +959,7 @@ let run_layout_eval_delta_bench ~quick ~path =
    1.0; quick mode and single-core hosts only require positive walls. *)
 
 let run_scaling_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
   Printf.printf "== Scaling study: work-stealing vs fixed chunks, strong/weak curves ==\n%!";
   let params = layout_eval_params in
   let program = W.Gen.build layout_eval_profile in
@@ -1182,6 +1211,7 @@ let run_scaling_bench ~quick ~path =
         ("skewed_steal_vs_fixed_at_gate_jobs", U.Json.Float skew_ratio_gate);
         ("skewed_steal_vs_fixed_at_max_jobs", U.Json.Float skew_ratio_max);
         ("best_uniform_strong_speedup", U.Json.Float best_uniform_speedup);
+        runtime_field t_start;
       ]
   in
   let oc = open_out path in
@@ -1205,6 +1235,7 @@ let run_scaling_bench ~quick ~path =
    + ingest + epoch re-optimization) rounds out the manifest with
    service-level throughput and latency percentiles. *)
 let run_serve_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
   Printf.printf "== Streaming ingest service: sharded online vs batch kernels ==\n\n%!";
   let program_name = "429.mcf" in
   let users = if quick then 10 else 96 in
@@ -1450,6 +1481,7 @@ let run_serve_bench ~quick ~path =
         ("best_parallel_vs_serial", U.Json.Float best_parallel_vs_serial);
         ("bounded", bounded_json);
         ("serve", H.Serve.summary_to_json serve_summary);
+        runtime_field t_start;
       ]
   in
   let oc = open_out path in
@@ -1457,6 +1489,194 @@ let run_serve_bench ~quick ~path =
   output_char oc '\n';
   close_out oc;
   Printf.printf "  wrote %s\n\n%!" path
+
+(* The interference observatory end to end. Each co-run cell replays a
+   (self layout, peer) pair through the profiled shared cache; the
+   owner-tagged sink attributes every eviction to (evictor, victim owner)
+   and every non-first miss to (misser, last evictor), from which the
+   paper's co-run scores fall out exactly. Three hard properties are
+   fatal in every mode:
+   - conservation: the matrices partition the Cache_stats totals
+     (Profile.interference_json raises on any mismatch);
+   - transparency: a sinkless replay of the same cell yields bit-identical
+     totals — attaching the observatory cannot perturb the experiment;
+   - jobs invariance: the serialized cells are byte-identical when the
+     context fans out over a 2-domain pool.
+   The headline gate then requires the optimized self layout to beat the
+   original on BOTH defensiveness and politeness in at least two cells.
+   Alongside the manifest, every cell is recorded through an Obs ring
+   with a live stream sink, producing the colayout/obs/v1 JSONL artifact
+   the stream checker validates. *)
+let run_obs_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
+  Printf.printf "== Interference observatory: politeness/defensiveness attribution ==\n\n%!";
+  let cells =
+    [ ("445.gobmk", "403.gcc"); ("403.gcc", "429.mcf"); ("429.mcf", "445.gobmk") ]
+  in
+  let opt_kind = Optimizer.Bb_affinity in
+  let scale = if quick then H.Ctx.Fast else H.Ctx.Full in
+  (* One cell at one self layout: profiled co-run + transparency check
+     against the unprofiled twin; returns the conservation-checked JSON
+     plus the two scores of the self thread. *)
+  let measure ctx (self_name, peer_name) kind =
+    let self = (self_name, kind) and peer = (peer_name, Optimizer.Original) in
+    let stats, sink = H.Ctx.profiled_corun ctx ~hw:false ~self ~peer in
+    let bare = H.Ctx.corun_stats ctx ~hw:false ~self ~peer in
+    let same what a b =
+      if a <> b then begin
+        Printf.eprintf
+          "FATAL: sink perturbs %s of %s|%s/%s (%d profiled, %d bare)\n%!" what
+          self_name peer_name (Optimizer.kind_name kind) a b;
+        exit 1
+      end
+    in
+    same "accesses" (C.Cache_stats.accesses stats) (C.Cache_stats.accesses bare);
+    same "misses" (C.Cache_stats.misses stats) (C.Cache_stats.misses bare);
+    same "evictions" (C.Cache_stats.evictions stats) (C.Cache_stats.evictions bare);
+    for th = 0 to 1 do
+      same "thread accesses"
+        (C.Cache_stats.thread_accesses stats th)
+        (C.Cache_stats.thread_accesses bare th);
+      same "thread misses"
+        (C.Cache_stats.thread_misses stats th)
+        (C.Cache_stats.thread_misses bare th)
+    done;
+    let label =
+      Printf.sprintf "%s(%s)|%s" self_name (Optimizer.kind_name kind) peer_name
+    in
+    let interference =
+      try C.Profile.interference_json ~label ~sink ~stats
+      with Invalid_argument msg ->
+        Printf.eprintf "FATAL: conservation violated in cell %s: %s\n%!" label msg;
+        exit 1
+    in
+    ( interference,
+      C.Cache_stats.thread_miss_ratio stats 0,
+      C.Profile_sink.defensiveness sink ~thread:0,
+      C.Profile_sink.politeness sink ~thread:0 )
+  in
+  let run_cells ctx =
+    List.map
+      (fun cell ->
+        let base = measure ctx cell Optimizer.Original in
+        let opt = measure ctx cell opt_kind in
+        (cell, base, opt))
+      cells
+  in
+  let rows = run_cells (H.Ctx.create ~scale ()) in
+  (* Jobs invariance: the same cells through a pooled context must
+     serialize identically, byte for byte. *)
+  let serialize rows =
+    List.map
+      (fun (_, (bj, _, _, _), (oj, _, _, _)) ->
+        U.Json.to_string bj ^ "\n" ^ U.Json.to_string oj)
+      rows
+  in
+  let rows_j2 =
+    U.Pool.with_pool ~jobs:2 (fun pool -> run_cells (H.Ctx.create ~scale ~pool ()))
+  in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then begin
+        let (s, p), _, _ = List.nth rows i in
+        Printf.eprintf "FATAL: cell %s|%s attribution differs between jobs=1 and jobs=2\n%!"
+          s p;
+        exit 1
+      end)
+    (List.combine (serialize rows) (serialize rows_j2));
+  (* Obs ring + live stream: one snapshot per cell, streamed to the JSONL
+     artifact next to the manifest as it is recorded. *)
+  let stream_path = Filename.remove_extension path ^ ".jsonl" in
+  let obs = U.Obs.create () in
+  let oc_stream = open_out stream_path in
+  U.Obs.set_stream obs (Some (fun line -> output_string oc_stream (line ^ "\n")));
+  let cell_rows =
+    List.map
+      (fun ((self_name, peer_name), (bj, bmr, bdef, bpol), (oj, omr, odef, opol)) ->
+        let improved = odef > bdef && opol > bpol in
+        U.Obs.record obs ~label:"cell"
+          ([
+             ("self", U.Json.Str self_name);
+             ("peer", U.Json.Str peer_name);
+             ("baseline", bj);
+             ("optimized", oj);
+             ("improved_both", U.Json.Bool improved);
+           ]
+          @ U.Obs.gc_fields ());
+        Printf.printf
+          "  %-10s | %-10s  def %.4f -> %.4f  pol %.4f -> %.4f  miss %.4f -> %.4f%s\n%!"
+          self_name peer_name bdef odef bpol opol bmr omr
+          (if improved then "  (improved both)" else "");
+        U.Json.Obj
+          [
+            ("self", U.Json.Str self_name);
+            ("peer", U.Json.Str peer_name);
+            ("optimizer", U.Json.Str (Optimizer.kind_name opt_kind));
+            ( "baseline",
+              U.Json.Obj
+                [
+                  ("miss_ratio", U.Json.Float bmr);
+                  ("defensiveness", U.Json.Float bdef);
+                  ("politeness", U.Json.Float bpol);
+                  ("interference", bj);
+                ] );
+            ( "optimized",
+              U.Json.Obj
+                [
+                  ("miss_ratio", U.Json.Float omr);
+                  ("defensiveness", U.Json.Float odef);
+                  ("politeness", U.Json.Float opol);
+                  ("interference", oj);
+                ] );
+            ("improved_both", U.Json.Bool improved);
+          ])
+      rows
+  in
+  U.Obs.set_stream obs None;
+  close_out oc_stream;
+  let improved_cells =
+    List.length
+      (List.filter
+         (fun (_, (_, _, bdef, bpol), (_, _, odef, opol)) -> odef > bdef && opol > bpol)
+         rows)
+  in
+  if improved_cells < 2 then begin
+    Printf.eprintf
+      "FATAL: optimized layout improved both scores in only %d/%d co-run cells (need >= 2)\n%!"
+      improved_cells (List.length rows);
+    exit 1
+  end;
+  Printf.printf "  %d/%d cells improved on both scores; conservation and transparency held\n%!"
+    improved_cells (List.length rows);
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-obs/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        cores_field ();
+        ( "params",
+          U.Json.Obj
+            [
+              ("scale", U.Json.Str (if quick then "fast" else "full"));
+              ("optimizer", U.Json.Str (Optimizer.kind_name opt_kind));
+              ("hw", U.Json.Bool false);
+              ("threads", U.Json.Int 2);
+            ] );
+        ("cells", U.Json.Arr cell_rows);
+        ("cells_improved_both", U.Json.Int improved_cells);
+        ("sink_transparent", U.Json.Bool true);
+        ("jobs_invariant", U.Json.Bool true);
+        ("obs_stream", U.Json.Str (Filename.basename stream_path));
+        ("obs_recorded", U.Json.Int (U.Obs.recorded obs));
+        ("obs_dropped", U.Json.Int (U.Obs.dropped obs));
+        runtime_field t_start;
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n  wrote %s\n\n%!" path stream_path
 
 (* ------------------------------------------------------------- Part 1 *)
 
@@ -1672,6 +1892,7 @@ let () =
   let layout_eval_delta_only = ref false in
   let scaling_only = ref false in
   let serve_only = ref false in
+  let obs_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
   let parallel_json = ref "BENCH_parallel.json" in
@@ -1680,6 +1901,7 @@ let () =
   let layout_eval_delta_json = ref "BENCH_layout_eval_delta.json" in
   let scaling_json = ref "BENCH_scaling.json" in
   let serve_json = ref "BENCH_serve.json" in
+  let obs_json = ref "BENCH_obs.json" in
   let jobs = ref 1 in
   Arg.parse
     [
@@ -1703,6 +1925,9 @@ let () =
       ( "--serve",
         Arg.Set serve_only,
         " streaming-ingest service benchmark only (regenerates BENCH_serve.json)" );
+      ( "--obs",
+        Arg.Set obs_only,
+        " interference-observatory benchmark only (regenerates BENCH_obs.json + .jsonl)" );
       ("--json", Arg.Set_string json, "FILE path for the kernel-benchmark JSON output");
       ( "--harness-json",
         Arg.Set_string harness_json,
@@ -1725,12 +1950,15 @@ let () =
       ( "--serve-json",
         Arg.Set_string serve_json,
         "FILE path for the streaming-ingest service manifest" );
+      ( "--obs-json",
+        Arg.Set_string obs_json,
+        "FILE path for the interference-observatory manifest (stream goes beside it)" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--serve] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--serve] [--obs] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
@@ -1762,6 +1990,11 @@ let () =
     run_serve_bench ~quick:!quick ~path:!serve_json;
     exit 0
   end;
+  if !obs_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_obs_bench ~quick:!quick ~path:!obs_json;
+    exit 0
+  end;
   run_kernels ~quick:!quick ~json_path:!json;
   if not !kernels_only then begin
     run_harness_manifest ~quick:!quick ~path:!harness_json;
@@ -1770,7 +2003,8 @@ let () =
     run_layout_eval_bench ~quick:!quick ~path:!layout_eval_json;
     run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json;
     run_scaling_bench ~quick:!quick ~path:!scaling_json;
-    run_serve_bench ~quick:!quick ~path:!serve_json
+    run_serve_bench ~quick:!quick ~path:!serve_json;
+    run_obs_bench ~quick:!quick ~path:!obs_json
   end;
   if not (!quick || !kernels_only) then begin
     run_benchmarks ();

@@ -528,6 +528,16 @@ let serve_cmd =
       & opt (some string) None
       & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a JSON metrics snapshot")
   in
+  let obs_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs" ] ~docv:"FILE"
+          ~doc:
+            "Stream per-epoch colayout/obs/v1 snapshots (interference matrix, drift, latency \
+             percentiles, GC) as JSON lines to $(docv), flushed as they happen — tail it \
+             live with `repro monitor $(docv) --follow`")
+  in
   let from_files =
     Arg.(
       value
@@ -569,7 +579,7 @@ let serve_cmd =
           metrics_out)
   in
   let run name users seed fuel shards jobs window w epoch trg_cap wits_cap decay reopt verify
-      out metrics_out from_files verbosity =
+      out metrics_out obs_out from_files verbosity =
     H.Report.setup verbosity;
     let jobs =
       if jobs = 0 then U.Pool.default_jobs ()
@@ -592,8 +602,30 @@ let serve_cmd =
           ~program:name ()
       in
       let metrics = U.Metrics.create () in
+      (* The obs stream is written line-at-a-time with an explicit flush so
+         a `repro monitor --follow` on the same file sees epochs live. *)
+      let obs_chan =
+        Option.map
+          (fun path ->
+            U.Fsutil.mkdir_p (Filename.dirname path);
+            open_out path)
+          obs_out
+      in
+      let obs =
+        Option.map
+          (fun oc ->
+            let o = U.Obs.create () in
+            U.Obs.set_stream o
+              (Some
+                 (fun line ->
+                   output_string oc line;
+                   output_char oc '\n';
+                   flush oc));
+            o)
+          obs_chan
+      in
       U.Pool.with_pool ~jobs ~metrics (fun pool ->
-          let summary = H.Serve.run ~pool ~metrics cfg in
+          let summary = H.Serve.run ~pool ~metrics ?obs cfg in
           let s = summary.H.Serve.stats in
           Printf.printf
             "%s: %d users, %d shards, %d jobs\n\
@@ -633,7 +665,8 @@ let serve_cmd =
               (fun (r : H.Serve.epoch_row) ->
                 Table.add_row t
                   [
-                    string_of_int r.H.Serve.epoch;
+                    (string_of_int r.H.Serve.epoch
+                    ^ if r.H.Serve.partial then "*" else "");
                     string_of_int r.H.Serve.at_trace;
                     Table.fmt_int r.H.Serve.trg_edges;
                     Table.fmt_int r.H.Serve.affine_pairs;
@@ -662,16 +695,152 @@ let serve_cmd =
           Option.iter
             (fun path ->
               write_file path (U.Json.to_string ~pretty:true (U.Metrics.to_json metrics)))
-            metrics_out)
+            metrics_out);
+      Option.iter close_out obs_chan;
+      Option.iter (fun path -> Printf.printf "wrote %s\n" path) obs_out
     end
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ prog_arg $ users $ seed $ fuel $ shards $ jobs $ window $ w_arg $ epoch
-      $ trg_cap $ wits_cap $ decay $ reopt $ verify $ out $ metrics_out $ from_files
-      $ verbosity_arg)
+      $ trg_cap $ wits_cap $ decay $ reopt $ verify $ out $ metrics_out $ obs_out
+      $ from_files $ verbosity_arg)
+
+let monitor_cmd =
+  let doc =
+    "Render a colayout/obs/v1 snapshot stream (from `repro serve --obs`) as a live table: \
+     one row per epoch with miss ratio, drift, the interference totals and the consensus \
+     layout's defensiveness/politeness scores."
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Obs JSONL stream")
+  in
+  let follow =
+    Arg.(
+      value
+      & flag
+      & info [ "follow"; "f" ] ~doc:"Keep polling $(i,FILE) for new snapshots (tail -f style)")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Poll period with $(b,--follow)")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Stop a $(b,--follow) after $(docv) without new snapshots; 0 waits forever")
+  in
+  let render_line line =
+    match U.Json.parse line with
+    | exception _ ->
+      Printf.eprintf "monitor: skipping unparseable line\n";
+      None
+    | json ->
+      let get k = U.Json.member k json in
+      let num k = Option.bind (get k) U.Json.to_float in
+      let int_of k = match Option.bind (get k) U.Json.to_int with Some i -> i | None -> 0 in
+      let fmt = function Some f -> Printf.sprintf "%.4f" f | None -> "-" in
+      let interference = get "interference" in
+      let score field th =
+        Option.bind interference (fun i ->
+            match U.Json.member field i with
+            | Some (U.Json.Arr l) when List.length l > th ->
+              U.Json.to_float (List.nth l th)
+            | _ -> None)
+      in
+      let partial =
+        match Option.bind (get "partial") U.Json.to_bool with Some true -> "*" | _ -> ""
+      in
+      Some
+        [
+          string_of_int (int_of "epoch") ^ partial;
+          string_of_int (int_of "at_trace");
+          fmt (num "miss_ratio");
+          fmt (num "drift");
+          fmt (score "defensiveness" 0);
+          fmt (score "politeness" 0);
+          fmt (score "defensiveness" 1);
+          fmt (score "politeness" 1);
+        ]
+  in
+  let run path follow interval timeout =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "monitor: %s does not exist\n" path;
+      exit 1
+    end;
+    let columns =
+      [
+        ("epoch", Table.Right);
+        ("at trace", Table.Right);
+        ("miss ratio", Table.Right);
+        ("drift", Table.Right);
+        ("def(opt)", Table.Right);
+        ("pol(opt)", Table.Right);
+        ("def(base)", Table.Right);
+        ("pol(base)", Table.Right);
+      ]
+    in
+    (* Tail loop: re-open cheaply and remember the byte offset; the writer
+       appends whole flushed lines, so a partial last line (no newline yet)
+       is left for the next poll. *)
+    let offset = ref 0 in
+    let rows = ref [] in
+    let read_new () =
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let fresh = ref 0 in
+      if len > !offset then begin
+        seek_in ic !offset;
+        let continue = ref true in
+        while !continue do
+          match input_line ic with
+          | line ->
+            if pos_in ic <= len then begin
+              (match render_line line with
+              | Some r ->
+                rows := r :: !rows;
+                incr fresh
+              | None -> ());
+              offset := pos_in ic
+            end
+            else continue := false
+          | exception End_of_file -> continue := false
+        done
+      end;
+      close_in ic;
+      !fresh
+    in
+    let print_table () =
+      let t = Table.create ~title:(Printf.sprintf "obs: %s" path) ~columns in
+      List.iter (fun r -> Table.add_row t r) (List.rev !rows);
+      Table.print t
+    in
+    let fresh = read_new () in
+    ignore fresh;
+    print_table ();
+    if follow then begin
+      let idle = ref 0.0 in
+      let stop = ref false in
+      while not !stop do
+        Unix.sleepf (Float.max 0.05 interval);
+        if read_new () > 0 then begin
+          idle := 0.0;
+          print_table ()
+        end
+        else begin
+          idle := !idle +. interval;
+          if timeout > 0.0 && !idle >= timeout then stop := true
+        end
+      done
+    end
+  in
+  Cmd.v (Cmd.info "monitor" ~doc) Term.(const run $ file $ follow $ interval $ timeout)
 
 let () =
   let doc = "Reproduction of 'Code Layout Optimization for Defensiveness and Politeness in Shared Cache' (ICPP 2014)" in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd; profile_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; programs_cmd; layout_cmd; trace_cmd; strip_cmd; dump_ir_cmd; parse_ir_cmd; profile_cmd; serve_cmd; monitor_cmd ]))

@@ -30,6 +30,8 @@ let block_json ?block_name (r : Profile_sink.block_counts) =
       ("capacity", J.Int r.Profile_sink.b_capacity);
       ("conflict", J.Int r.Profile_sink.b_conflict);
       ("evictions", J.Int r.Profile_sink.b_evictions);
+      ("peer_misses", J.Int r.Profile_sink.b_peer_misses);
+      ("peer_evictions", J.Int r.Profile_sink.b_peer_evictions);
     ]
   in
   match block_name with
@@ -66,6 +68,55 @@ let layout_json ?(top = 10) ?block_name lp =
       ( "top_conflict_blocks",
         J.Arr (List.map (block_json ?block_name) (Profile_sink.top_conflict_blocks lp.sink ~n:top)) );
       ("set_histogram", set_histogram_json lp.sink);
+    ]
+
+let matrix_json m = J.Arr (Array.to_list (Array.map (fun row -> J.Arr (Array.to_list (Array.map (fun n -> J.Int n) row))) m))
+
+let interference_json ~label ~sink ~stats =
+  (* Conservation is the whole point of the matrices: every eviction has
+     exactly one (evictor, owner) cell, every miss is first-touch or has
+     exactly one last-evictor cell, and the marginals must reproduce the
+     simulator's own totals. A mismatch is a simulator bug, same contract
+     as [layout_json]. *)
+  let nt = Profile_sink.num_threads sink in
+  let ev = Profile_sink.ev_matrix sink
+  and ms = Profile_sink.miss_matrix sink
+  and first = Profile_sink.first_misses sink in
+  let sum2 m = Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 m in
+  if sum2 ev <> Cache_stats.evictions stats then
+    invalid_arg
+      (Printf.sprintf
+         "Profile.interference_json: %s eviction matrix sums to %d, Cache_stats counted %d"
+         label (sum2 ev) (Cache_stats.evictions stats));
+  for th = 0 to nt - 1 do
+    let row = Array.fold_left ( + ) first.(th) ms.(th) in
+    if row <> Cache_stats.thread_misses stats th then
+      invalid_arg
+        (Printf.sprintf
+           "Profile.interference_json: %s thread %d miss row sums to %d, Cache_stats counted %d"
+           label th row (Cache_stats.thread_misses stats th));
+    if Profile_sink.thread_accesses sink th <> Cache_stats.thread_accesses stats th then
+      invalid_arg
+        (Printf.sprintf
+           "Profile.interference_json: %s thread %d attribution disagrees with Cache_stats (acc %d/%d)"
+           label th (Profile_sink.thread_accesses sink th)
+           (Cache_stats.thread_accesses stats th))
+  done;
+  let per f = J.Arr (List.init nt (fun th -> f th)) in
+  J.Obj
+    [
+      ("label", J.Str label);
+      ("threads", J.Int nt);
+      ("accesses", per (fun th -> J.Int (Cache_stats.thread_accesses stats th)));
+      ("misses", per (fun th -> J.Int (Cache_stats.thread_misses stats th)));
+      ("evictions", J.Int (Cache_stats.evictions stats));
+      ("ev_matrix", matrix_json ev);
+      ("miss_matrix", matrix_json ms);
+      ("first_misses", J.Arr (Array.to_list (Array.map (fun n -> J.Int n) first)));
+      ("suffered", per (fun th -> J.Int (Profile_sink.suffered_misses sink ~thread:th)));
+      ("inflicted", per (fun th -> J.Int (Profile_sink.inflicted_misses sink ~thread:th)));
+      ("defensiveness", per (fun th -> J.Float (Profile_sink.defensiveness sink ~thread:th)));
+      ("politeness", per (fun th -> J.Float (Profile_sink.politeness sink ~thread:th)));
     ]
 
 let delta_json ~baseline other =

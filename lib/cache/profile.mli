@@ -25,6 +25,16 @@ val layout_json :
     @raise Invalid_argument if the sink's access/miss totals disagree with
     [stats] — attribution must be exact, a mismatch is a simulator bug. *)
 
+val interference_json :
+  label:string -> sink:Profile_sink.t -> stats:Cache_stats.t -> Colayout_util.Json.t
+(** One co-run cell's interference section: per-thread access/miss totals,
+    the eviction and miss-provenance matrices, first-touch misses, and the
+    derived suffered/inflicted counts and defensiveness/politeness scores.
+    @raise Invalid_argument unless the matrices conserve: the eviction
+    matrix sums to [Cache_stats.evictions], and each thread's
+    [first + miss-matrix row] equals its [Cache_stats] miss count (with
+    access totals matching too). *)
+
 val to_json :
   ?top:int ->
   ?block_name:(int -> string) ->

@@ -45,23 +45,24 @@ let access_line t line =
   end
 
 (* Profiled twin of [access_line]: same replacement decisions, but the
-   eviction verdict and the block/thread context are reported to the sink.
-   A separate function — not a flag on the hot path — so unprofiled
-   simulation pays nothing for the profiler's existence. *)
+   eviction verdict (with the victim line, for ownership attribution) and
+   the block/thread context are reported to the sink. A separate function
+   — not a flag on the hot path — so unprofiled simulation pays nothing
+   for the profiler's existence. *)
 let access_line_profiled t sink ~thread ~block line =
   let set = t.ways.(Params.set_of_line t.params line) in
   let i = find_way set line in
   if i >= 0 then begin
     promote set i;
-    Profile_sink.record sink ~thread ~block ~line ~hit:true ~evicted:false;
+    Profile_sink.record sink ~thread ~block ~line ~hit:true ~victim:(-1);
     true
   end
   else begin
-    let evicted = set.(Array.length set - 1) >= 0 in
-    if evicted then t.evictions <- t.evictions + 1;
+    let victim = set.(Array.length set - 1) in
+    if victim >= 0 then t.evictions <- t.evictions + 1;
     Array.blit set 0 set 1 (Array.length set - 1);
     set.(0) <- line;
-    Profile_sink.record sink ~thread ~block ~line ~hit:false ~evicted;
+    Profile_sink.record sink ~thread ~block ~line ~hit:false ~victim;
     false
   end
 

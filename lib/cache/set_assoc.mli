@@ -18,8 +18,9 @@ val access_line : t -> int -> bool
 
 val access_line_profiled : t -> Profile_sink.t -> thread:int -> block:int -> int -> bool
 (** Exactly {!access_line}, additionally reporting the access (with its
-    set, eviction verdict and the caller's block/thread attribution) to the
-    profile sink. Kept separate so the unprofiled path stays unchanged. *)
+    set, the evicted victim line if any, and the caller's block/thread
+    attribution) to the profile sink. Kept separate so the unprofiled path
+    stays unchanged. *)
 
 val probe_line : t -> int -> bool
 (** Hit test without state change. *)

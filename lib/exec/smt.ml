@@ -34,6 +34,7 @@ let miss_ratio s =
 type thread = {
   code : code;
   trace : Int_vec.t;
+  tid : int;
   line_offset : int;
   restart : bool;
   work_scale : float;
@@ -48,11 +49,12 @@ type thread = {
   mutable blocks : int;
 }
 
-let make_thread ?(work_scale = 1.0) code trace ~line_offset ~restart =
+let make_thread ?(work_scale = 1.0) code trace ~tid ~line_offset ~restart =
   if work_scale <= 0.0 then invalid_arg "Smt: work_scale must be positive";
   {
     code;
     trace;
+    tid;
     line_offset;
     restart;
     work_scale;
@@ -69,8 +71,10 @@ let make_thread ?(work_scale = 1.0) code trace ~line_offset ~restart =
 
 (* Fetch the next block of [th] through the shared cache: counts accesses
    and misses, charges the stall, and loads the block's work. Returns false
-   when the trace is exhausted and the thread does not restart. *)
-let advance_block cfg cache th ~cycle =
+   when the trace is exhausted and the thread does not restart. The
+   profiled dispatch mirrors Icache/Hierarchy: with a sink the access goes
+   through the attributing twin, without one the bare hot path runs. *)
+let advance_block cfg cache sink th ~cycle =
   if th.pos >= Int_vec.length th.trace then begin
     if th.restart then th.pos <- 0
     else begin
@@ -87,7 +91,12 @@ let advance_block cfg cache th ~cycle =
     for line = first to last do
       let l = line + th.line_offset in
       th.accesses <- th.accesses + 1;
-      if Set_assoc.access_line cache l then ()
+      let hit =
+        match sink with
+        | None -> Set_assoc.access_line cache l
+        | Some s -> Set_assoc.access_line_profiled cache s ~thread:th.tid ~block:bid l
+      in
+      if hit then ()
       else begin
         th.misses <- th.misses + 1;
         th.stall <- th.stall + cfg.miss_penalty;
@@ -106,11 +115,11 @@ let advance_block cfg cache th ~cycle =
     true
   end
 
-let run_threads cfg threads ~stop =
+let run_threads cfg sink threads ~stop =
   let cache = Set_assoc.create cfg.cache in
   let cycle = ref 0 in
   (* Prime each thread with its first block. *)
-  Array.iter (fun th -> if not th.done_ then ignore (advance_block cfg cache th ~cycle:0)) threads;
+  Array.iter (fun th -> if not th.done_ then ignore (advance_block cfg cache sink th ~cycle:0)) threads;
   let guard = ref 0 in
   while (not (stop threads)) && !guard < 4_000_000_000 do
     incr guard;
@@ -132,7 +141,7 @@ let run_threads cfg threads ~stop =
                keep fetching until work is pending or a miss stalls it. *)
             let continue = ref (th.work <= 0.0) in
             while !continue do
-              if not (advance_block cfg cache th ~cycle:!cycle) then continue := false
+              if not (advance_block cfg cache sink th ~cycle:!cycle) then continue := false
               else if th.stall > 0 || th.work > 0.0 then continue := false
             done
           end
@@ -150,9 +159,9 @@ let stats_of th ~total_cycles =
     blocks = th.blocks;
   }
 
-let solo ?work_scale cfg code trace =
-  let th = make_thread ?work_scale code trace ~line_offset:0 ~restart:false in
-  let total = run_threads cfg [| th |] ~stop:(fun ths -> ths.(0).done_) in
+let solo ?work_scale ?sink cfg code trace =
+  let th = make_thread ?work_scale code trace ~tid:0 ~line_offset:0 ~restart:false in
+  let total = run_threads cfg sink [| th |] ~stop:(fun ths -> ths.(0).done_) in
   stats_of th ~total_cycles:total
 
 type corun_mode = Finish_both | Measure_first
@@ -163,16 +172,16 @@ type corun_result = {
   total_cycles : int;
 }
 
-let corun ?(work_scales = (1.0, 1.0)) cfg ~mode (code0, trace0) (code1, trace1) =
+let corun ?(work_scales = (1.0, 1.0)) ?sink cfg ~mode (code0, trace0) (code1, trace1) =
   let offset = 1 lsl 40 in
   let ws0, ws1 = work_scales in
   let restart1 = match mode with Measure_first -> true | Finish_both -> false in
-  let th0 = make_thread ~work_scale:ws0 code0 trace0 ~line_offset:0 ~restart:false in
-  let th1 = make_thread ~work_scale:ws1 code1 trace1 ~line_offset:offset ~restart:restart1 in
+  let th0 = make_thread ~work_scale:ws0 code0 trace0 ~tid:0 ~line_offset:0 ~restart:false in
+  let th1 = make_thread ~work_scale:ws1 code1 trace1 ~tid:1 ~line_offset:offset ~restart:restart1 in
   let stop =
     match mode with
     | Finish_both -> fun (ths : thread array) -> ths.(0).done_ && ths.(1).done_
     | Measure_first -> fun ths -> ths.(0).done_
   in
-  let total = run_threads cfg [| th0; th1 |] ~stop in
+  let total = run_threads cfg sink [| th0; th1 |] ~stop in
   { t0 = stats_of th0 ~total_cycles:total; t1 = stats_of th1 ~total_cycles:total; total_cycles = total }

@@ -51,11 +51,19 @@ val ipc : thread_stats -> float
 
 val miss_ratio : thread_stats -> float
 
-val solo : ?work_scale:float -> config -> code -> Colayout_util.Int_vec.t -> thread_stats
+val solo :
+  ?work_scale:float ->
+  ?sink:Colayout_cache.Profile_sink.t ->
+  config ->
+  code ->
+  Colayout_util.Int_vec.t ->
+  thread_stats
 (** Run one thread alone to completion of one pass. [work_scale] (default 1)
     multiplies each instruction's latency — >1 models a data-bound program
     whose unmodelled D-cache stalls slow both its execution and its
-    instruction fetching. *)
+    instruction fetching. [sink] attributes every demand fetch (thread 0,
+    block id, line) without perturbing the simulation; prefetch fills
+    bypass it. *)
 
 type corun_mode =
   | Finish_both
@@ -74,8 +82,14 @@ type corun_result = {
 
 val corun :
   ?work_scales:float * float ->
+  ?sink:Colayout_cache.Profile_sink.t ->
   config ->
   mode:corun_mode ->
   code * Colayout_util.Int_vec.t ->
   code * Colayout_util.Int_vec.t ->
   corun_result
+(** [sink] (create it with [~threads:2]) attributes every demand fetch of
+    both hyper-threads — thread 0 is the first pair, thread 1 the probe —
+    enabling the cross-thread interference matrices. Attaching it does not
+    change the simulation: replacement decisions are identical with or
+    without. *)

@@ -65,6 +65,7 @@ let config ?(users = 64) ?(seed = 1) ?(fuel = 4_000) ?(shards = 2) ?(trg_window 
 type epoch_row = {
   epoch : int;
   at_trace : int;
+  partial : bool;  (** Flush-on-exit row covering an unfinished epoch. *)
   trg_edges : int;
   affine_pairs : int;
   miss_ratio : float;  (** Re-optimized order on the newest trace; nan if reopt off. *)
@@ -105,7 +106,7 @@ let gen_user program cfg u =
   (E.Interp.run program (E.Interp.test_input ~seed:input_seed ~max_blocks:fuel ())).E.Interp
     .bb_trace
 
-let run ?pool ?metrics ?spans cfg =
+let run ?pool ?metrics ?spans ?obs cfg =
   let metrics = match metrics with Some m -> m | None -> U.Metrics.create () in
   let spans = match spans with Some s -> s | None -> U.Span.create () in
   let program = W.Spec.build cfg.program in
@@ -127,13 +128,29 @@ let run ?pool ?metrics ?spans cfg =
   let verify_cat =
     if cfg.verify then Some (Colayout_trace.Trace.create ~num_symbols ()) else None
   in
-  let run_epoch tr =
+  (* Interference probe, taken only when an observatory is attached (the
+     co-run simulation is real work; without [obs] the epoch loop pays
+     nothing): the current consensus order co-runs against the unoptimized
+     layout of the same program on the newest trace, and the sink's
+     conservation-checked matrices say how defensive/polite the layout the
+     service is converging on actually is. *)
+  let interference tr =
+    let self = Layout.of_function_order program !order in
+    let peer = Layout.original program in
+    let sink =
+      C.Profile_sink.create ~threads:2 ~classify:false ~num_blocks:num_symbols ~params ()
+    in
+    let stats = Pipeline.miss_ratio_corun ~sink ~params ~self:(self, tr) ~peer:(peer, tr) () in
+    C.Profile.interference_json ~label:"consensus_vs_original" ~sink ~stats
+  in
+  let run_epoch ~partial tr =
     let t0 = clock () in
+    let ep = if partial then !seen_epochs + 1 else !seen_epochs in
     let c = Ingest.finalize ing in
     let miss, improved =
       if cfg.reopt_steps > 0 then begin
         let r =
-          Anneal.search ~seed:(cfg.seed + !seen_epochs) ~steps:cfg.reopt_steps
+          Anneal.search ~seed:(cfg.seed + ep) ~steps:cfg.reopt_steps
             ~initial:(Array.copy !order) ~max_span:8 ~params program tr
         in
         order := r.Anneal.order;
@@ -146,18 +163,34 @@ let run ?pool ?metrics ?spans cfg =
       Trg.iter_edges (fun _ _ _ -> incr n) c.Ingest.trg;
       !n
     in
+    let at_trace = (Ingest.stats ing).Ingest.traces in
+    let affine_pairs = Array.length c.Ingest.affine in
     epoch_rows :=
-      {
-        epoch = !seen_epochs;
-        at_trace = (Ingest.stats ing).Ingest.traces;
-        trg_edges;
-        affine_pairs = Array.length c.Ingest.affine;
-        miss_ratio = miss;
-        improved_from = improved;
-      }
+      { epoch = ep; at_trace; partial; trg_edges; affine_pairs; miss_ratio = miss; improved_from = improved }
       :: !epoch_rows;
-    reopt_ns := Int64.add !reopt_ns (Int64.sub (clock ()) t0)
+    reopt_ns := Int64.add !reopt_ns (Int64.sub (clock ()) t0);
+    match obs with
+    | None -> ()
+    | Some o ->
+      let open U.Json in
+      let num f = if Float.is_nan f then Null else Float f in
+      U.Obs.record o ~label:"epoch"
+        ([
+           ("epoch", Int ep);
+           ("at_trace", Int at_trace);
+           ("partial", Bool partial);
+           ("trg_edges", Int trg_edges);
+           ("affine_pairs", Int affine_pairs);
+           ("miss_ratio", num miss);
+           ("improved_from", num improved);
+           ("drift", num (improved -. miss));
+           ("interference", interference tr);
+         ]
+        @ U.Obs.metrics_fields metrics
+        @ U.Obs.gc_fields ())
   in
+  let last_trace = ref None in
+  let traces_at_epoch = ref 0 in
   U.Span.with_span spans ~cat:"serve" "serve.ingest" (fun () ->
       let u = ref 0 in
       while !u < cfg.users do
@@ -179,14 +212,24 @@ let run ?pool ?metrics ?spans cfg =
             let t0 = clock () in
             Ingest.ingest_trace ing tr;
             ingest_ns := Int64.add !ingest_ns (Int64.sub (clock ()) t0);
+            last_trace := Some tr;
             let st = Ingest.stats ing in
             if st.Ingest.epochs > !seen_epochs then begin
               seen_epochs := st.Ingest.epochs;
-              run_epoch tr
+              traces_at_epoch := st.Ingest.traces;
+              run_epoch ~partial:false tr
             end)
           traces;
         u := !u + batch
-      done);
+      done;
+      (* Flush-on-exit: a run whose user count is not a multiple of
+         [epoch_traces] ends mid-epoch; without this the tail's traces
+         would be merged into the consensus digests yet never surface in
+         an epoch row or snapshot. *)
+      match !last_trace with
+      | Some tr when (Ingest.stats ing).Ingest.traces > !traces_at_epoch ->
+        run_epoch ~partial:true tr
+      | _ -> ());
   let consensus = U.Span.with_span spans ~cat:"serve" "serve.merge" (fun () -> Ingest.finalize ing) in
   let trg_digest, affine_digest = Ingest.consensus_digests consensus in
   let batch_trg, batch_aff, digests_match =
@@ -307,6 +350,7 @@ let summary_to_json (s : summary) =
                  [
                    ("epoch", Int r.epoch);
                    ("at_trace", Int r.at_trace);
+                   ("partial", Bool r.partial);
                    ("trg_edges", Int r.trg_edges);
                    ("affine_pairs", Int r.affine_pairs);
                    ("miss_ratio", float_or_null r.miss_ratio);

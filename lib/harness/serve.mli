@@ -51,6 +51,7 @@ val config :
 type epoch_row = {
   epoch : int;
   at_trace : int;
+  partial : bool;  (** Flush-on-exit row covering an unfinished epoch. *)
   trg_edges : int;
   affine_pairs : int;
   miss_ratio : float;  (** Re-optimized order on the newest trace; nan if reopt off. *)
@@ -86,9 +87,18 @@ val run :
   ?pool:Colayout_util.Pool.t ->
   ?metrics:Colayout_util.Metrics.t ->
   ?spans:Colayout_util.Span.t ->
+  ?obs:Colayout_util.Obs.t ->
   config ->
   summary
-(** Run the service to completion over [cfg.users] users.
+(** Run the service to completion over [cfg.users] users. When [users] is
+    not a multiple of [epoch_traces], a final {e partial} epoch row (and
+    snapshot) flushes the tail on exit, so ingested traces are never
+    silently absorbed. With [obs], every epoch additionally records a
+    [colayout/obs/v1] snapshot: the epoch row, the drift signal, metrics
+    counter/percentile summaries, GC state, and a conservation-checked
+    interference probe of the current consensus layout co-running against
+    the unoptimized original (its defensiveness/politeness scores) — the
+    probe simulation runs only when [obs] is attached.
     @raise Not_found on an unknown program name (callers pre-validate
     against [Workloads.Spec.names]). *)
 

@@ -1,0 +1,111 @@
+let schema = "colayout/obs/v1"
+
+type snapshot = {
+  seq : int;
+  ts_ns : int64;
+  label : string;
+  fields : (string * Json.t) list;
+}
+
+type t = {
+  clock : unit -> int64;
+  capacity : int;
+  ring : snapshot option array;
+  mutable next_seq : int;
+  mutable count : int; (* snapshots currently resident in the ring *)
+  mutable dropped : int;
+  mutable stream : (string -> unit) option;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 256) ?(clock = Metrics.default_clock) () =
+  if capacity <= 0 then invalid_arg "Obs.create: capacity must be positive";
+  {
+    clock;
+    capacity;
+    ring = Array.make capacity None;
+    next_seq = 0;
+    count = 0;
+    dropped = 0;
+    stream = None;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.capacity
+
+let set_stream t f = Mutex.protect t.lock (fun () -> t.stream <- f)
+
+let snapshot_json s =
+  Json.Obj
+    (("schema", Json.Str schema)
+    :: ("seq", Json.Int s.seq)
+    :: ("ts_ns", Json.Int (Int64.to_int s.ts_ns))
+    :: ("label", Json.Str s.label)
+    :: s.fields)
+
+let record t ~label fields =
+  let line =
+    Mutex.protect t.lock (fun () ->
+        let s = { seq = t.next_seq; ts_ns = t.clock (); label; fields } in
+        t.next_seq <- t.next_seq + 1;
+        (* Drop-oldest: the ring keeps the tail of the series, and [dropped]
+           owns up to the head that fell off. *)
+        if t.count = t.capacity then t.dropped <- t.dropped + 1
+        else t.count <- t.count + 1;
+        t.ring.(s.seq mod t.capacity) <- Some s;
+        match t.stream with
+        | None -> None
+        | Some f -> Some (f, Json.to_string (snapshot_json s)))
+  in
+  (* Stream outside the lock: a slow writer must not block recorders. *)
+  match line with None -> () | Some (f, l) -> f l
+
+let snapshots t =
+  Mutex.protect t.lock (fun () ->
+      let first = t.next_seq - t.count in
+      List.init t.count (fun i ->
+          match t.ring.((first + i) mod t.capacity) with
+          | Some s -> s
+          | None -> assert false))
+
+let recorded t = Mutex.protect t.lock (fun () -> t.next_seq)
+
+let dropped t = Mutex.protect t.lock (fun () -> t.dropped)
+
+let to_jsonl t =
+  snapshots t |> List.map (fun s -> Json.to_string (snapshot_json s)) |> String.concat "\n"
+
+(* ---------------- field builders ---------------- *)
+
+let metrics_fields m =
+  let hist (name, h) =
+    ( name,
+      Json.Obj
+        [
+          ("count", Json.Int (Metrics.observations h));
+          ("p50_ns", Json.Float (Metrics.percentile h 0.50));
+          ("p95_ns", Json.Float (Metrics.percentile h 0.95));
+          ("p99_ns", Json.Float (Metrics.percentile h 0.99));
+        ] )
+  in
+  [
+    ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Metrics.counters m)));
+    ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (Metrics.gauges m)));
+    ("histograms", Json.Obj (List.map hist (Metrics.histograms m)));
+  ]
+
+let gc_fields () =
+  let s = Gc.quick_stat () in
+  [
+    ( "gc",
+      Json.Obj
+        [
+          ("minor_words", Json.Float s.Gc.minor_words);
+          ("major_words", Json.Float s.Gc.major_words);
+          ("promoted_words", Json.Float s.Gc.promoted_words);
+          ("minor_collections", Json.Int s.Gc.minor_collections);
+          ("major_collections", Json.Int s.Gc.major_collections);
+          ("compactions", Json.Int s.Gc.compactions);
+          ("heap_words", Json.Int s.Gc.heap_words);
+        ] );
+  ]

@@ -1,0 +1,74 @@
+(** Snapshot telemetry: a ring-buffered time-series of labelled JSON
+    records with an optional live JSONL stream (schema [colayout/obs/v1]).
+
+    {!Metrics} answers "what are the totals now"; [Obs] answers "how did
+    they move over time". A producer (the serve epoch loop, a bench phase)
+    calls {!record} with whatever fields matter at that instant — counter
+    values, percentile summaries via {!metrics_fields}, GC state via
+    {!gc_fields}, domain-specific structures like the interference matrix
+    — and the buffer keeps the most recent [capacity] snapshots, counting
+    (never silently hiding) what fell off. Each snapshot is stamped with a
+    dense sequence number and a monotonic timestamp, so consumers can
+    detect both gaps (ring overflow: [seq] jumps past what they hold) and
+    ordering.
+
+    When a stream sink is attached, every snapshot is also serialized to
+    one JSON line and handed to it as it happens — that is the
+    [serve --obs FILE] / [repro monitor] transport. Serialization happens
+    under the recorder's lock (snapshots are immutable once built) but the
+    sink itself runs outside it, so a slow writer never blocks recording.
+
+    All operations are domain-safe behind one mutex; recording is O(fields)
+    and never allocates proportionally to history. *)
+
+val schema : string
+(** ["colayout/obs/v1"] — stamped on every serialized snapshot. *)
+
+type snapshot = {
+  seq : int;  (** Dense from 0, never reused. *)
+  ts_ns : int64;  (** Monotonic clock at {!record} time. *)
+  label : string;  (** Producer-chosen kind, e.g. ["epoch"]. *)
+  fields : (string * Json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> ?clock:(unit -> int64) -> unit -> t
+(** [capacity] (default 256) bounds resident snapshots. [clock]
+    (nanoseconds, monotonic) defaults to {!Metrics.default_clock};
+    injectable for deterministic tests. *)
+
+val capacity : t -> int
+
+val record : t -> label:string -> (string * Json.t) list -> unit
+(** Append one snapshot, dropping the oldest when full, and forward its
+    serialized line to the stream sink if one is attached. *)
+
+val snapshots : t -> snapshot list
+(** Resident snapshots, oldest first; sequence numbers are consecutive. *)
+
+val recorded : t -> int
+(** Total snapshots ever recorded (= next sequence number). *)
+
+val dropped : t -> int
+(** Snapshots that fell off the ring; [recorded = dropped + resident]. *)
+
+val set_stream : t -> (string -> unit) option -> unit
+(** Attach (or detach with [None]) a sink receiving each snapshot as one
+    JSON text line, in recording order. *)
+
+val snapshot_json : snapshot -> Json.t
+(** The serialized form: [schema]/[seq]/[ts_ns]/[label] followed by the
+    producer's fields. *)
+
+val to_jsonl : t -> string
+(** Resident snapshots as newline-separated JSON lines (no trailing
+    newline). *)
+
+val metrics_fields : Metrics.t -> (string * Json.t) list
+(** Summarize a registry for embedding: all counters and gauges verbatim,
+    histograms as [count]/[p50_ns]/[p95_ns]/[p99_ns]. *)
+
+val gc_fields : unit -> (string * Json.t) list
+(** One ["gc"] object from [Gc.quick_stat]: minor/major/promoted words,
+    collection and compaction counts, heap words. *)

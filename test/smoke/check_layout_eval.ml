@@ -72,9 +72,7 @@ let check_bench path =
       if d <> first then fail "%s: batch jobs=%d digest differs from jobs=%d" path jobs
           (fst (List.hd digests)))
     digests;
-  let cores = get_int json "cores_available" in
-  if cores >= 2 && speedup < 1.0 then
-    fail "%s: %d cores available but engine speedup is %.2fx (< 1.0)" path cores speedup;
+  let cores = cores_gate json ~path ~what:"engine speedup" ~floor:1.0 speedup in
   Printf.printf
     "check_layout_eval: %s ok (mode %s, %d cores, single-thread %.2fx, %d batch runs)\n" path
     mode cores speedup (List.length runs)

@@ -59,10 +59,8 @@ let check_bench path =
   (* The expectation scales with the recorded host width, not the CI host's
      luck: with >= 2 cores the pool must at least break even somewhere;
      with 1 core there is nothing to win and positivity is all we ask. *)
-  let cores = get_int json "cores_available" in
   let best = List.fold_left max 0.0 speedups in
-  if cores >= 2 && best < 1.0 then
-    fail "%s: %d cores available but best speedup is %.2fx (< 1.0)" path cores best;
+  let cores = cores_gate json ~path ~what:"best speedup" ~floor:1.0 best in
   Printf.printf "check_parallel: %s ok (%d runs, %d cores, best speedup %.2fx)\n" path
     (List.length runs) cores best
 

@@ -36,7 +36,6 @@ let require_jobs_coverage ~path ~label ~jobs_max seen =
 let check_bench path =
   let json = parse path in
   require_schema json ~path "colayout/bench-scaling/v1";
-  let cores = get_int json "cores_available" in
   let jobs_max = get_int json "jobs_max" in
   let gate_jobs = get_int json "gate_jobs" in
   if jobs_max < 1 then fail "%s: jobs_max %d < 1" path jobs_max;
@@ -111,13 +110,12 @@ let check_bench path =
   in
   (* Like check_parallel, the expectation scales with the recorded host
      width: on one core there is nothing for the scheduler to win. *)
-  if cores >= 2 then begin
-    if ratio < 1.3 then
-      fail "%s: %d cores but skewed steal-vs-fixed ratio at gate_jobs=%d is %.2fx (< 1.3)"
-        path cores gate_jobs ratio;
-    if best < 1.0 then
-      fail "%s: %d cores but best uniform strong speedup is %.2fx (< 1.0)" path cores best
-  end;
+  let _ =
+    cores_gate json ~path
+      ~what:(Printf.sprintf "skewed steal-vs-fixed ratio at gate_jobs=%d" gate_jobs)
+      ~floor:1.3 ratio
+  in
+  let cores = cores_gate json ~path ~what:"best uniform strong speedup" ~floor:1.0 best in
   Printf.printf
     "check_scaling: %s ok (jobs 1..%d, %d cores, skew ratio %.2fx @ jobs=%d, best uniform \
      %.2fx)\n"

@@ -27,7 +27,6 @@ let get_float json ~path key =
 let check_bench path =
   let json = parse path in
   require_schema json ~path "colayout/bench-serve/v1";
-  let cores = get_int json "cores_available" in
   let mode = get_str json ~path "mode" in
   if not (get_bool json ~path "digests_identical") then
     fail "%s: digests_identical is not true — a grid cell diverged from the batch kernels"
@@ -114,8 +113,10 @@ let check_bench path =
   if get_list serve ~path "epochs" = [] then fail "%s: serve summary has no epoch rows" path;
   let best = get_float json ~path "best_parallel_vs_serial" in
   if best <= 0.0 then fail "%s: non-positive best_parallel_vs_serial" path;
-  if cores >= 2 && mode = "full" && best < 0.8 then
-    fail "%s: %d cores but best pooled ingest is %.2fx serial (< 0.8)" path cores best;
+  let cores =
+    cores_gate json ~path ~enabled:(mode = "full") ~what:"best pooled ingest vs serial"
+      ~floor:0.8 best
+  in
   Printf.printf
     "check_serve: %s ok (%d grid cells, %d cores, best pooled %.2fx, serve %.1f traces/s)\n"
     path (List.length grid) cores best tps

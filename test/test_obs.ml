@@ -276,6 +276,90 @@ let test_span_chrome_json () =
       events
   | None -> Alcotest.fail "no traceEvents"
 
+(* ---------- Obs snapshot ring ---------- *)
+
+let test_obs_ring_and_drop () =
+  let o = U.Obs.create ~capacity:3 ~clock:(fake_clock ()) () in
+  check Alcotest.int "capacity" 3 (U.Obs.capacity o);
+  for i = 0 to 4 do
+    U.Obs.record o ~label:"tick" [ ("i", J.Int i) ]
+  done;
+  check Alcotest.int "recorded counts everything" 5 (U.Obs.recorded o);
+  check Alcotest.int "dropped = recorded - resident" 2 (U.Obs.dropped o);
+  match U.Obs.snapshots o with
+  | [ a; b; c ] ->
+    (* Oldest-first, dense seqs surviving the drops, monotone stamps. *)
+    check (Alcotest.list Alcotest.int) "seqs dense" [ 2; 3; 4 ]
+      [ a.U.Obs.seq; b.U.Obs.seq; c.U.Obs.seq ];
+    check Alcotest.bool "timestamps monotone" true
+      (Int64.compare a.U.Obs.ts_ns b.U.Obs.ts_ns < 0
+      && Int64.compare b.U.Obs.ts_ns c.U.Obs.ts_ns < 0);
+    check (Alcotest.option Alcotest.int) "payload survives" (Some 2)
+      (Option.bind (J.member "i" (U.Obs.snapshot_json a)) J.to_int)
+  | l -> Alcotest.failf "expected 3 resident snapshots, got %d" (List.length l)
+
+let test_obs_stream_and_jsonl () =
+  let o = U.Obs.create ~capacity:8 ~clock:(fake_clock ()) () in
+  let streamed = ref [] in
+  U.Obs.set_stream o (Some (fun line -> streamed := line :: !streamed));
+  U.Obs.record o ~label:"a" [ ("x", J.Int 1) ];
+  U.Obs.record o ~label:"b" [ ("x", J.Int 2) ];
+  U.Obs.set_stream o None;
+  U.Obs.record o ~label:"c" [];
+  (* The sink saw exactly the snapshots recorded while attached, in
+     order, each a parseable colayout/obs/v1 line. *)
+  let lines = List.rev !streamed in
+  check Alcotest.int "two streamed lines" 2 (List.length lines);
+  List.iteri
+    (fun i line ->
+      let j = J.parse line in
+      check (Alcotest.option Alcotest.string) "schema" (Some U.Obs.schema)
+        (Option.bind (J.member "schema" j) J.to_str);
+      check (Alcotest.option Alcotest.int) "seq" (Some i)
+        (Option.bind (J.member "seq" j) J.to_int))
+    lines;
+  (* to_jsonl covers everything resident, including the unstreamed tail. *)
+  let all = String.split_on_char '\n' (U.Obs.to_jsonl o) in
+  check Alcotest.int "three jsonl lines" 3 (List.length all);
+  check
+    (Alcotest.option Alcotest.string)
+    "last label" (Some "c")
+    (Option.bind (J.member "label" (J.parse (List.nth all 2))) J.to_str)
+
+let test_obs_field_helpers () =
+  let m = U.Metrics.create ~clock:(fake_clock ()) () in
+  U.Metrics.add m "work.done" 3;
+  U.Metrics.set_gauge m "load" 0.5;
+  U.Metrics.observe_ns m "lat" 5;
+  U.Metrics.observe_ns m "lat" 900;
+  let fields = U.Obs.metrics_fields m in
+  let inside group key =
+    Option.bind (List.assoc_opt group fields) (J.member key)
+  in
+  check (Alcotest.option Alcotest.int) "counter verbatim" (Some 3)
+    (Option.bind (inside "counters" "work.done") J.to_int);
+  check
+    (Alcotest.option (Alcotest.float 0.0))
+    "gauge verbatim" (Some 0.5)
+    (Option.bind (inside "gauges" "load") J.to_float);
+  (match inside "histograms" "lat" with
+  | Some h ->
+    check (Alcotest.option Alcotest.int) "hist count" (Some 2)
+      (Option.bind (J.member "count" h) J.to_int);
+    check Alcotest.bool "hist p95 present" true (J.member "p95_ns" h <> None)
+  | None -> Alcotest.fail "histogram summary missing");
+  (* gc_fields: one "gc" object with non-negative basics. *)
+  match U.Obs.gc_fields () with
+  | [ ("gc", gc) ] ->
+    List.iter
+      (fun k ->
+        match J.member k gc with
+        | Some (J.Int n) -> check Alcotest.bool (k ^ " non-negative") true (n >= 0)
+        | Some (J.Float f) -> check Alcotest.bool (k ^ " non-negative") true (f >= 0.0)
+        | _ -> Alcotest.failf "gc.%s missing" k)
+      [ "minor_words"; "major_words"; "minor_collections"; "compactions"; "heap_words" ]
+  | _ -> Alcotest.fail "expected exactly one gc field"
+
 (* ---------- Fsutil ---------- *)
 
 let test_mkdir_p () =
@@ -406,6 +490,12 @@ let () =
           Alcotest.test_case "exception-safety" `Quick test_span_exception_safety;
           Alcotest.test_case "aggregate" `Quick test_span_aggregate_and_categories;
           Alcotest.test_case "chrome-json" `Quick test_span_chrome_json;
+        ] );
+      ( "obs-ring",
+        [
+          Alcotest.test_case "ring-drop-oldest" `Quick test_obs_ring_and_drop;
+          Alcotest.test_case "stream-jsonl" `Quick test_obs_stream_and_jsonl;
+          Alcotest.test_case "field-helpers" `Quick test_obs_field_helpers;
         ] );
       ("fsutil", [ Alcotest.test_case "mkdir_p" `Quick test_mkdir_p ]);
       ( "prng",

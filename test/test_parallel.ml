@@ -295,6 +295,46 @@ let test_span_exception_across_domains () =
   | [ s ] -> check Alcotest.string "failing span kept its name" "boom" s.U.Span.name
   | _ -> Alcotest.fail "expected exactly one span"
 
+let test_span_chrome_under_stealing () =
+  (* A single-giant batch is the shape that forces work stealing: the
+     worker holding task 0 is busy for the whole batch, so the rest of
+     the queue migrates. Every task records a span; the Chrome export
+     must carry one complete ("X") event per task with sane timestamps,
+     whatever the steal pattern was. *)
+  let t = U.Span.create () in
+  let weights = Array.init 24 (fun i -> if i = 0 then 200 else 1) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Pool.map_array pool
+           (fun (w, i) ->
+             U.Span.with_span t ~cat:"task" (Printf.sprintf "steal-%d" i) (fun () ->
+                 spin w i))
+           (Array.mapi (fun i w -> (w, i)) weights)));
+  check Alcotest.int "one span per task" 24 (U.Span.count t);
+  let reparsed = U.Json.parse (U.Json.to_string ~pretty:true (U.Span.to_chrome_json t)) in
+  match Option.bind (U.Json.member "traceEvents" reparsed) U.Json.to_list with
+  | Some events ->
+    check Alcotest.int "one chrome event per span" 24 (List.length events);
+    let names =
+      List.filter_map (fun ev -> Option.bind (U.Json.member "name" ev) U.Json.to_str) events
+    in
+    for i = 0 to 23 do
+      check Alcotest.bool
+        (Printf.sprintf "span steal-%d exported" i)
+        true
+        (List.mem (Printf.sprintf "steal-%d" i) names)
+    done;
+    List.iter
+      (fun ev ->
+        let geti k = Option.bind (U.Json.member k ev) U.Json.to_int in
+        check Alcotest.bool "ts non-negative" true (Option.get (geti "ts") >= 0);
+        check Alcotest.bool "dur non-negative" true (Option.get (geti "dur") >= 0);
+        check Alcotest.bool "tid present" true (geti "tid" <> None);
+        check (Alcotest.option Alcotest.string) "complete event" (Some "X")
+          (Option.bind (U.Json.member "ph" ev) U.Json.to_str))
+      events
+  | None -> Alcotest.fail "no traceEvents"
+
 (* ---------- Ctx single-flight ---------- *)
 
 let memo_counts ctx tbl =
@@ -387,6 +427,8 @@ let () =
         [
           Alcotest.test_case "per-domain-merge" `Quick test_span_per_domain_merge;
           Alcotest.test_case "exception-across-domains" `Quick test_span_exception_across_domains;
+          Alcotest.test_case "chrome-export-under-stealing" `Quick
+            test_span_chrome_under_stealing;
         ] );
       ( "ctx",
         [

@@ -172,6 +172,109 @@ let test_affinity_decisions () =
     (Core.Affinity_hierarchy.order (Core.Affinity_hierarchy.build tr))
     (Core.Affinity_hierarchy.order h)
 
+(* --- interference attribution ---------------------------------------- *)
+
+(* A 2-set direct-mapped cache driven by hand, so every matrix cell is
+   predictable: lines 0/2 collide in set 0 across threads, lines 1/3
+   collide in set 1 within thread 0. *)
+let interference_toy () =
+  let p = Params.make ~size_bytes:128 ~assoc:1 ~line_bytes:64 in
+  let c = Set_assoc.create p in
+  let sink = Profile_sink.create ~threads:2 ~params:p () in
+  List.iter
+    (fun (th, l) ->
+      ignore (Set_assoc.access_line_profiled c sink ~thread:th ~block:l l))
+    [ (0, 0); (1, 2); (0, 0); (1, 2); (0, 1); (0, 3); (0, 1) ];
+  sink
+
+let test_interference_toy () =
+  let sink = interference_toy () in
+  check (Alcotest.list Alcotest.int) "first misses" [ 3; 1 ]
+    (Array.to_list (Profile_sink.first_misses sink));
+  let rows m = List.map Array.to_list (Array.to_list m) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "eviction matrix (evictor x owner)"
+    [ [ 2; 1 ]; [ 2; 0 ] ]
+    (rows (Profile_sink.ev_matrix sink));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "miss matrix (misser x last evictor)"
+    [ [ 1; 1 ]; [ 1; 0 ] ]
+    (rows (Profile_sink.miss_matrix sink));
+  check Alcotest.int "suffered 0" 1 (Profile_sink.suffered_misses sink ~thread:0);
+  check Alcotest.int "inflicted 0" 1 (Profile_sink.inflicted_misses sink ~thread:0);
+  check (Alcotest.float 1e-9) "defensiveness 0" 0.8
+    (Profile_sink.defensiveness sink ~thread:0);
+  check (Alcotest.float 1e-9) "politeness 0" 0.5 (Profile_sink.politeness sink ~thread:0);
+  check (Alcotest.float 1e-9) "defensiveness 1" 0.5
+    (Profile_sink.defensiveness sink ~thread:1);
+  check (Alcotest.float 1e-9) "politeness 1" 0.8 (Profile_sink.politeness sink ~thread:1);
+  (* Set 0 saw only cross-thread evictions, set 1 only self-evictions. *)
+  check Alcotest.int "set 0 cross evictions" 3
+    (Profile_sink.set_cross_evictions sink ~set:0);
+  check Alcotest.int "set 1 cross evictions" 0
+    (Profile_sink.set_cross_evictions sink ~set:1)
+
+let test_interference_conservation () =
+  (* A real co-run: the matrices must partition the simulator's totals —
+     interference_json enforces this and must not raise. *)
+  let ctx = H.Ctx.create ~scale:H.Ctx.Fast () in
+  let stats, sink =
+    H.Ctx.profiled_corun ctx ~hw:false
+      ~self:(prog, Core.Optimizer.Bb_affinity)
+      ~peer:("445.gobmk", Core.Optimizer.Original)
+  in
+  let ev = Profile_sink.ev_matrix sink in
+  let sum2 = Array.fold_left (fun a r -> Array.fold_left ( + ) a r) 0 in
+  check Alcotest.int "ev matrix sums to evictions" (Cache_stats.evictions stats) (sum2 ev);
+  Array.iteri
+    (fun th row ->
+      check Alcotest.int
+        (Printf.sprintf "thread %d eviction row" th)
+        (Profile_sink.thread_evictions sink th)
+        (Array.fold_left ( + ) 0 row))
+    ev;
+  let ms = Profile_sink.miss_matrix sink and first = Profile_sink.first_misses sink in
+  List.iter
+    (fun th ->
+      check Alcotest.int
+        (Printf.sprintf "thread %d miss partition" th)
+        (Cache_stats.thread_misses stats th)
+        (Array.fold_left ( + ) first.(th) ms.(th)))
+    [ 0; 1 ];
+  let json = Profile.interference_json ~label:"t" ~sink ~stats in
+  ignore (U.Json.parse (U.Json.to_string json))
+
+let test_interference_json_mismatch () =
+  let sink = interference_toy () in
+  match Profile.interference_json ~label:"bad" ~sink ~stats:(Cache_stats.create ~threads:2 ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument on conservation mismatch"
+  | exception Invalid_argument _ -> ()
+
+let test_sink_transparent () =
+  (* Attaching the observatory must not perturb the simulation: the
+     profiled and unprofiled twins agree on every counter. *)
+  let ctx = H.Ctx.create ~scale:H.Ctx.Fast () in
+  let self = (prog, Core.Optimizer.Bb_affinity)
+  and peer = ("445.gobmk", Core.Optimizer.Original) in
+  let stats, _ = H.Ctx.profiled_corun ctx ~hw:false ~self ~peer in
+  let bare = H.Ctx.corun_stats ctx ~hw:false ~self ~peer in
+  check Alcotest.int "accesses" (Cache_stats.accesses bare) (Cache_stats.accesses stats);
+  check Alcotest.int "misses" (Cache_stats.misses bare) (Cache_stats.misses stats);
+  check Alcotest.int "evictions" (Cache_stats.evictions bare) (Cache_stats.evictions stats);
+  List.iter
+    (fun th ->
+      check Alcotest.int
+        (Printf.sprintf "thread %d accesses" th)
+        (Cache_stats.thread_accesses bare th)
+        (Cache_stats.thread_accesses stats th);
+      check Alcotest.int
+        (Printf.sprintf "thread %d misses" th)
+        (Cache_stats.thread_misses bare th)
+        (Cache_stats.thread_misses stats th))
+    [ 0; 1 ]
+
 (* A Cache_stats whose totals agree with the sink, for artifact tests. *)
 let stats_matching sink =
   let s = Cache_stats.create () in
@@ -235,6 +338,13 @@ let () =
           Alcotest.test_case "solo sink = stats" `Quick test_solo_differential;
           Alcotest.test_case "corun sink = stats" `Quick test_corun_differential;
           Alcotest.test_case "jobs invariance" `Slow test_jobs_invariance;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "toy matrices" `Quick test_interference_toy;
+          Alcotest.test_case "corun conservation" `Quick test_interference_conservation;
+          Alcotest.test_case "mismatch rejected" `Quick test_interference_json_mismatch;
+          Alcotest.test_case "sink transparent" `Quick test_sink_transparent;
         ] );
       ( "decisions",
         [

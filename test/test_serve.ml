@@ -11,6 +11,7 @@
 open Colayout
 open Colayout_trace
 module U = Colayout_util
+module H = Colayout_harness
 
 let check = Alcotest.check
 
@@ -245,6 +246,60 @@ let test_cross_trace_trimming () =
   check Alcotest.int "kept events" 4 s.kept_events;
   check Alcotest.int "raw events" 10 s.events
 
+(* ---------------------------------------- the service driver *)
+
+(* Flush-on-exit: when users is not a multiple of epoch_traces, the tail
+   traces still get an epoch row (marked partial) and an obs snapshot —
+   ingested work is never silently absorbed. Each snapshot carries the
+   conservation-checked interference probe. *)
+let serve_run users =
+  let cfg =
+    H.Serve.config ~users ~seed:3 ~fuel:600 ~shards:2 ~epoch_traces:2 ~reopt_steps:10
+      ~program:"429.mcf" ()
+  in
+  let obs = U.Obs.create () in
+  (H.Serve.run ~obs cfg, obs)
+
+let test_flush_on_exit () =
+  let s, obs = serve_run 5 in
+  let rows = s.H.Serve.epoch_rows in
+  check Alcotest.int "two full epochs + one flushed tail" 3 (List.length rows);
+  (match List.rev rows with
+  | last :: earlier ->
+    Alcotest.(check bool) "tail row is partial" true last.H.Serve.partial;
+    check Alcotest.int "tail row covers all ingested traces" 5 last.H.Serve.at_trace;
+    List.iter
+      (fun r -> Alcotest.(check bool) "earlier rows are full epochs" false r.H.Serve.partial)
+      earlier
+  | [] -> Alcotest.fail "no epoch rows");
+  check Alcotest.int "one obs snapshot per epoch row" (List.length rows)
+    (U.Obs.recorded obs);
+  List.iter
+    (fun sn ->
+      Alcotest.(check bool) "snapshot carries the interference probe" true
+        (List.mem_assoc "interference" sn.U.Obs.fields);
+      Alcotest.(check bool) "snapshot carries the partial flag" true
+        (List.mem_assoc "partial" sn.U.Obs.fields))
+    (U.Obs.snapshots obs);
+  (* The summary JSON carries the flag too. *)
+  let json = H.Serve.summary_to_json s in
+  (match Option.bind (U.Json.member "epochs" json) U.Json.to_list with
+  | Some rows_json ->
+    let partials =
+      List.filter_map
+        (fun r -> Option.bind (U.Json.member "partial" r) U.Json.to_bool)
+        rows_json
+    in
+    check (Alcotest.list Alcotest.bool) "partial flags serialized"
+      [ false; false; true ] partials
+  | None -> Alcotest.fail "no epochs array in summary json");
+  (* Users aligned to the epoch size: no partial row appears. *)
+  let s2, obs2 = serve_run 4 in
+  Alcotest.(check bool) "no partial row when aligned" true
+    (List.for_all (fun r -> not r.H.Serve.partial) s2.H.Serve.epoch_rows);
+  check Alcotest.int "aligned run snapshots" (List.length s2.H.Serve.epoch_rows)
+    (U.Obs.recorded obs2)
+
 let () =
   Alcotest.run "serve"
     [
@@ -264,4 +319,6 @@ let () =
             test_bounded_caps_and_determinism;
           Alcotest.test_case "decay example" `Quick test_decay_example;
         ] );
+      ( "service",
+        [ Alcotest.test_case "flush-on-exit partial epoch" `Slow test_flush_on_exit ] );
     ]
