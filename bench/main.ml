@@ -1255,9 +1255,9 @@ let run_serve_bench ~quick ~path =
   in
   let traces = Array.init users gen in
   let total_events = Array.fold_left (fun a t -> a + T.Trace.length t) 0 traces in
-  let cat = T.Trace.create ~num_symbols () in
-  Array.iter (fun t -> T.Trace.iter (fun s -> T.Trace.push cat s) t) traces;
-  let batch_trg, batch_aff = Ingest.batch_digests ~trg_window ~affinity_w cat in
+  let batch_trg, batch_aff =
+    Ingest.batch_digests_parts ~trg_window ~affinity_w (Array.to_list traces)
+  in
   let clock = U.Metrics.default_clock in
   let wall f =
     let t0 = clock () in
@@ -1481,6 +1481,293 @@ let run_serve_bench ~quick ~path =
         ("best_parallel_vs_serial", U.Json.Float best_parallel_vs_serial);
         ("bounded", bounded_json);
         ("serve", H.Serve.summary_to_json serve_summary);
+        runtime_field t_start;
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (U.Json.to_string ~pretty:true manifest);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" path
+
+(* Parallel multi-walker ingest: per-stream LRU walkers with the
+   witness/occurrence merge algebra. Every grid cell's finalize digests
+   must be byte-identical to the merged batch-kernel reference at any
+   (walkers, shards, jobs) point — FATAL in every mode. On a >= 2-core
+   host the walkers=cores row must beat the serial single-walker row by
+   >= 1.5x (positivity-only on one core, per the PR 4 convention). *)
+let run_ingest_par_bench ~quick ~path =
+  let t_start = U.Metrics.default_clock () in
+  Printf.printf "== Parallel multi-walker ingest: partitioned streams vs batch kernels ==\n\n%!";
+  let program_name = "429.mcf" in
+  let users = if quick then 10 else 96 in
+  let max_fuel = if quick then 1_500 else 6_000 in
+  let seed = 1 in
+  let trg_window = 64 and affinity_w = 16 in
+  let program = W.Spec.build program_name in
+  let num_symbols = Colayout_ir.Program.num_blocks program in
+  let gen u =
+    let prng = U.Prng.create ~seed:(seed + ((u + 1) * 0x9E3779B1)) in
+    let input_seed = U.Prng.int prng 1_000_000_000 in
+    let fuel = (max_fuel / 2) + U.Prng.int prng ((max_fuel / 2) + 1) in
+    (E.Interp.run program (E.Interp.test_input ~seed:input_seed ~max_blocks:fuel ()))
+      .E.Interp.bb_trace
+  in
+  let traces = Array.init users gen in
+  let total_events = Array.fold_left (fun a t -> a + T.Trace.length t) 0 traces in
+  let batch_trg, batch_aff =
+    Ingest.batch_digests_parts ~trg_window ~affinity_w (Array.to_list traces)
+  in
+  let cores = cores_available () in
+  let with_cores base = List.sort_uniq compare (if cores > 1 then cores :: base else base) in
+  let walkers_list = with_cores [ 1; 2; 4 ] in
+  let shards_list = [ 1; 2 ] in
+  let jobs_list = with_cores [ 1; 2; 4 ] in
+  let clock = U.Metrics.default_clock in
+  let wall f =
+    let t0 = clock () in
+    let r = f () in
+    (r, Int64.to_int (Int64.sub (clock ()) t0))
+  in
+  let per_sec count ns =
+    if ns <= 0 then 0.0 else float_of_int count *. 1e9 /. float_of_int ns
+  in
+  let cell ~walkers ~shards ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let cfg = Ingest.config ~num_symbols ~walkers ~shards ~trg_window ~affinity_w () in
+        let ing = Ingest.create ~pool cfg in
+        let (), ingest_ns = wall (fun () -> Array.iter (Ingest.ingest_trace ing) traces) in
+        let c, merge_ns = wall (fun () -> Ingest.finalize ing) in
+        let trg_d, aff_d = Ingest.consensus_digests c in
+        let st = Ingest.stats ing in
+        if trg_d <> batch_trg || aff_d <> batch_aff then begin
+          Printf.eprintf
+            "FATAL: multi-walker digests diverge from the batch kernels at walkers=%d \
+             shards=%d jobs=%d\n%!"
+            walkers shards jobs;
+          exit 1
+        end;
+        if ingest_ns <= 0 || merge_ns <= 0 then begin
+          Printf.eprintf "FATAL: non-positive wall at walkers=%d shards=%d jobs=%d\n%!"
+            walkers shards jobs;
+          exit 1
+        end;
+        Printf.printf
+          "  walkers=%d shards=%d jobs=%d  ingest %8.2f ms  merge %6.2f ms  %8.0f ev/s  \
+           digests ok\n%!"
+          walkers shards jobs
+          (float_of_int ingest_ns /. 1e6)
+          (float_of_int merge_ns /. 1e6)
+          (per_sec total_events ingest_ns);
+        (walkers, shards, jobs, ingest_ns, merge_ns, trg_d, aff_d, st))
+  in
+  let grid =
+    List.concat_map
+      (fun walkers ->
+        List.concat_map
+          (fun shards -> List.map (fun jobs -> cell ~walkers ~shards ~jobs) jobs_list)
+          shards_list)
+      walkers_list
+  in
+  let ingest_ns_of (_, _, _, ns, _, _, _, _) = ns in
+  let serial =
+    List.find (fun (wk, s, j, _, _, _, _, _) -> wk = 1 && s = 1 && j = 1) grid
+  in
+  let serial_ns = ingest_ns_of serial in
+  let gate_walkers = if cores > 1 then cores else 1 in
+  let gate_jobs = if cores > 1 then cores else 1 in
+  let gate_cell =
+    List.find
+      (fun (wk, s, j, _, _, _, _, _) -> wk = gate_walkers && s = 2 && j = gate_jobs)
+      grid
+  in
+  let gate_speedup = float_of_int serial_ns /. float_of_int (ingest_ns_of gate_cell) in
+  if (not quick) && cores >= 2 && gate_speedup < 1.5 then begin
+    Printf.eprintf
+      "FATAL: walkers=%d ingest is %.2fx serial (< 1.5x) on a %d-core host\n%!" gate_walkers
+      gate_speedup cores;
+    exit 1
+  end;
+  Printf.printf "  gate: walkers=%d jobs=%d is %.2fx the serial walker (%d cores)\n%!"
+    gate_walkers gate_jobs gate_speedup cores;
+  (* --- bounded mode: per-walker-count deterministic approximation ----- *)
+  let trg_cap = 192 and wits_cap = 256 and decay_shift = 1 in
+  let epoch_traces = if quick then 2 else 4 in
+  let bounded_run ~walkers ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let cfg =
+          Ingest.config ~num_symbols ~walkers ~shards:2 ~trg_window ~affinity_w ~trg_cap
+            ~wits_cap ~decay_shift ~epoch_traces ()
+        in
+        let ing = Ingest.create ~pool cfg in
+        Array.iter (Ingest.ingest_trace ing) traces;
+        let d = Ingest.consensus_digests (Ingest.finalize ing) in
+        (d, Ingest.stats ing))
+  in
+  let bounded_rows =
+    List.map
+      (fun walkers ->
+        let ref_d, ref_st = bounded_run ~walkers ~jobs:1 in
+        let j2_d, _ = bounded_run ~walkers ~jobs:2 in
+        let rep_d, _ = bounded_run ~walkers ~jobs:2 in
+        let deterministic = j2_d = ref_d && rep_d = ref_d in
+        let caps_ok =
+          ref_st.Ingest.trg_peak_shard <= trg_cap && ref_st.Ingest.wits_peak_shard <= wits_cap
+        in
+        if not deterministic then begin
+          Printf.eprintf
+            "FATAL: bounded-mode ingest at walkers=%d is not deterministic across jobs\n%!"
+            walkers;
+          exit 1
+        end;
+        if not caps_ok then begin
+          Printf.eprintf
+            "FATAL: a walker shard table exceeded its cap at walkers=%d (trg %d/%d, wits \
+             %d/%d)\n%!"
+            walkers ref_st.Ingest.trg_peak_shard trg_cap ref_st.Ingest.wits_peak_shard
+            wits_cap;
+          exit 1
+        end;
+        (walkers, ref_d, ref_st))
+      [ 1; 2 ]
+  in
+  Printf.printf "  bounded: caps %d/%d held, per-walker-count deterministic across jobs\n%!"
+    trg_cap wits_cap;
+  (* --- per-walker latency histograms survive the dispatch fold -------- *)
+  let hist_walkers = 2 in
+  let walker_hist =
+    U.Pool.with_pool ~jobs:2 (fun pool ->
+        let metrics = U.Metrics.create () in
+        let cfg =
+          Ingest.config ~num_symbols ~walkers:hist_walkers ~shards:2 ~trg_window ~affinity_w ()
+        in
+        let ing = Ingest.create ~pool ~metrics cfg in
+        Array.iter (Ingest.ingest_trace ing) traces;
+        ignore (Ingest.finalize ing);
+        List.init hist_walkers (fun i ->
+            let h =
+              U.Metrics.histogram metrics (Printf.sprintf "ingest.walker.%d.trace_ns" i)
+            in
+            (i, U.Metrics.observations h, U.Metrics.percentile h 0.50)))
+  in
+  let hist_sum = List.fold_left (fun a (_, n, _) -> a + n) 0 walker_hist in
+  if hist_sum <> users then begin
+    Printf.eprintf
+      "FATAL: per-walker latency histograms cover %d traces, expected %d\n%!" hist_sum users;
+    exit 1
+  end;
+  Printf.printf "  histograms: %d per-walker trace observations folded through the pool\n%!"
+    hist_sum;
+  let grid_json =
+    U.Json.Arr
+      (List.map
+         (fun (walkers, shards, jobs, ingest_ns, merge_ns, trg_d, aff_d, (st : Ingest.stats)) ->
+           U.Json.Obj
+             [
+               ("walkers", U.Json.Int walkers);
+               ("shards", U.Json.Int shards);
+               ("jobs", U.Json.Int jobs);
+               ("ingest_wall_ns", U.Json.Int ingest_ns);
+               ("merge_ns", U.Json.Int merge_ns);
+               ("events_per_sec", U.Json.Float (per_sec total_events ingest_ns));
+               ("traces_per_sec", U.Json.Float (per_sec users ingest_ns));
+               ( "edge_ops_per_sec",
+                 U.Json.Float (per_sec (st.Ingest.trg_ops + st.Ingest.wit_ops) ingest_ns) );
+               ("flushes", U.Json.Int st.Ingest.flushes);
+               ("dispatches", U.Json.Int st.Ingest.dispatches);
+               ("trg_digest", U.Json.Str trg_d);
+               ("affine_digest", U.Json.Str aff_d);
+               ("digests_match", U.Json.Bool true);
+             ])
+         grid)
+  in
+  let bounded_json =
+    U.Json.Obj
+      [
+        ("shards", U.Json.Int 2);
+        ("trg_cap", U.Json.Int trg_cap);
+        ("wits_cap", U.Json.Int wits_cap);
+        ("decay_shift", U.Json.Int decay_shift);
+        ("epoch_traces", U.Json.Int epoch_traces);
+        ("deterministic", U.Json.Bool true);
+        ("caps_respected", U.Json.Bool true);
+        ( "runs",
+          U.Json.Arr
+            (List.map
+               (fun (walkers, (trg_d, aff_d), (st : Ingest.stats)) ->
+                 U.Json.Obj
+                   [
+                     ("walkers", U.Json.Int walkers);
+                     ("trg_digest", U.Json.Str trg_d);
+                     ("affine_digest", U.Json.Str aff_d);
+                     ("trg_peak_shard", U.Json.Int st.Ingest.trg_peak_shard);
+                     ("wits_peak_shard", U.Json.Int st.Ingest.wits_peak_shard);
+                     ("trg_evicted", U.Json.Int st.Ingest.trg_evicted);
+                     ("wits_evicted", U.Json.Int st.Ingest.wits_evicted);
+                     ("decay_dropped", U.Json.Int st.Ingest.decay_dropped);
+                     ("dead_pruned", U.Json.Int st.Ingest.dead_pruned);
+                   ])
+               bounded_rows) );
+      ]
+  in
+  let manifest =
+    U.Json.Obj
+      [
+        ("schema", U.Json.Str "colayout/bench-ingest-par/v1");
+        ("mode", U.Json.Str (if quick then "quick" else "full"));
+        cores_field ();
+        ( "params",
+          U.Json.Obj
+            [
+              ("program", U.Json.Str program_name);
+              ("users", U.Json.Int users);
+              ("max_fuel", U.Json.Int max_fuel);
+              ("seed", U.Json.Int seed);
+              ("num_symbols", U.Json.Int num_symbols);
+              ("total_events", U.Json.Int total_events);
+              ("trg_window", U.Json.Int trg_window);
+              ("affinity_w", U.Json.Int affinity_w);
+              ("walkers_list", U.Json.Arr (List.map (fun i -> U.Json.Int i) walkers_list));
+              ("shards_list", U.Json.Arr (List.map (fun i -> U.Json.Int i) shards_list));
+              ("jobs_list", U.Json.Arr (List.map (fun i -> U.Json.Int i) jobs_list));
+            ] );
+        ( "batch",
+          U.Json.Obj
+            [
+              ("trg_digest", U.Json.Str batch_trg);
+              ("affine_digest", U.Json.Str batch_aff);
+            ] );
+        ("grid", grid_json);
+        ("digests_identical", U.Json.Bool true);
+        ("serial_ingest_ns", U.Json.Int serial_ns);
+        ( "gate",
+          U.Json.Obj
+            [
+              ("walkers", U.Json.Int gate_walkers);
+              ("shards", U.Json.Int 2);
+              ("jobs", U.Json.Int gate_jobs);
+              ("speedup_vs_serial", U.Json.Float gate_speedup);
+            ] );
+        ("bounded", bounded_json);
+        ( "walker_hist",
+          U.Json.Obj
+            [
+              ("walkers", U.Json.Int hist_walkers);
+              ("jobs", U.Json.Int 2);
+              ("total_observations", U.Json.Int hist_sum);
+              ("traces", U.Json.Int users);
+              ( "per_walker",
+                U.Json.Arr
+                  (List.map
+                     (fun (i, n, p50) ->
+                       U.Json.Obj
+                         [
+                           ("walker", U.Json.Int i);
+                           ("observations", U.Json.Int n);
+                           ("trace_p50_ns", U.Json.Float p50);
+                         ])
+                     walker_hist) );
+            ] );
         runtime_field t_start;
       ]
   in
@@ -1892,6 +2179,7 @@ let () =
   let layout_eval_delta_only = ref false in
   let scaling_only = ref false in
   let serve_only = ref false in
+  let ingest_par_only = ref false in
   let obs_only = ref false in
   let json = ref "BENCH_kernels.json" in
   let harness_json = ref "BENCH_harness.json" in
@@ -1901,6 +2189,7 @@ let () =
   let layout_eval_delta_json = ref "BENCH_layout_eval_delta.json" in
   let scaling_json = ref "BENCH_scaling.json" in
   let serve_json = ref "BENCH_serve.json" in
+  let ingest_par_json = ref "BENCH_ingest_par.json" in
   let obs_json = ref "BENCH_obs.json" in
   let jobs = ref 1 in
   Arg.parse
@@ -1925,6 +2214,9 @@ let () =
       ( "--serve",
         Arg.Set serve_only,
         " streaming-ingest service benchmark only (regenerates BENCH_serve.json)" );
+      ( "--ingest-par-only",
+        Arg.Set ingest_par_only,
+        " multi-walker ingest benchmark only (regenerates BENCH_ingest_par.json)" );
       ( "--obs",
         Arg.Set obs_only,
         " interference-observatory benchmark only (regenerates BENCH_obs.json + .jsonl)" );
@@ -1950,6 +2242,9 @@ let () =
       ( "--serve-json",
         Arg.Set_string serve_json,
         "FILE path for the streaming-ingest service manifest" );
+      ( "--ingest-par-json",
+        Arg.Set_string ingest_par_json,
+        "FILE path for the multi-walker ingest manifest" );
       ( "--obs-json",
         Arg.Set_string obs_json,
         "FILE path for the interference-observatory manifest (stream goes beside it)" );
@@ -1958,7 +2253,7 @@ let () =
         "N worker domains for the full experiment suite (0 = machine width)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--serve] [--obs] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
+    "bench/main.exe [--quick] [--kernels-only] [--parallel-only] [--profile-only] [--layout-eval-only] [--layout-eval-delta-only] [--scaling] [--serve] [--ingest-par-only] [--obs] [--jobs N] [--json FILE] [--harness-json FILE] [--parallel-json FILE]";
   H.Report.setup (if !quick then H.Report.Quiet else H.Report.Normal);
   if !parallel_only then begin
     H.Report.setup H.Report.Quiet;
@@ -1990,6 +2285,11 @@ let () =
     run_serve_bench ~quick:!quick ~path:!serve_json;
     exit 0
   end;
+  if !ingest_par_only then begin
+    H.Report.setup H.Report.Quiet;
+    run_ingest_par_bench ~quick:!quick ~path:!ingest_par_json;
+    exit 0
+  end;
   if !obs_only then begin
     H.Report.setup H.Report.Quiet;
     run_obs_bench ~quick:!quick ~path:!obs_json;
@@ -2004,6 +2304,7 @@ let () =
     run_layout_eval_delta_bench ~quick:!quick ~path:!layout_eval_delta_json;
     run_scaling_bench ~quick:!quick ~path:!scaling_json;
     run_serve_bench ~quick:!quick ~path:!serve_json;
+    run_ingest_par_bench ~quick:!quick ~path:!ingest_par_json;
     run_obs_bench ~quick:!quick ~path:!obs_json
   end;
   if not (!quick || !kernels_only) then begin

@@ -462,14 +462,24 @@ let serve_cmd =
   let shards =
     Arg.(value & opt int 2 & info [ "shards" ] ~docv:"S" ~doc:"Accumulator shards")
   in
+  let walkers =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "walkers" ] ~docv:"W"
+          ~doc:
+            "Parallel ingest walkers: completed traces partition round-robin across $(docv) \
+             independent LRU walker states merged algebraically at finalize; 0 picks the \
+             machine width. Exact-config digests are byte-identical at any $(docv).")
+  in
   let jobs =
     Arg.(
       value
       & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Worker domains for generation and sharded flushes; 0 picks the machine width. \
-             Results are byte-identical at any $(docv).")
+            "Worker domains for generation, walker dispatch and sharded flushes; 0 picks the \
+             machine width. Results are byte-identical at any $(docv).")
   in
   let window =
     Arg.(value & opt int 64 & info [ "window" ] ~docv:"W" ~doc:"TRG LRU window (distinct blocks)")
@@ -538,39 +548,86 @@ let serve_cmd =
              percentiles, GC) as JSON lines to $(docv), flushed as they happen — tail it \
              live with `repro monitor $(docv) --follow`")
   in
-  let from_files =
+  let from_paths =
     Arg.(
       value
-      & opt_all file []
-      & info [ "from" ] ~docv:"FILE"
+      & opt_all string []
+      & info [ "from" ] ~docv:"PATH"
           ~doc:
-            "Ingest these saved trace files (chunked streaming reads; repeatable) instead of \
-             generating synthetic users. PROGRAM is ignored for sizing; the symbol universe \
-             comes from the first file.")
+            "Ingest saved traces instead of generating synthetic users (repeatable). A file \
+             is streamed once through the chunked reader; a directory is watched as a live \
+             spool — new .trc/.trace files are ingested as they land until --timeout \
+             elapses. PROGRAM is ignored for sizing; the symbol universe comes from the \
+             first trace found.")
   in
-  let serve_from_files files ~shards ~jobs ~window ~w ~epoch ~trg_cap ~wits_cap ~decay
-      ~metrics_out =
+  let timeout =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "With --from DIR: watch the spool for $(docv) seconds, then exit cleanly (0 = \
+             one stable sweep of the files already present).")
+  in
+  let poll_ms =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "poll-ms" ] ~docv:"MS" ~doc:"Spool poll interval for --from DIR watching")
+  in
+  let serve_from paths ~walkers ~shards ~jobs ~window ~w ~epoch ~trg_cap ~wits_cap ~decay
+      ~timeout ~poll_ms ~metrics_out =
+    List.iter
+      (fun p ->
+        if not (Sys.file_exists p) then begin
+          Printf.eprintf "repro serve: --from %s: no such file or directory\n" p;
+          exit 1
+        end)
+      paths;
+    let dirs, files = List.partition Sys.is_directory paths in
     let num_symbols =
-      Colayout_trace.Trace_io.with_reader ~path:(List.hd files)
-        Colayout_trace.Trace_io.reader_num_symbols
+      match files with
+      | f :: _ ->
+        Colayout_trace.Trace_io.with_reader ~path:f Colayout_trace.Trace_io.reader_num_symbols
+      | [] -> (
+        (* Empty spool: wait (within the watch budget) for the first trace
+           file to land so the symbol universe can size the config. *)
+        match H.Serve.wait_spool_symbols ~dirs ~poll_ms ~timeout_s:timeout () with
+        | Some n -> n
+        | None ->
+          Printf.eprintf "repro serve: no readable trace file appeared in the spool within \
+                          --timeout %.3fs\n"
+            timeout;
+          exit 1)
     in
     let metrics = U.Metrics.create () in
     U.Pool.with_pool ~jobs ~metrics (fun pool ->
         let cfg =
-          Core.Ingest.config ~num_symbols ~shards ~trg_window:window ~affinity_w:w
+          Core.Ingest.config ~num_symbols ~walkers ~shards ~trg_window:window ~affinity_w:w
             ~trg_cap ~wits_cap ~decay_shift:decay ~epoch_traces:epoch ()
         in
         let ing = Core.Ingest.create ~pool ~metrics cfg in
         List.iter (fun path -> Core.Ingest.feed_file ing ~path) files;
+        let report =
+          if dirs = [] then None
+          else
+            Some (H.Serve.watch_spool ~ing ~dirs ~poll_ms ~skip:files ~timeout_s:timeout ())
+        in
         let c = Core.Ingest.finalize ing in
         let td, ad = Core.Ingest.consensus_digests c in
         let s = Core.Ingest.stats ing in
+        (match report with
+        | Some r ->
+          Printf.printf "spool: %d polls, %d files ingested, %d skipped, %d pending\n"
+            r.H.Serve.sp_polls r.H.Serve.sp_ingested r.H.Serve.sp_skipped
+            (List.length r.H.Serve.sp_pending)
+        | None -> ());
         Printf.printf
-          "ingested %d traces (%d events, %d kept) from %d files\n\
+          "ingested %d traces (%d events, %d kept) across %d walkers\n\
            trg: %d live edges  affinity: %d pairs\n\
            digests: trg=%s affine=%s\n"
-          s.Core.Ingest.traces s.Core.Ingest.events s.Core.Ingest.kept_events
-          (List.length files) s.Core.Ingest.trg_live
+          s.Core.Ingest.traces s.Core.Ingest.events s.Core.Ingest.kept_events walkers
+          s.Core.Ingest.trg_live
           (Array.length c.Core.Ingest.affine)
           td ad;
         Option.iter
@@ -578,8 +635,8 @@ let serve_cmd =
             write_file path (U.Json.to_string ~pretty:true (U.Metrics.to_json metrics)))
           metrics_out)
   in
-  let run name users seed fuel shards jobs window w epoch trg_cap wits_cap decay reopt verify
-      out metrics_out obs_out from_files verbosity =
+  let run name users seed fuel walkers shards jobs window w epoch trg_cap wits_cap decay reopt
+      verify out metrics_out obs_out from_paths timeout poll_ms verbosity =
     H.Report.setup verbosity;
     let jobs =
       if jobs = 0 then U.Pool.default_jobs ()
@@ -588,17 +645,24 @@ let serve_cmd =
         exit 1)
       else jobs
     in
-    if from_files <> [] then
-      serve_from_files from_files ~shards ~jobs ~window ~w ~epoch ~trg_cap ~wits_cap ~decay
-        ~metrics_out
+    let walkers =
+      if walkers = 0 then U.Pool.default_jobs ()
+      else if walkers < 0 then (
+        Printf.eprintf "repro serve: --walkers must be >= 0\n";
+        exit 1)
+      else walkers
+    in
+    if from_paths <> [] then
+      serve_from from_paths ~walkers ~shards ~jobs ~window ~w ~epoch ~trg_cap ~wits_cap ~decay
+        ~timeout ~poll_ms ~metrics_out
     else begin
       if not (List.mem name W.Spec.names) then begin
         Printf.eprintf "unknown program %S; run `repro programs` for the list\n" name;
         exit 1
       end;
       let cfg =
-        H.Serve.config ~users ~seed ~fuel ~shards ~trg_window:window ~affinity_w:w ~trg_cap
-          ~wits_cap ~decay_shift:decay ~epoch_traces:epoch ~reopt_steps:reopt ~verify
+        H.Serve.config ~users ~seed ~fuel ~walkers ~shards ~trg_window:window ~affinity_w:w
+          ~trg_cap ~wits_cap ~decay_shift:decay ~epoch_traces:epoch ~reopt_steps:reopt ~verify
           ~program:name ()
       in
       let metrics = U.Metrics.create () in
@@ -628,13 +692,13 @@ let serve_cmd =
           let summary = H.Serve.run ~pool ~metrics ?obs cfg in
           let s = summary.H.Serve.stats in
           Printf.printf
-            "%s: %d users, %d shards, %d jobs\n\
+            "%s: %d users, %d walkers, %d shards, %d jobs\n\
              ingested %s events (%s kept) in %.2fs wall  |  %.0f traces/s, %s events/s, %s \
              edge-ops/s\n\
              trg: %d live (peak/shard %d)  wits: %d live (peak/shard %d)  evicted %d+%d  \
              pruned %d  decayed %d\n\
              latency: trace p50 %.0fus p95 %.0fus p99 %.0fus  merge p50 %.0fus\n"
-            name users shards jobs
+            name users walkers shards jobs
             (Table.fmt_int s.Core.Ingest.events)
             (Table.fmt_int s.Core.Ingest.kept_events)
             (float_of_int summary.H.Serve.wall_ns /. 1e9)
@@ -702,9 +766,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ prog_arg $ users $ seed $ fuel $ shards $ jobs $ window $ w_arg $ epoch
-      $ trg_cap $ wits_cap $ decay $ reopt $ verify $ out $ metrics_out $ obs_out
-      $ from_files $ verbosity_arg)
+      const run $ prog_arg $ users $ seed $ fuel $ walkers $ shards $ jobs $ window $ w_arg
+      $ epoch $ trg_cap $ wits_cap $ decay $ reopt $ verify $ out $ metrics_out $ obs_out
+      $ from_paths $ timeout $ poll_ms $ verbosity_arg)
 
 let monitor_cmd =
   let doc =

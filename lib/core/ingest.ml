@@ -1,41 +1,58 @@
 open Colayout_util
 open Colayout_trace
 
-(* Streaming profile ingest: the online, sharded form of the two batch
-   analysis kernels ([Trg.build], [Affinity.affine_pairs]).
+(* Streaming profile ingest: the online, sharded, multi-walker form of the
+   two batch analysis kernels ([Trg.build], [Affinity.affine_pairs]).
 
    The design splits each kernel into its two halves. The *walk* half —
-   advancing one LRU stack over the (trimmed) concatenated event stream
-   and deciding which pair keys each event touches — is inherently
-   sequential, so one walker runs it for both kernels at once and emits
-   the resulting table operations into per-shard buffers (an op is 1 int
-   for a TRG bump, 2 ints for an affinity witness). The *accumulate* half
-   — folding those operations into the flat int-packed open-addressing
-   tables — is where the memory traffic lives, so it is sharded by a hash
-   of the packed pair key: on flush, every shard's buffered ops are
-   applied to that shard's private tables by a [Pool] worker, with no
-   locks and no cross-shard writes on the hot path.
+   advancing an LRU stack over a trimmed event stream and deciding which
+   pair keys each event touches — is sequential per stream, so each trace
+   is walked by exactly one walker. The *accumulate* half — folding the
+   emitted table operations into flat int-packed open-addressing tables —
+   is where the memory traffic lives, so it is sharded by a hash of the
+   packed pair key and, with [walkers > 1], further privatized per
+   walker: on flush, each walker drains its own per-shard buffers into
+   its own tables with no locks and no cross-walker writes anywhere.
 
-   Determinism/exactness contract: ops for one key always land in one
-   shard's buffer in stream order, TRG bumps commute, and a witness
-   update only depends on prior updates to the same key — so the shard
-   tables hold exactly what the batch kernels' single tables would hold,
-   at any shard count and any jobs count, and [finalize] (which rebuilds
-   a CSR via [Trg.of_edges] and applies the batch affinity
-   saturated-pair test across shards) is bit-identical to the batch
-   result on the concatenated trace. The digest helpers below make that
-   checkable from tests and the bench.
+   Stream semantics: every completed trace is an independent stream. Each
+   walker resets its LRU stack and trimming state at trace boundaries, so
+   the per-trace walk replicates the batch kernels on that trace alone
+   (occurrence indices are walker-cumulative, which the witness update
+   rule tolerates — see [finalize]). This is what makes the result a pure
+   function of the *multiset* of traces, invariant under how they are
+   partitioned across walkers:
 
-   Bounded memory is epoch-based and deterministic given the ingest
-   order: at epoch boundaries (every [epoch_traces] traces) TRG weights
-   decay by [decay_shift] (dropping zeros), provably-dead affinity
-   witnesses are pruned (exact — see [prune_dead_tbl]), and after every
-   flush each table is clipped back to its per-shard cap by evicting the
-   smallest (rank, key) entries. Decay and caps trade exactness for
-   bounded tables; pruning never changes the final affine set. *)
+   - TRG edge weights are sums of per-trace window co-occurrence counts,
+     so walker-local tables merge by summing weights per key.
+   - An affinity witness entry for directed (a, b) carries (last_occ,
+     sat): sat counts occurrences of [a] witnessed by [b] within window
+     footprint w. Within one walker, each global occurrence is counted at
+     most once (the [last_occ < a_occ] guard), and since windows never
+     span trace boundaries, sat decomposes as a sum of per-trace
+     saturations. Across walkers sat values therefore merge by summing,
+     and the final test "sat(a,b) = occ(a) in both directions" holds for
+     the merged stream iff it holds per trace — exactly the batch
+     kernels' saturated-pair condition on each part.
+
+   So [finalize] digests are bit-identical at any (walkers, shards, jobs)
+   point, in exact configurations. Bounded memory (caps, decay) is a
+   deterministic function of the config *including* [walkers] — like
+   [shards], the walker count selects which approximation you get, while
+   [jobs] (the pool width) never changes any result.
+
+   With [walkers = 1] the walker runs inline in [feed_sym] and can stream
+   arbitrarily long traces without materializing them. With [walkers > 1]
+   the current trace is staged in memory until [end_trace] assigns it
+   round-robin (by completed-trace index — a config-deterministic
+   assignment) to a walker queue; queues are drained by [Pool] tasks, one
+   task per walker, whenever every walker has work. Flush points are
+   driven by walker-local op counts and epoch maintenance by the global
+   trace counter, so the pool schedule moves *where* work runs, never
+   what is computed. *)
 
 type config = {
   num_symbols : int;
+  walkers : int;
   shards : int;
   trg_window : int;
   affinity_w : int;
@@ -47,12 +64,13 @@ type config = {
   flush_ops : int;
 }
 
-let config ?(shards = 1) ?(trg_window = 256) ?(affinity_w = 16) ?(trg_cap = 0) ?(wits_cap = 0)
-    ?(decay_shift = 0) ?(epoch_traces = 0) ?(prune_dead = true) ?(flush_ops = 1 lsl 16)
-    ~num_symbols () =
+let config ?(walkers = 1) ?(shards = 1) ?(trg_window = 256) ?(affinity_w = 16) ?(trg_cap = 0)
+    ?(wits_cap = 0) ?(decay_shift = 0) ?(epoch_traces = 0) ?(prune_dead = true)
+    ?(flush_ops = 1 lsl 16) ~num_symbols () =
   if num_symbols < 1 then invalid_arg "Ingest.config: num_symbols must be >= 1";
   if num_symbols > Int_pair_tbl.max_coord then
     invalid_arg "Ingest.config: num_symbols >= 2^31 exceeds the packed-key coordinate bound";
+  if walkers < 1 then invalid_arg "Ingest.config: walkers must be >= 1";
   if shards < 1 then invalid_arg "Ingest.config: shards must be >= 1";
   if trg_window < 1 then invalid_arg "Ingest.config: trg_window must be >= 1";
   if affinity_w < 1 then invalid_arg "Ingest.config: affinity_w must be >= 1";
@@ -62,6 +80,7 @@ let config ?(shards = 1) ?(trg_window = 256) ?(affinity_w = 16) ?(trg_cap = 0) ?
   if flush_ops < 1 then invalid_arg "Ingest.config: flush_ops must be >= 1";
   {
     num_symbols;
+    walkers;
     shards;
     trg_window;
     affinity_w;
@@ -75,8 +94,8 @@ let config ?(shards = 1) ?(trg_window = 256) ?(affinity_w = 16) ?(trg_cap = 0) ?
 
 type shard = { trg : Int_pair_tbl.t; wits : Int_pair_tbl.t }
 
-(* Declared before [t] so [t]'s same-named mutable fields take label
-   priority; [stats] constructions below are type-annotated. *)
+(* Declared before [walker] and [t] so their same-named mutable fields
+   take label priority; [stats] constructions below are type-annotated. *)
 type stats = {
   traces : int;
   events : int;
@@ -84,6 +103,7 @@ type stats = {
   trg_ops : int;
   wit_ops : int;
   flushes : int;
+  dispatches : int;
   epochs : int;
   merges : int;
   trg_live : int;
@@ -96,6 +116,36 @@ type stats = {
   dead_pruned : int;
 }
 
+(* One independent stream walker: private LRU stack, trim state, op
+   buffers, shard tables, occurrence counts and stat counters. A walker
+   is touched either by the calling domain (walkers = 1) or by exactly
+   one pool task per dispatch (walkers > 1) — never concurrently. *)
+type walker = {
+  id : int;
+  stack : Lru_stack.t;
+  occ : int array; (* walker-cumulative occurrence count per symbol *)
+  scratch : Int_vec.t;
+  trg_bufs : Int_vec.t array; (* packed canonical (lo, hi) keys, +1 each *)
+  wit_bufs : Int_vec.t array; (* (packed ordered (a, b) key, a_occ) pairs *)
+  shards : shard array;
+  queue : int array Queue.t; (* completed traces awaiting this walker *)
+  delta : Metrics.t option; (* walker-private registry, folded per dispatch *)
+  wh_trace : Metrics.histogram option; (* ingest.trace_ns in [delta] *)
+  wh_walker : Metrics.histogram option; (* ingest.walker.<id>.trace_ns in [delta] *)
+  mutable last_sym : int; (* per-trace inline trimming state *)
+  mutable pending_ops : int;
+  mutable kept_events : int;
+  mutable trg_ops : int;
+  mutable wit_ops : int;
+  mutable flushes : int;
+  mutable trg_peak_shard : int;
+  mutable wits_peak_shard : int;
+  mutable trg_evicted : int;
+  mutable wits_evicted : int;
+  mutable decay_dropped : int;
+  mutable dead_pruned : int;
+}
+
 type t = {
   cfg : config;
   pool : Pool.t option;
@@ -103,34 +153,54 @@ type t = {
   h_trace : Metrics.histogram option;
   h_merge : Metrics.histogram option;
   clock : unit -> int64;
-  (* Sequential walker state (single-owner). *)
-  stack : Lru_stack.t;
-  occ : int array; (* trimmed-stream occurrence count per symbol *)
-  scratch : Int_vec.t;
-  mutable last_sym : int; (* inline trimming across trace boundaries *)
-  (* Per-shard op buffers filled by the walker, drained on flush. *)
-  trg_bufs : Int_vec.t array; (* packed canonical (lo, hi) keys, +1 each *)
-  wit_bufs : Int_vec.t array; (* (packed ordered (a, b) key, a_occ) pairs *)
-  mutable pending_ops : int;
-  shards : shard array;
-  (* Stats. *)
+  walkers : walker array;
+  stage : Int_vec.t; (* current-trace staging buffer (walkers > 1) *)
+  mutable next_walker : int; (* round-robin assignment cursor *)
+  mutable queued : int; (* completed traces enqueued since last dispatch *)
   mutable traces : int;
   mutable events : int;
-  mutable kept_events : int;
-  mutable trg_ops : int;
-  mutable wit_ops : int;
-  mutable flushes : int;
   mutable epochs : int;
   mutable merges : int;
-  mutable trg_peak_shard : int;
-  mutable wits_peak_shard : int;
-  mutable trg_evicted : int;
-  mutable wits_evicted : int;
-  mutable decay_dropped : int;
-  mutable dead_pruned : int;
+  mutable dispatches : int;
   mutable trace_started : bool;
   mutable trace_t0 : int64;
 }
+
+let make_walker (cfg : config) metrics i : walker =
+  let delta =
+    match metrics with Some _ when cfg.walkers > 1 -> Some (Metrics.create ()) | _ -> None
+  in
+  {
+    id = i;
+    stack = Lru_stack.create ();
+    occ = Array.make cfg.num_symbols 0;
+    scratch = Int_vec.create ~capacity:(min cfg.trg_window 4096) ();
+    trg_bufs = Array.init cfg.shards (fun _ -> Int_vec.create ~capacity:1024 ());
+    wit_bufs = Array.init cfg.shards (fun _ -> Int_vec.create ~capacity:1024 ());
+    shards =
+      Array.init cfg.shards (fun _ ->
+          {
+            trg = Int_pair_tbl.create ~capacity:1024 ();
+            wits = Int_pair_tbl.create ~capacity:1024 ();
+          });
+    queue = Queue.create ();
+    delta;
+    wh_trace = Option.map (fun d -> Metrics.histogram d "ingest.trace_ns") delta;
+    wh_walker =
+      Option.map (fun d -> Metrics.histogram d (Printf.sprintf "ingest.walker.%d.trace_ns" i)) delta;
+    last_sym = -1;
+    pending_ops = 0;
+    kept_events = 0;
+    trg_ops = 0;
+    wit_ops = 0;
+    flushes = 0;
+    trg_peak_shard = 0;
+    wits_peak_shard = 0;
+    trg_evicted = 0;
+    wits_evicted = 0;
+    decay_dropped = 0;
+    dead_pruned = 0;
+  }
 
 let create ?pool ?metrics cfg =
   {
@@ -140,33 +210,15 @@ let create ?pool ?metrics cfg =
     h_trace = Option.map (fun m -> Metrics.histogram m "ingest.trace_ns") metrics;
     h_merge = Option.map (fun m -> Metrics.histogram m "ingest.merge_ns") metrics;
     clock = Metrics.default_clock;
-    stack = Lru_stack.create ();
-    occ = Array.make cfg.num_symbols 0;
-    scratch = Int_vec.create ~capacity:(min cfg.trg_window 4096) ();
-    last_sym = -1;
-    trg_bufs = Array.init cfg.shards (fun _ -> Int_vec.create ~capacity:1024 ());
-    wit_bufs = Array.init cfg.shards (fun _ -> Int_vec.create ~capacity:1024 ());
-    pending_ops = 0;
-    shards =
-      Array.init cfg.shards (fun _ ->
-          {
-            trg = Int_pair_tbl.create ~capacity:1024 ();
-            wits = Int_pair_tbl.create ~capacity:1024 ();
-          });
+    walkers = Array.init cfg.walkers (make_walker cfg metrics);
+    stage = Int_vec.create ~capacity:(if cfg.walkers > 1 then 4096 else 0) ();
+    next_walker = 0;
+    queued = 0;
     traces = 0;
     events = 0;
-    kept_events = 0;
-    trg_ops = 0;
-    wit_ops = 0;
-    flushes = 0;
     epochs = 0;
     merges = 0;
-    trg_peak_shard = 0;
-    wits_peak_shard = 0;
-    trg_evicted = 0;
-    wits_evicted = 0;
-    decay_dropped = 0;
-    dead_pruned = 0;
+    dispatches = 0;
     trace_started = false;
     trace_t0 = 0L;
   }
@@ -186,7 +238,7 @@ let shard_of t key = if t.cfg.shards = 1 then 0 else mix key mod t.cfg.shards
 (* Deterministic cap eviction: drop the (rank, key) — smallest entries
    until the table is back under [cap]. The key tiebreak makes the order
    total, so the survivors depend only on the table contents, which are
-   themselves determined by the ingest order. *)
+   themselves determined by the walker's stream. *)
 let evict_to_cap tbl ~cap ~rank =
   let n = Int_pair_tbl.length tbl in
   if cap <= 0 || n <= cap then 0
@@ -231,26 +283,25 @@ let decay_tbl tbl shift =
   end
 
 (* Exact dead-witness pruning. An occurrence of [a] can only be witnessed
-   (counted into sat of (a, b)) while it is a's *latest* occurrence: both
-   witness directions pass the current occurrence index. So once [a]
-   recurs, an uncounted older occurrence is missed forever, and the final
-   saturation test sat = occ(a) can never pass. An entry is provably dead
-   when some *closed* occurrence was missed:
-   - last_occ = occ(a): the latest is counted, so sat < occ(a) means a
-     closed occurrence was missed;
-   - last_occ < occ(a): the latest may still be witnessed later, so only
-     sat < occ(a) - 1 is conclusive.
-   Dropping such an entry cannot change the final affine set — absent and
-   unsaturated entries fail the test identically — which is why pruning
-   stays on even in digest-checked exact configurations. *)
+   (counted into sat of (a, b)) while it is a's *latest* occurrence in
+   the current trace. Maintenance runs only at trace boundaries (epoch
+   checks fire in [end_trace], after queues drain), where every
+   occurrence is closed: the stack resets, so no past occurrence can ever
+   be witnessed again. Hence an entry is provably dead as soon as
+   sat < occ(a) — some closed occurrence was missed, and the final
+   walker-local test sat = occ(a) can never pass. Dropping such an entry
+   cannot change the final affine set, per walker or merged: absent and
+   unsaturated entries fail the saturation test identically, and a merged
+   sum that misses one walker's closed occurrence can never reach the
+   merged occurrence total. This is why pruning stays on even in
+   digest-checked exact configurations. *)
 let prune_dead_tbl occ tbl =
   let dead = Int_vec.create ~capacity:64 () in
   Int_pair_tbl.iter
     (fun key p ->
       let a = Int_pair_tbl.fst_of key in
-      let last = Int_pair_tbl.fst_of p and sat = Int_pair_tbl.snd_of p in
-      let oa = occ.(a) in
-      if (if last = oa then sat < oa else sat < oa - 1) then Int_vec.push dead key)
+      let sat = Int_pair_tbl.snd_of p in
+      if sat < occ.(a) then Int_vec.push dead key)
     tbl;
   Int_vec.iter (fun k -> Int_pair_tbl.remove tbl k) dead;
   Int_vec.length dead
@@ -264,14 +315,14 @@ type shard_flush = {
   sf_wits_live : int;
 }
 
-(* Drain shard [s]'s op buffers into its tables, then run maintenance.
-   Runs on a pool worker; touches only shard-private state plus the
-   read-only [occ] array (the walker is parked during a flush). Ops apply
-   in buffer order = stream order, so order-sensitive witness updates see
+(* Drain walker [wk]'s shard [s] op buffer into its tables, then run
+   maintenance. Touches only walker-and-shard-private state plus the
+   walker's [occ] array (the walk is parked during a flush). Ops apply in
+   buffer order = stream order, so order-sensitive witness updates see
    exactly the batch kernel's update sequence. *)
-let apply_shard t s ~maintain =
-  let sh = t.shards.(s) in
-  let tb = t.trg_bufs.(s) and wb = t.wit_bufs.(s) in
+let apply_shard t (wk : walker) s ~maintain =
+  let sh = wk.shards.(s) in
+  let tb = wk.trg_bufs.(s) and wb = wk.wit_bufs.(s) in
   let n = Int_vec.length tb in
   for i = 0 to n - 1 do
     ignore (Int_pair_tbl.add_to sh.trg (Int_vec.unsafe_get tb i) 1)
@@ -291,7 +342,7 @@ let apply_shard t s ~maintain =
   let decay_dropped =
     if maintain && t.cfg.decay_shift > 0 then decay_tbl sh.trg t.cfg.decay_shift else 0
   in
-  let dead_pruned = if maintain && t.cfg.prune_dead then prune_dead_tbl t.occ sh.wits else 0 in
+  let dead_pruned = if maintain && t.cfg.prune_dead then prune_dead_tbl wk.occ sh.wits else 0 in
   let trg_evicted = evict_to_cap sh.trg ~cap:t.cfg.trg_cap ~rank:(fun _ w -> w) in
   let wits_evicted =
     evict_to_cap sh.wits ~cap:t.cfg.wits_cap ~rank:(fun _ p -> Int_pair_tbl.fst_of p)
@@ -305,58 +356,56 @@ let apply_shard t s ~maintain =
     sf_wits_live = Int_pair_tbl.length sh.wits;
   }
 
-let flush_internal t ~maintain =
-  if t.pending_ops > 0 || maintain then begin
-    let run s = apply_shard t s ~maintain in
+(* Flush one walker's buffers. With a single walker the shards fan out
+   over the pool (the legacy path); inside walker tasks the shards apply
+   inline — the walkers themselves are the parallel axis, and the pool
+   rejects nested submission anyway. *)
+let flush_walker t (wk : walker) ~maintain =
+  if wk.pending_ops > 0 || maintain then begin
+    let run s = apply_shard t wk s ~maintain in
     let idx = Array.init t.cfg.shards Fun.id in
     let results =
       match t.pool with
-      | Some pool when t.cfg.shards > 1 -> Pool.map_array pool run idx
+      | Some pool when t.cfg.walkers = 1 && t.cfg.shards > 1 -> Pool.map_array pool run idx
       | _ -> Array.map run idx
     in
     Array.iter
       (fun r ->
-        t.trg_evicted <- t.trg_evicted + r.sf_trg_evicted;
-        t.wits_evicted <- t.wits_evicted + r.sf_wits_evicted;
-        t.decay_dropped <- t.decay_dropped + r.sf_decay_dropped;
-        t.dead_pruned <- t.dead_pruned + r.sf_dead_pruned;
-        if r.sf_trg_live > t.trg_peak_shard then t.trg_peak_shard <- r.sf_trg_live;
-        if r.sf_wits_live > t.wits_peak_shard then t.wits_peak_shard <- r.sf_wits_live)
+        wk.trg_evicted <- wk.trg_evicted + r.sf_trg_evicted;
+        wk.wits_evicted <- wk.wits_evicted + r.sf_wits_evicted;
+        wk.decay_dropped <- wk.decay_dropped + r.sf_decay_dropped;
+        wk.dead_pruned <- wk.dead_pruned + r.sf_dead_pruned;
+        if r.sf_trg_live > wk.trg_peak_shard then wk.trg_peak_shard <- r.sf_trg_live;
+        if r.sf_wits_live > wk.wits_peak_shard then wk.wits_peak_shard <- r.sf_wits_live)
       results;
-    t.pending_ops <- 0;
-    t.flushes <- t.flushes + 1
+    wk.pending_ops <- 0;
+    wk.flushes <- wk.flushes + 1
   end
 
-let flush t = flush_internal t ~maintain:false
-
-let feed_sym t x =
-  if x < 0 || x >= t.cfg.num_symbols then invalid_arg "Ingest.feed_sym: symbol out of range";
-  t.events <- t.events + 1;
-  if not t.trace_started then begin
-    t.trace_started <- true;
-    t.trace_t0 <- t.clock ()
-  end;
-  if x <> t.last_sym then begin
+(* The shared per-event kernel: both batch walks against one walker's
+   state, with table bumps deferred to per-shard ops. *)
+let walk_event t (wk : walker) x =
+  if x <> wk.last_sym then begin
     (* Inline trimming: the batch kernels require a trimmed trace, so the
-       walker drops repeats of the previous kept event — including across
-       trace boundaries, matching trimming of the concatenation. *)
-    if t.kept_events >= Int_pair_tbl.max_coord then
-      invalid_arg "Ingest.feed_sym: stream length >= 2^31 exceeds the packed-payload bound";
-    t.last_sym <- x;
-    t.kept_events <- t.kept_events + 1;
-    t.occ.(x) <- t.occ.(x) + 1;
-    let ops_before = t.trg_ops + t.wit_ops in
+       walker drops repeats of the previous kept event. [last_sym] resets
+       at trace boundaries — each trace is trimmed independently. *)
+    if wk.kept_events >= Int_pair_tbl.max_coord then
+      invalid_arg "Ingest: per-walker stream length >= 2^31 exceeds the packed-payload bound";
+    wk.last_sym <- x;
+    wk.kept_events <- wk.kept_events + 1;
+    wk.occ.(x) <- wk.occ.(x) + 1;
+    let ops_before = wk.trg_ops + wk.wit_ops in
     (* TRG walk — [Trg.build]'s loop with the bump deferred to an op. *)
-    Int_vec.clear t.scratch;
+    Int_vec.clear wk.scratch;
     let found = ref false in
-    Lru_stack.iter_until_depth t.stack (fun d y ->
+    Lru_stack.iter_until_depth wk.stack (fun d y ->
         if y = x then begin
           found := true;
           false
         end
         else if d >= t.cfg.trg_window then false
         else begin
-          Int_vec.push t.scratch y;
+          Int_vec.push wk.scratch y;
           true
         end);
     if !found then
@@ -365,15 +414,15 @@ let feed_sym t x =
           let lo = if x < y then x else y in
           let hi = if x < y then y else x in
           let key = Int_pair_tbl.pack lo hi in
-          Int_vec.push t.trg_bufs.(shard_of t key) key;
-          t.trg_ops <- t.trg_ops + 1)
-        t.scratch;
+          Int_vec.push wk.trg_bufs.(shard_of t key) key;
+          wk.trg_ops <- wk.trg_ops + 1)
+        wk.scratch;
     (* Affinity walk — [Affinity.affine_pairs]'s loop with both witness
        directions deferred to ops. *)
     let w = t.cfg.affinity_w in
-    let kx = t.occ.(x) in
+    let kx = wk.occ.(x) in
     let x_seen = ref false in
-    Lru_stack.iter_until_depth t.stack (fun d y ->
+    Lru_stack.iter_until_depth wk.stack (fun d y ->
         if y = x then begin
           x_seen := true;
           true
@@ -382,21 +431,94 @@ let feed_sym t x =
           let fp = d + if !x_seen then 0 else 1 in
           if fp <= w then begin
             let kxy = Int_pair_tbl.pack x y in
-            let buf = t.wit_bufs.(shard_of t kxy) in
+            let buf = wk.wit_bufs.(shard_of t kxy) in
             Int_vec.push buf kxy;
             Int_vec.push buf kx;
             let kyx = Int_pair_tbl.pack y x in
-            let buf = t.wit_bufs.(shard_of t kyx) in
+            let buf = wk.wit_bufs.(shard_of t kyx) in
             Int_vec.push buf kyx;
-            Int_vec.push buf t.occ.(y);
-            t.wit_ops <- t.wit_ops + 2
+            Int_vec.push buf wk.occ.(y);
+            wk.wit_ops <- wk.wit_ops + 2
           end;
           d < w
         end);
-    Lru_stack.touch t.stack x;
-    t.pending_ops <- t.pending_ops + (t.trg_ops + t.wit_ops - ops_before);
-    if t.pending_ops >= t.cfg.flush_ops then flush t
+    Lru_stack.touch wk.stack x;
+    wk.pending_ops <- wk.pending_ops + (wk.trg_ops + wk.wit_ops - ops_before);
+    if wk.pending_ops >= t.cfg.flush_ops then flush_walker t wk ~maintain:false
   end
+
+(* Drain one walker's trace queue — the body of a dispatch task. Resets
+   the stack and trim state before each trace (per-trace streams) and
+   records per-trace walk latency into the walker's private histogram
+   registry, folded into the main registry after the dispatch barrier. *)
+let walker_drain t (wk : walker) =
+  while not (Queue.is_empty wk.queue) do
+    let arr = Queue.pop wk.queue in
+    let t0 = if Option.is_some wk.delta then t.clock () else 0L in
+    Lru_stack.clear wk.stack;
+    wk.last_sym <- -1;
+    Array.iter (fun x -> walk_event t wk x) arr;
+    match wk.wh_trace with
+    | Some h ->
+      let dt = Int64.to_int (Int64.sub (t.clock ()) t0) in
+      Metrics.observe h dt;
+      (match wk.wh_walker with Some hw -> Metrics.observe hw dt | None -> ())
+    | None -> ()
+  done
+
+(* Run every walker's queued traces to completion, one pool task per
+   walker, then fold the walker-private metric deltas into the shared
+   registry. Which domain runs which walker is schedule-dependent; what
+   each walker computes is not. *)
+let dispatch t =
+  if t.cfg.walkers > 1 && t.queued > 0 then begin
+    let idx = Array.init t.cfg.walkers Fun.id in
+    let run wi = walker_drain t t.walkers.(wi) in
+    (match t.pool with
+    | Some pool -> ignore (Pool.map_array pool run idx)
+    | None -> Array.iter run idx);
+    t.queued <- 0;
+    t.dispatches <- t.dispatches + 1;
+    match t.metrics with
+    | Some m ->
+      Array.iter
+        (fun (wk : walker) ->
+          match wk.delta with
+          | Some d ->
+            Metrics.merge ~into:m d;
+            Metrics.reset d
+          | None -> ())
+        t.walkers
+    | None -> ()
+  end
+
+let flush_all t ~maintain =
+  dispatch t;
+  if t.cfg.walkers = 1 then flush_walker t t.walkers.(0) ~maintain
+  else begin
+    let any = Array.exists (fun (wk : walker) -> wk.pending_ops > 0) t.walkers in
+    if any || maintain then begin
+      let idx = Array.init t.cfg.walkers Fun.id in
+      let run wi = flush_walker t t.walkers.(wi) ~maintain in
+      match t.pool with
+      | Some pool -> ignore (Pool.map_array pool run idx)
+      | None -> Array.iter run idx
+    end
+  end
+
+let flush t = flush_all t ~maintain:false
+
+let feed_sym t x =
+  if x < 0 || x >= t.cfg.num_symbols then invalid_arg "Ingest.feed_sym: symbol out of range";
+  t.events <- t.events + 1;
+  if t.cfg.walkers = 1 then begin
+    if not t.trace_started then begin
+      t.trace_started <- true;
+      t.trace_t0 <- t.clock ()
+    end;
+    walk_event t t.walkers.(0) x
+  end
+  else Int_vec.push t.stage x
 
 let feed_trace t tr =
   if Trace.num_symbols tr <> t.cfg.num_symbols then
@@ -411,15 +533,34 @@ let feed_chunk t buf n =
 
 let end_trace t =
   t.traces <- t.traces + 1;
-  if t.trace_started then begin
-    (match t.h_trace with
-    | Some h -> Metrics.observe h (Int64.to_int (Int64.sub (t.clock ()) t.trace_t0))
-    | None -> ());
-    t.trace_started <- false
+  if t.cfg.walkers = 1 then begin
+    let wk = t.walkers.(0) in
+    if t.trace_started then begin
+      (match t.h_trace with
+      | Some h -> Metrics.observe h (Int64.to_int (Int64.sub (t.clock ()) t.trace_t0))
+      | None -> ());
+      t.trace_started <- false
+    end;
+    (* Per-trace streams: the next trace starts on an empty stack. *)
+    Lru_stack.clear wk.stack;
+    wk.last_sym <- -1
+  end
+  else begin
+    let n = Int_vec.length t.stage in
+    if n > 0 then begin
+      let arr = Int_vec.to_array t.stage in
+      Int_vec.clear t.stage;
+      (* Round-robin by completed non-empty trace index: a pure function
+         of the feed order, independent of the pool schedule. *)
+      Queue.push arr t.walkers.(t.next_walker).queue;
+      t.next_walker <- (t.next_walker + 1) mod t.cfg.walkers;
+      t.queued <- t.queued + 1;
+      if t.queued >= t.cfg.walkers then dispatch t
+    end
   end;
   (match t.metrics with Some m -> Metrics.add m "ingest.traces" 1 | None -> ());
   if t.cfg.epoch_traces > 0 && t.traces mod t.cfg.epoch_traces = 0 then begin
-    flush_internal t ~maintain:true;
+    flush_all t ~maintain:true;
     t.epochs <- t.epochs + 1
   end
 
@@ -443,25 +584,32 @@ let feed_file t ~path =
   end_trace t
 
 let stats t : stats =
-  let trg_live = Array.fold_left (fun a sh -> a + Int_pair_tbl.length sh.trg) 0 t.shards in
-  let wits_live = Array.fold_left (fun a sh -> a + Int_pair_tbl.length sh.wits) 0 t.shards in
+  let sum f = Array.fold_left (fun a wk -> a + f wk) 0 t.walkers in
+  let maxw f = Array.fold_left (fun a wk -> max a (f wk)) 0 t.walkers in
+  let live sel =
+    Array.fold_left
+      (fun a (wk : walker) ->
+        Array.fold_left (fun a sh -> a + Int_pair_tbl.length (sel sh)) a wk.shards)
+      0 t.walkers
+  in
   {
     traces = t.traces;
     events = t.events;
-    kept_events = t.kept_events;
-    trg_ops = t.trg_ops;
-    wit_ops = t.wit_ops;
-    flushes = t.flushes;
+    kept_events = sum (fun wk -> wk.kept_events);
+    trg_ops = sum (fun wk -> wk.trg_ops);
+    wit_ops = sum (fun wk -> wk.wit_ops);
+    flushes = sum (fun wk -> wk.flushes);
+    dispatches = t.dispatches;
     epochs = t.epochs;
     merges = t.merges;
-    trg_live;
-    wits_live;
-    trg_peak_shard = t.trg_peak_shard;
-    wits_peak_shard = t.wits_peak_shard;
-    trg_evicted = t.trg_evicted;
-    wits_evicted = t.wits_evicted;
-    decay_dropped = t.decay_dropped;
-    dead_pruned = t.dead_pruned;
+    trg_live = live (fun sh -> sh.trg);
+    wits_live = live (fun sh -> sh.wits);
+    trg_peak_shard = maxw (fun wk -> wk.trg_peak_shard);
+    wits_peak_shard = maxw (fun wk -> wk.wits_peak_shard);
+    trg_evicted = sum (fun wk -> wk.trg_evicted);
+    wits_evicted = sum (fun wk -> wk.wits_evicted);
+    decay_dropped = sum (fun wk -> wk.decay_dropped);
+    dead_pruned = sum (fun wk -> wk.dead_pruned);
   }
 
 type consensus = { trg : Trg.t; affine : int array }
@@ -469,39 +617,93 @@ type consensus = { trg : Trg.t; affine : int array }
 let affine_list c =
   Array.to_list (Array.map (fun k -> (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k)) c.affine)
 
-(* Non-destructive merge: rebuilds the consensus CSR from the live shard
-   tables and applies the batch saturation test (cross-shard lookup for
-   the reverse direction). Accumulation continues afterwards. *)
+(* Non-destructive merge across walkers and shards. TRG edge weights sum
+   per key; directed witness saturations sum per key; occurrence counts
+   sum per symbol; the batch saturation test then runs against the merged
+   totals. With one walker the sums are identities, so the cheaper direct
+   paths (no accumulator tables) are kept. Accumulation continues
+   afterwards. *)
 let finalize t =
   flush t;
   let t0 = t.clock () in
-  let edges = ref [] in
-  Array.iter
-    (fun (sh : shard) ->
+  let nsym = t.cfg.num_symbols in
+  let trg =
+    if t.cfg.walkers = 1 then begin
+      let edges = ref [] in
+      Array.iter
+        (fun (sh : shard) ->
+          Int_pair_tbl.iter
+            (fun k w -> edges := (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k, w) :: !edges)
+            sh.trg)
+        t.walkers.(0).shards;
+      Trg.of_edges ~num_nodes:nsym !edges
+    end
+    else begin
+      let acc = Int_pair_tbl.create ~capacity:1024 () in
+      Array.iter
+        (fun (wk : walker) ->
+          Array.iter
+            (fun (sh : shard) -> Int_pair_tbl.iter (fun k w -> ignore (Int_pair_tbl.add_to acc k w)) sh.trg)
+            wk.shards)
+        t.walkers;
+      let edges = ref [] in
       Int_pair_tbl.iter
         (fun k w -> edges := (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k, w) :: !edges)
-        sh.trg)
-    t.shards;
-  let trg = Trg.of_edges ~num_nodes:t.cfg.num_symbols !edges in
+        acc;
+      Trg.of_edges ~num_nodes:nsym !edges
+    end
+  in
   let pairs = Int_vec.create ~capacity:64 () in
-  Array.iter
-    (fun (sh : shard) ->
-      Int_pair_tbl.iter
-        (fun key p ->
-          let a = Int_pair_tbl.fst_of key in
-          let b = Int_pair_tbl.snd_of key in
-          if a < b then begin
-            let sat_ab = Int_pair_tbl.snd_of p in
-            let rk = Int_pair_tbl.pack b a in
-            let sat_ba =
-              Int_pair_tbl.snd_of
-                (Int_pair_tbl.find t.shards.(shard_of t rk).wits rk ~default:0)
-            in
-            if sat_ab = t.occ.(a) && sat_ba = t.occ.(b) && t.occ.(a) > 0 && t.occ.(b) > 0 then
-              Int_vec.push pairs key
-          end)
-        sh.wits)
-    t.shards;
+  if t.cfg.walkers = 1 then begin
+    let wk = t.walkers.(0) in
+    Array.iter
+      (fun (sh : shard) ->
+        Int_pair_tbl.iter
+          (fun key p ->
+            let a = Int_pair_tbl.fst_of key in
+            let b = Int_pair_tbl.snd_of key in
+            if a < b then begin
+              let sat_ab = Int_pair_tbl.snd_of p in
+              let rk = Int_pair_tbl.pack b a in
+              let sat_ba =
+                Int_pair_tbl.snd_of
+                  (Int_pair_tbl.find wk.shards.(shard_of t rk).wits rk ~default:0)
+              in
+              if sat_ab = wk.occ.(a) && sat_ba = wk.occ.(b) && wk.occ.(a) > 0 && wk.occ.(b) > 0
+              then Int_vec.push pairs key
+            end)
+          sh.wits)
+      wk.shards
+  end
+  else begin
+    let occ_tot = Array.make nsym 0 in
+    Array.iter
+      (fun (wk : walker) ->
+        for i = 0 to nsym - 1 do
+          occ_tot.(i) <- occ_tot.(i) + wk.occ.(i)
+        done)
+      t.walkers;
+    let sat = Int_pair_tbl.create ~capacity:1024 () in
+    Array.iter
+      (fun (wk : walker) ->
+        Array.iter
+          (fun (sh : shard) ->
+            Int_pair_tbl.iter
+              (fun key p -> ignore (Int_pair_tbl.add_to sat key (Int_pair_tbl.snd_of p)))
+              sh.wits)
+          wk.shards)
+      t.walkers;
+    Int_pair_tbl.iter
+      (fun key sat_ab ->
+        let a = Int_pair_tbl.fst_of key in
+        let b = Int_pair_tbl.snd_of key in
+        if a < b then begin
+          let sat_ba = Int_pair_tbl.find sat (Int_pair_tbl.pack b a) ~default:0 in
+          if sat_ab = occ_tot.(a) && sat_ba = occ_tot.(b) && occ_tot.(a) > 0 && occ_tot.(b) > 0
+          then Int_vec.push pairs key
+        end)
+      sat
+  end;
   let affine = Int_vec.to_array pairs in
   Array.sort compare affine;
   t.merges <- t.merges + 1;
@@ -538,12 +740,64 @@ let affine_digest packed =
 
 let consensus_digests c = (trg_digest c.trg, affine_digest c.affine)
 
-let batch_digests ~trg_window ~affinity_w trace =
-  let trimmed = if Trim.is_trimmed trace then trace else Trim.trim trace in
-  let trg = Trg.build ~window:trg_window trimmed in
-  let ps = Affinity.affine_pairs trimmed ~w:affinity_w in
-  let packed =
-    Affinity.pair_list ps |> List.map (fun (a, b) -> Int_pair_tbl.pack a b) |> Array.of_list
+(* Batch-kernel reference for a partitioned stream: run both kernels on
+   each (independently trimmed) part and combine by the same algebra the
+   walkers use — TRG weights sum across parts; a pair is affine for the
+   union iff every part either saturates it or contains neither symbol
+   (an absent symbol contributes occ = 0 = sat, which is vacuously
+   saturated). *)
+let batch_digests_parts ~trg_window ~affinity_w traces =
+  let num_symbols =
+    match traces with
+    | [] -> invalid_arg "Ingest.batch_digests_parts: empty trace list"
+    | tr :: _ -> Trace.num_symbols tr
   in
+  List.iter
+    (fun tr ->
+      if Trace.num_symbols tr <> num_symbols then
+        invalid_arg "Ingest.batch_digests_parts: traces disagree on the symbol universe")
+    traces;
+  let trimmed = List.map (fun tr -> if Trim.is_trimmed tr then tr else Trim.trim tr) traces in
+  let acc = Int_pair_tbl.create ~capacity:1024 () in
+  List.iter
+    (fun tr ->
+      let trg = Trg.build ~window:trg_window tr in
+      Trg.iter_edges (fun x y w -> ignore (Int_pair_tbl.add_to acc (Int_pair_tbl.pack x y) w)) trg)
+    trimmed;
+  let edges = ref [] in
+  Int_pair_tbl.iter
+    (fun k w -> edges := (Int_pair_tbl.fst_of k, Int_pair_tbl.snd_of k, w) :: !edges)
+    acc;
+  let trg = Trg.of_edges ~num_nodes:num_symbols !edges in
+  let parts =
+    List.map
+      (fun tr ->
+        let present = Array.make num_symbols false in
+        Trace.iter (fun s -> present.(s) <- true) tr;
+        let pairs = Hashtbl.create 64 in
+        List.iter
+          (fun (a, b) -> Hashtbl.replace pairs (Int_pair_tbl.pack a b) ())
+          (Affinity.pair_list (Affinity.affine_pairs tr ~w:affinity_w));
+        (present, pairs))
+      trimmed
+  in
+  let cand = Hashtbl.create 64 in
+  List.iter (fun (_, pairs) -> Hashtbl.iter (fun k () -> Hashtbl.replace cand k ()) pairs) parts;
+  let keep =
+    Hashtbl.fold
+      (fun k () acc ->
+        let a = Int_pair_tbl.fst_of k and b = Int_pair_tbl.snd_of k in
+        if
+          List.for_all
+            (fun (present, pairs) ->
+              Hashtbl.mem pairs k || ((not present.(a)) && not present.(b)))
+            parts
+        then k :: acc
+        else acc)
+      cand []
+  in
+  let packed = Array.of_list keep in
   Array.sort compare packed;
   (trg_digest trg, affine_digest packed)
+
+let batch_digests ~trg_window ~affinity_w trace = batch_digests_parts ~trg_window ~affinity_w [ trace ]

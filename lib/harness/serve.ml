@@ -26,6 +26,7 @@ type config = {
   users : int;
   seed : int;
   fuel : int;  (** Max fuel per user; each user draws from [fuel/2, fuel]. *)
+  walkers : int;  (** Parallel ingest walkers (see [Ingest.config]). *)
   shards : int;
   trg_window : int;
   affinity_w : int;
@@ -35,14 +36,15 @@ type config = {
   epoch_traces : int;
   gen_batch : int;  (** Users generated per parallel batch. *)
   reopt_steps : int;  (** Anneal steps per epoch re-optimization; 0 = off. *)
-  verify : bool;  (** Also run the batch kernels on the concatenation. *)
+  verify : bool;  (** Also run the batch kernels on every user trace and merge. *)
 }
 
-let config ?(users = 64) ?(seed = 1) ?(fuel = 4_000) ?(shards = 2) ?(trg_window = 64)
-    ?(affinity_w = 16) ?(trg_cap = 0) ?(wits_cap = 0) ?(decay_shift = 0) ?(epoch_traces = 16)
-    ?(gen_batch = 16) ?(reopt_steps = 120) ?(verify = false) ~program () =
+let config ?(users = 64) ?(seed = 1) ?(fuel = 4_000) ?(walkers = 1) ?(shards = 2)
+    ?(trg_window = 64) ?(affinity_w = 16) ?(trg_cap = 0) ?(wits_cap = 0) ?(decay_shift = 0)
+    ?(epoch_traces = 16) ?(gen_batch = 16) ?(reopt_steps = 120) ?(verify = false) ~program () =
   if users < 1 then invalid_arg "Serve.config: users must be >= 1";
   if fuel < 2 then invalid_arg "Serve.config: fuel must be >= 2";
+  if walkers < 1 then invalid_arg "Serve.config: walkers must be >= 1";
   if gen_batch < 1 then invalid_arg "Serve.config: gen_batch must be >= 1";
   if reopt_steps < 0 then invalid_arg "Serve.config: reopt_steps must be >= 0";
   {
@@ -50,6 +52,7 @@ let config ?(users = 64) ?(seed = 1) ?(fuel = 4_000) ?(shards = 2) ?(trg_window 
     users;
     seed;
     fuel;
+    walkers;
     shards;
     trg_window;
     affinity_w;
@@ -113,9 +116,9 @@ let run ?pool ?metrics ?spans ?obs cfg =
   let num_symbols = Colayout_ir.Program.num_blocks program in
   let num_funcs = Colayout_ir.Program.num_funcs program in
   let icfg =
-    Ingest.config ~num_symbols ~shards:cfg.shards ~trg_window:cfg.trg_window
-      ~affinity_w:cfg.affinity_w ~trg_cap:cfg.trg_cap ~wits_cap:cfg.wits_cap
-      ~decay_shift:cfg.decay_shift ~epoch_traces:cfg.epoch_traces ()
+    Ingest.config ~num_symbols ~walkers:cfg.walkers ~shards:cfg.shards
+      ~trg_window:cfg.trg_window ~affinity_w:cfg.affinity_w ~trg_cap:cfg.trg_cap
+      ~wits_cap:cfg.wits_cap ~decay_shift:cfg.decay_shift ~epoch_traces:cfg.epoch_traces ()
   in
   let ing = Ingest.create ?pool ~metrics icfg in
   let clock = U.Metrics.default_clock in
@@ -125,9 +128,10 @@ let run ?pool ?metrics ?spans ?obs cfg =
   let order = ref (Array.init num_funcs Fun.id) in
   let epoch_rows = ref [] in
   let seen_epochs = ref 0 in
-  let verify_cat =
-    if cfg.verify then Some (Colayout_trace.Trace.create ~num_symbols ()) else None
-  in
+  (* Per-trace streams: the batch reference runs the kernels on each user
+     trace independently and merges with [Ingest.batch_digests_parts] —
+     the same algebra the walkers use, at any walker count. *)
+  let verify_parts = if cfg.verify then Some (ref []) else None in
   (* Interference probe, taken only when an observatory is attached (the
      co-run simulation is real work; without [obs] the epoch loop pays
      nothing): the current consensus order co-runs against the unoptimized
@@ -205,10 +209,7 @@ let run ?pool ?metrics ?spans ?obs cfg =
         gen_ns := Int64.add !gen_ns (Int64.sub (clock ()) t0);
         Array.iter
           (fun tr ->
-            (match verify_cat with
-            | Some cat ->
-              Colayout_trace.Trace.iter (fun s -> Colayout_trace.Trace.push cat s) tr
-            | None -> ());
+            (match verify_parts with Some parts -> parts := tr :: !parts | None -> ());
             let t0 = clock () in
             Ingest.ingest_trace ing tr;
             ingest_ns := Int64.add !ingest_ns (Int64.sub (clock ()) t0);
@@ -233,10 +234,11 @@ let run ?pool ?metrics ?spans ?obs cfg =
   let consensus = U.Span.with_span spans ~cat:"serve" "serve.merge" (fun () -> Ingest.finalize ing) in
   let trg_digest, affine_digest = Ingest.consensus_digests consensus in
   let batch_trg, batch_aff, digests_match =
-    match verify_cat with
-    | Some cat ->
+    match verify_parts with
+    | Some parts ->
       let bt, ba =
-        Ingest.batch_digests ~trg_window:cfg.trg_window ~affinity_w:cfg.affinity_w cat
+        Ingest.batch_digests_parts ~trg_window:cfg.trg_window ~affinity_w:cfg.affinity_w
+          (List.rev !parts)
       in
       (Some bt, Some ba, Some (bt = trg_digest && ba = affine_digest))
     | None -> (None, None, None)
@@ -291,6 +293,7 @@ let summary_to_json (s : summary) =
             ("users", Int s.cfg.users);
             ("seed", Int s.cfg.seed);
             ("fuel", Int s.cfg.fuel);
+            ("walkers", Int s.cfg.walkers);
             ("shards", Int s.cfg.shards);
             ("trg_window", Int s.cfg.trg_window);
             ("affinity_w", Int s.cfg.affinity_w);
@@ -312,6 +315,7 @@ let summary_to_json (s : summary) =
             ("trg_ops", Int st.Ingest.trg_ops);
             ("wit_ops", Int st.Ingest.wit_ops);
             ("flushes", Int st.Ingest.flushes);
+            ("dispatches", Int st.Ingest.dispatches);
             ("epochs", Int st.Ingest.epochs);
             ("merges", Int st.Ingest.merges);
             ("trg_live", Int st.Ingest.trg_live);
@@ -362,3 +366,126 @@ let summary_to_json (s : summary) =
       ("trace_p99_ns", Float s.trace_p99_ns);
       ("merge_p50_ns", Float s.merge_p50_ns);
     ]
+
+(* --- Directory-watch spool tail loop (`repro serve --from DIR`) ----------
+
+   Polls one or more spool directories for trace files and feeds each new
+   file to the ingest walker exactly once. A file is only ingested after
+   its (size, mtime) has been stable across two consecutive polls — the
+   cheap "the writer is done" heuristic for files that land via rename or
+   a fast sequential write — and a file whose body still turns out to be
+   truncated ([Trace_io] raises [Failure]) is retried on later polls.
+   Files whose header universe disagrees with the ingest config are
+   skipped (counted, never retried): a shared spool can hold traces for
+   several programs. *)
+
+type spool_report = {
+  sp_polls : int;
+  sp_ingested : int;
+  sp_skipped : int;  (** Universe mismatches. *)
+  sp_pending : string list;  (** Seen but not (yet) ingested at exit. *)
+}
+
+let is_trace_file name =
+  Filename.check_suffix name ".trc" || Filename.check_suffix name ".trace"
+
+let list_spool dirs =
+  List.concat_map
+    (fun dir ->
+      match Sys.readdir dir with
+      | entries ->
+        let files =
+          Array.to_list entries |> List.filter is_trace_file
+          |> List.map (fun e -> Filename.concat dir e)
+        in
+        List.sort compare files
+      | exception Sys_error _ -> [])
+    dirs
+
+let stat_file path =
+  match Unix.stat path with
+  | st -> Some (st.Unix.st_size, st.Unix.st_mtime)
+  | exception Unix.Unix_error _ -> None
+
+(* Poll [dirs] until some trace file's header parses, returning its
+   symbol-universe size — how `serve --from DIR` bootstraps an [Ingest]
+   config when the spool starts empty. *)
+let wait_spool_symbols ~dirs ?(poll_ms = 50) ~timeout_s () =
+  let clock = U.Metrics.default_clock in
+  let t0 = clock () in
+  let elapsed () = Int64.to_float (Int64.sub (clock ()) t0) /. 1e9 in
+  let probe () =
+    List.find_map
+      (fun path ->
+        match Colayout_trace.Trace_io.with_reader ~path Colayout_trace.Trace_io.reader_num_symbols with
+        | n -> Some n
+        | exception _ -> None)
+      (list_spool dirs)
+  in
+  let rec go () =
+    match probe () with
+    | Some n -> Some n
+    | None ->
+      if elapsed () >= timeout_s then None
+      else begin
+        Unix.sleepf (float_of_int poll_ms /. 1e3);
+        go ()
+      end
+  in
+  go ()
+
+type spool_state = Pending of int * float | Ingested | Skipped
+
+let watch_spool ~ing ~dirs ?(poll_ms = 50) ?(skip = []) ?on_poll ~timeout_s () =
+  if poll_ms < 1 then invalid_arg "Serve.watch_spool: poll_ms must be >= 1";
+  let clock = U.Metrics.default_clock in
+  let t0 = clock () in
+  let elapsed () = Int64.to_float (Int64.sub (clock ()) t0) /. 1e9 in
+  let seen : (string, spool_state) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace seen p Ingested) skip;
+  let ingested = ref 0 and skipped = ref 0 in
+  let try_ingest path =
+    match Ingest.feed_file ing ~path with
+    | () ->
+      Hashtbl.replace seen path Ingested;
+      incr ingested
+    | exception Failure _ ->
+      (* Truncated body: the stability heuristic lost; retry from scratch
+         on a later poll once the stat settles again. *)
+      Hashtbl.remove seen path
+    | exception Invalid_argument _ ->
+      Hashtbl.replace seen path Skipped;
+      incr skipped
+  in
+  let scan () =
+    List.iter
+      (fun path ->
+        match stat_file path with
+        | None -> ()
+        | Some (size, mtime) -> (
+          match Hashtbl.find_opt seen path with
+          | Some Ingested | Some Skipped -> ()
+          | Some (Pending (psize, pmtime)) when psize = size && pmtime = mtime ->
+            try_ingest path
+          | _ -> Hashtbl.replace seen path (Pending (size, mtime))))
+      (list_spool dirs)
+  in
+  let polls = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match on_poll with Some f -> f !polls | None -> ());
+    scan ();
+    incr polls;
+    (* Always poll at least twice so files present at startup pass the
+       two-poll stability check even with [timeout_s = 0.]. *)
+    if !polls >= 2 && elapsed () >= timeout_s then continue := false
+    else begin
+      let remaining = timeout_s -. elapsed () in
+      Unix.sleepf (Float.min (float_of_int poll_ms /. 1e3) (Float.max remaining 1e-4))
+    end
+  done;
+  let pending =
+    Hashtbl.fold (fun p st acc -> match st with Pending _ -> p :: acc | _ -> acc) seen []
+    |> List.sort compare
+  in
+  { sp_polls = !polls; sp_ingested = !ingested; sp_skipped = !skipped; sp_pending = pending }

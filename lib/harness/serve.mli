@@ -4,10 +4,11 @@
     Users are independent runs of one workload program with per-user
     seeds and fuel drawn from each user's own [Prng] stream (the
     per-workload input distribution). Generation fans out over the pool
-    in batches; ingest commits traces to the sharded online accumulators
-    ([Ingest]) in user order, so every artifact — digests, epoch rows,
-    bounded-mode evictions — is a pure function of the config at any
-    jobs count. At each ingest epoch the consensus profile is merged and
+    in batches; ingest commits traces to the sharded multi-walker online
+    accumulators ([Ingest]) in user order, so every artifact — digests,
+    epoch rows, bounded-mode evictions — is a pure function of the
+    config at any jobs count (and, in exact configurations, at any
+    walker count). At each ingest epoch the consensus profile is merged and
     the consensus layout re-optimized by a warm-started
     [Layout_eval.Delta]-mode anneal against the newest trace. *)
 
@@ -16,6 +17,7 @@ type config = {
   users : int;
   seed : int;
   fuel : int;  (** Max fuel per user; each user draws from [fuel/2, fuel]. *)
+  walkers : int;  (** Parallel ingest walkers (see [Ingest.config]). *)
   shards : int;
   trg_window : int;
   affinity_w : int;
@@ -25,13 +27,16 @@ type config = {
   epoch_traces : int;
   gen_batch : int;  (** Users generated per parallel batch. *)
   reopt_steps : int;  (** Anneal steps per epoch re-optimization; 0 = off. *)
-  verify : bool;  (** Also run the batch kernels on the concatenation. *)
+  verify : bool;
+      (** Also run the batch kernels on every user trace and merge them
+          with [Ingest.batch_digests_parts]. *)
 }
 
 val config :
   ?users:int ->
   ?seed:int ->
   ?fuel:int ->
+  ?walkers:int ->
   ?shards:int ->
   ?trg_window:int ->
   ?affinity_w:int ->
@@ -104,3 +109,41 @@ val run :
 
 val summary_to_json : summary -> Colayout_util.Json.t
 (** Schema [colayout/serve/v1]. *)
+
+(** {1 Spool watching}
+
+    `repro serve --from DIR` follows a live trace spool: directories are
+    polled for [.trc] / [.trace] files, and each file is ingested exactly
+    once, after its (size, mtime) is stable across two consecutive
+    polls. *)
+
+type spool_report = {
+  sp_polls : int;
+  sp_ingested : int;
+  sp_skipped : int;  (** Universe mismatches. *)
+  sp_pending : string list;  (** Seen but not (yet) ingested at exit. *)
+}
+
+val wait_spool_symbols :
+  dirs:string list -> ?poll_ms:int -> timeout_s:float -> unit -> int option
+(** Poll [dirs] until some trace file's header parses; its symbol
+    universe size bootstraps the ingest config when the spool starts
+    empty. [None] when the deadline passes with no readable file. *)
+
+val watch_spool :
+  ing:Colayout.Ingest.t ->
+  dirs:string list ->
+  ?poll_ms:int ->
+  ?skip:string list ->
+  ?on_poll:(int -> unit) ->
+  timeout_s:float ->
+  unit ->
+  spool_report
+(** Tail [dirs] until [timeout_s] elapses (always polling at least twice,
+    so a pre-existing stable file is ingested even with [timeout_s = 0.]),
+    feeding each stable new file through [Ingest.feed_file]. Files listed
+    in [skip] are treated as already ingested; files with a mismatched
+    symbol universe are skipped and counted; files whose body is still
+    truncated mid-write are retried on later polls. [on_poll] (a test
+    hook) fires with the 0-based poll index before each scan.
+    @raise Invalid_argument when [poll_ms < 1]. *)

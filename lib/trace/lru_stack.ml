@@ -9,6 +9,10 @@ let create () = { list = Dlist.create (); nodes = Hashtbl.create 1024 }
 
 let depth t = Dlist.length t.list
 
+let clear t =
+  Dlist.clear t.list;
+  Hashtbl.clear t.nodes
+
 (* 1-based depth by walking from the top. Only used on a hit, where the cost
    is proportional to the distance itself — the same work any list-based
    stack simulation does (Mattson et al. 1970). [Stack_dist] provides the

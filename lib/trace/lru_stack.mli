@@ -14,6 +14,10 @@ val create : unit -> t
 val depth : t -> int
 (** Number of distinct blocks currently on the stack. *)
 
+val clear : t -> unit
+(** Drop every block, keeping allocated capacity. The streaming ingest
+    walkers reset their stack at each trace boundary with this. *)
+
 val access : t -> int -> int option
 (** [access t sym] pushes/moves [sym] to the top and returns [Some d] where
     [d] was its 1-based stack depth before the access (d = footprint of the

@@ -75,6 +75,23 @@ let move_to_front t n =
     t.first <- Some n
   end
 
+let clear t =
+  (* O(n): unlink every node and clear its owner so stale external handles
+     fail [check_owner] instead of silently corrupting a reused list. *)
+  let rec loop = function
+    | None -> ()
+    | Some n ->
+      let next = n.next in
+      n.prev <- None;
+      n.next <- None;
+      n.owner <- None;
+      loop next
+  in
+  loop t.first;
+  t.first <- None;
+  t.last <- None;
+  t.size <- 0
+
 let front t = t.first
 
 let back t = t.last

@@ -27,6 +27,10 @@ val remove : 'a t -> 'a node -> unit
 
 val move_to_front : 'a t -> 'a node -> unit
 
+val clear : 'a t -> unit
+(** Empty the list, detaching every node (O(n)). Externally held handles
+    to removed nodes become invalid, as after {!remove}. *)
+
 val front : 'a t -> 'a node option
 
 val back : 'a t -> 'a node option

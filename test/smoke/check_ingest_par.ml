@@ -1,0 +1,160 @@
+(* Parallel multi-walker ingest smoke validator:
+
+   [check_ingest_par bench BENCH_ingest_par.json] — the bench's
+   multi-walker manifest conforms to colayout/bench-ingest-par/v1: the
+   full walkers x shards x jobs grid is present (every combination of
+   the advertised lists), every grid cell carries the batch-kernel
+   digests verbatim (re-verified here from the artifact alone — each
+   row's trg/affine digest must equal the batch section's, so a stale
+   digests_match flag cannot slip through), positive walls and
+   throughputs everywhere, the bounded-memory section per-walker-count
+   deterministic with caps respected at every recorded run, and the
+   per-walker latency histograms covering exactly the ingested traces.
+   Magnitude is gated on the recorded cores_available via the shared
+   convention: on a >= 2-core host in full mode the machine-width
+   walker cell must be at least 1.5x the serial walker; a one-core
+   container only proves correctness, so positivity is all we ask. *)
+
+module J = Colayout_util.Json
+open Smoke_check
+
+let get_float json ~path key =
+  match Option.bind (J.member key json) J.to_float with
+  | Some f -> f
+  | None -> fail "%s: missing number field %S" path key
+
+let get_int_list json ~path key =
+  List.map
+    (fun v ->
+      match J.to_int v with
+      | Some i -> i
+      | None -> fail "%s: non-integer element in %S" path key)
+    (get_list json ~path key)
+
+let check_bench path =
+  let json = parse path in
+  require_schema json ~path "colayout/bench-ingest-par/v1";
+  let mode = get_str json ~path "mode" in
+  if not (get_bool json ~path "digests_identical") then
+    fail "%s: digests_identical is not true — a grid cell diverged from the batch kernels"
+      path;
+  let params = J.Obj (get_obj json ~path "params") in
+  let users = get_int params "users" in
+  let walkers_list = get_int_list params ~path "walkers_list" in
+  let shards_list = get_int_list params ~path "shards_list" in
+  let jobs_list = get_int_list params ~path "jobs_list" in
+  if walkers_list = [] || shards_list = [] || jobs_list = [] then
+    fail "%s: empty params grid lists" path;
+  let batch = J.Obj (get_obj json ~path "batch") in
+  let batch_trg = get_str batch ~path "trg_digest"
+  and batch_aff = get_str batch ~path "affine_digest" in
+  if String.length batch_trg = 0 || String.length batch_aff = 0 then
+    fail "%s: empty batch digests" path;
+  (* Grid: every (walkers, shards, jobs) combination, each cell's
+     digests re-checked against the batch section from the artifact
+     alone, with positive timings and throughputs. *)
+  let grid = get_list json ~path "grid" in
+  let seen =
+    List.map
+      (fun cell ->
+        let walkers = get_int cell "walkers"
+        and shards = get_int cell "shards"
+        and jobs = get_int cell "jobs" in
+        let label = Printf.sprintf "grid walkers=%d shards=%d jobs=%d" walkers shards jobs in
+        if not (get_bool cell ~path "digests_match") then
+          fail "%s: %s claims digest divergence" path label;
+        if get_str cell ~path "trg_digest" <> batch_trg then
+          fail "%s: %s trg digest differs from the batch kernel" path label;
+        if get_str cell ~path "affine_digest" <> batch_aff then
+          fail "%s: %s affine digest differs from the batch kernel" path label;
+        List.iter
+          (fun key ->
+            if get_int cell key <= 0 then fail "%s: %s has non-positive %s" path label key)
+          [ "ingest_wall_ns"; "merge_ns"; "flushes" ];
+        (* Staged dispatch only exists on the multi-walker path; the
+           single-walker ingest stays fully streaming and records none. *)
+        if walkers > 1 && get_int cell "dispatches" <= 0 then
+          fail "%s: %s has non-positive dispatches" path label;
+        List.iter
+          (fun key ->
+            if get_float cell ~path key <= 0.0 then
+              fail "%s: %s has non-positive %s" path label key)
+          [ "events_per_sec"; "traces_per_sec"; "edge_ops_per_sec" ];
+        (walkers, shards, jobs))
+      grid
+  in
+  List.iter
+    (fun walkers ->
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun jobs ->
+              if not (List.mem (walkers, shards, jobs) seen) then
+                fail "%s: grid has no cell for walkers=%d shards=%d jobs=%d" path walkers
+                  shards jobs)
+            jobs_list)
+        shards_list)
+    walkers_list;
+  if get_int json "serial_ingest_ns" <= 0 then
+    fail "%s: non-positive serial_ingest_ns" path;
+  (* Bounded-memory section: per-walker-count determinism with caps
+     held at every recorded run. *)
+  let bounded = J.Obj (get_obj json ~path "bounded") in
+  List.iter
+    (fun key ->
+      if not (get_bool bounded ~path key) then fail "%s: bounded.%s is not true" path key)
+    [ "deterministic"; "caps_respected" ];
+  let trg_cap = get_int bounded "trg_cap" and wits_cap = get_int bounded "wits_cap" in
+  if trg_cap <= 0 || wits_cap <= 0 then
+    fail "%s: bounded section has non-positive caps (%d, %d)" path trg_cap wits_cap;
+  let bounded_runs = get_list bounded ~path "runs" in
+  if bounded_runs = [] then fail "%s: bounded.runs is empty" path;
+  List.iter
+    (fun run ->
+      let walkers = get_int run "walkers" in
+      let label = Printf.sprintf "bounded walkers=%d" walkers in
+      if get_int run "trg_peak_shard" > trg_cap then
+        fail "%s: %s trg peak %d exceeds cap %d" path label (get_int run "trg_peak_shard")
+          trg_cap;
+      if get_int run "wits_peak_shard" > wits_cap then
+        fail "%s: %s wits peak %d exceeds cap %d" path label (get_int run "wits_peak_shard")
+          wits_cap;
+      List.iter
+        (fun key ->
+          if String.length (get_str run ~path key) = 0 then
+            fail "%s: %s has an empty %s" path label key)
+        [ "trg_digest"; "affine_digest" ])
+    bounded_runs;
+  (* Per-walker latency histograms: the dispatch fold must account for
+     every ingested trace exactly once across the walker registries. *)
+  let hist = J.Obj (get_obj json ~path "walker_hist") in
+  let hist_total = get_int hist "total_observations" in
+  if hist_total <> users then
+    fail "%s: walker_hist covers %d traces, expected %d" path hist_total users;
+  let per_walker = get_list hist ~path "per_walker" in
+  if List.length per_walker <> get_int hist "walkers" then
+    fail "%s: walker_hist.per_walker has %d rows for %d walkers" path
+      (List.length per_walker) (get_int hist "walkers");
+  let obs_sum = List.fold_left (fun a row -> a + get_int row "observations") 0 per_walker in
+  if obs_sum <> hist_total then
+    fail "%s: per-walker observations sum to %d, total says %d" path obs_sum hist_total;
+  let gate = J.Obj (get_obj json ~path "gate") in
+  let speedup = get_float gate ~path "speedup_vs_serial" in
+  if speedup <= 0.0 then fail "%s: non-positive gate speedup" path;
+  let cores =
+    cores_gate json ~path ~enabled:(mode = "full")
+      ~what:"machine-width walker ingest vs serial" ~floor:1.5 speedup
+  in
+  Printf.printf
+    "check_ingest_par: %s ok (%d grid cells, %d cores, gate walkers=%d %.2fx, %d bounded \
+     runs)\n"
+    path (List.length grid) cores (get_int gate "walkers") speedup
+    (List.length bounded_runs)
+
+let () =
+  set_tool "check_ingest_par";
+  match Array.to_list Sys.argv with
+  | [ _; "bench"; path ] -> check_bench path
+  | _ ->
+    prerr_endline "usage: check_ingest_par bench FILE";
+    exit 2

@@ -1,12 +1,18 @@
 (* Tests for the streaming ingest service core ([Ingest]): the sharded
-   online TRG/affinity accumulators must be bit-identical to the batch
-   kernels ([Trg.build] / [Affinity.affine_pairs]) on the trimmed
-   concatenation of the fed traces, at every shard count and jobs count,
-   regardless of feed granularity (whole traces, odd-sized chunks, or
-   files through the streaming reader). Bounded-memory mode (caps +
-   decay) is approximate by design but must be deterministic given the
-   ingest order, keep every shard table under its cap at flush
-   boundaries, and actually evict under pressure. *)
+   multi-walker online TRG/affinity accumulators must be bit-identical
+   to the batch kernels merged per trace
+   ([Ingest.batch_digests_parts]) at every walker count, shard count
+   and jobs count, regardless of feed granularity (whole traces,
+   odd-sized chunks, or files through the streaming reader). Each trace
+   is an independent stream — the LRU stack and trim state reset at
+   trace boundaries — so the merged profile is a pure function of the
+   trace multiset and the round-robin walker partition cannot change
+   it. Bounded-memory mode (caps + decay) is approximate by design but
+   must be deterministic given the config (walker count included, pool
+   schedule excluded), keep every walker-shard table under its cap at
+   flush boundaries, and actually evict under pressure. The service
+   driver's spool watcher must ingest files that land after the watch
+   starts and exit cleanly on its deadline. *)
 
 open Colayout
 open Colayout_trace
@@ -19,9 +25,11 @@ let shard_counts = [ 1; 2; 4 ]
 
 let jobs_counts = [ 1; 2; 4 ]
 
+let walker_counts = [ 1; 2; 4 ]
+
 (* Zipf-popularity user traces with deliberate consecutive repeats so the
-   walker's inline trimming is exercised (the batch side trims the
-   concatenation explicitly). *)
+   walker's inline trimming is exercised (the batch side trims each
+   trace explicitly). *)
 let user_traces ~seed ~users ~num_symbols ~len =
   let prng = U.Prng.create ~seed in
   List.init users (fun _ ->
@@ -33,66 +41,86 @@ let user_traces ~seed ~users ~num_symbols ~len =
       done;
       t)
 
-let concat_traces ~num_symbols traces =
-  let cat = Trace.create ~num_symbols () in
-  List.iter (fun t -> Trace.iter (fun s -> Trace.push cat s) t) traces;
-  cat
+let batch_of traces = Ingest.batch_digests_parts ~trg_window:12 ~affinity_w:6 traces
 
 let ingest_all ?pool cfg traces =
   let ing = Ingest.create ?pool cfg in
   List.iter (fun t -> Ingest.ingest_trace ing t) traces;
   ing
 
-(* ---------------------------------------- sharded online == batch *)
+(* Events surviving per-trace trimming: the first event plus every
+   non-repeat. *)
+let trimmed_len t =
+  let kept = ref 0 and last = ref (-1) in
+  Trace.iter
+    (fun s ->
+      if s <> !last then incr kept;
+      last := s)
+    t;
+  !kept
 
-let test_sharded_equals_batch () =
+(* ---------------------------------------- multi-walker online == batch *)
+
+let test_walkers_equal_batch () =
   let num_symbols = 48 in
   List.iter
     (fun seed ->
       let traces = user_traces ~seed ~users:10 ~num_symbols ~len:300 in
-      let cat = concat_traces ~num_symbols traces in
-      let batch = Ingest.batch_digests ~trg_window:12 ~affinity_w:6 cat in
+      let batch = batch_of traces in
       List.iter
-        (fun shards ->
+        (fun walkers ->
           List.iter
-            (fun jobs ->
-              U.Pool.with_pool ~jobs (fun pool ->
-                  let cfg =
-                    Ingest.config ~num_symbols ~shards ~trg_window:12 ~affinity_w:6
-                      ~flush_ops:512 ()
-                  in
-                  let ing = ingest_all ~pool cfg traces in
-                  let online = Ingest.consensus_digests (Ingest.finalize ing) in
-                  check
-                    Alcotest.(pair string string)
-                    (Printf.sprintf "digests (seed=%d shards=%d jobs=%d)" seed shards jobs)
-                    batch online))
-            jobs_counts)
-        shard_counts)
+            (fun shards ->
+              List.iter
+                (fun jobs ->
+                  U.Pool.with_pool ~jobs (fun pool ->
+                      let cfg =
+                        Ingest.config ~num_symbols ~walkers ~shards ~trg_window:12
+                          ~affinity_w:6 ~flush_ops:512 ()
+                      in
+                      let ing = ingest_all ~pool cfg traces in
+                      let online = Ingest.consensus_digests (Ingest.finalize ing) in
+                      check
+                        Alcotest.(pair string string)
+                        (Printf.sprintf "digests (seed=%d walkers=%d shards=%d jobs=%d)"
+                           seed walkers shards jobs)
+                        batch online))
+                jobs_counts)
+            shard_counts)
+        [ 1; 2 ])
     [ 1; 2; 42 ]
 
-(* Property form: random trace sets, every shard count, checked against
-   the batch kernels via the shared digest renderings. *)
-let prop_sharded_equals_batch =
-  QCheck.Test.make ~count:12 ~name:"ingest: sharded online == batch on concatenation"
+(* Property form: random trace sets, every walker x shard x jobs
+   combination, checked against the per-trace batch merge via the
+   shared digest renderings. *)
+let prop_walker_partition =
+  QCheck.Test.make ~count:10
+    ~name:"ingest: walker-partitioned online == per-trace batch merge"
     QCheck.(pair (int_range 0 1000) (int_range 1 6))
     (fun (seed, users) ->
       let num_symbols = 32 in
       let traces = user_traces ~seed ~users ~num_symbols ~len:120 in
-      let cat = concat_traces ~num_symbols traces in
-      let batch = Ingest.batch_digests ~trg_window:8 ~affinity_w:4 cat in
+      let batch = Ingest.batch_digests_parts ~trg_window:8 ~affinity_w:4 traces in
       List.for_all
-        (fun shards ->
-          let cfg =
-            Ingest.config ~num_symbols ~shards ~trg_window:8 ~affinity_w:4 ~flush_ops:64 ()
-          in
-          let ing = ingest_all cfg traces in
-          Ingest.consensus_digests (Ingest.finalize ing) = batch)
-        shard_counts)
+        (fun walkers ->
+          List.for_all
+            (fun shards ->
+              List.for_all
+                (fun jobs ->
+                  U.Pool.with_pool ~jobs (fun pool ->
+                      let cfg =
+                        Ingest.config ~num_symbols ~walkers ~shards ~trg_window:8
+                          ~affinity_w:4 ~flush_ops:64 ()
+                      in
+                      let ing = ingest_all ~pool cfg traces in
+                      Ingest.consensus_digests (Ingest.finalize ing) = batch))
+                [ 1; 4 ])
+            [ 1; 3 ])
+        walker_counts)
 
 (* Feeding granularity must not matter: whole traces, odd chunks, and
    trace files through the streaming reader all describe the same
-   concatenated stream. *)
+   per-trace streams — at one walker and at several. *)
 let test_chunked_and_file_feeds () =
   let num_symbols = 40 in
   let traces = user_traces ~seed:7 ~users:6 ~num_symbols ~len:250 in
@@ -116,7 +144,8 @@ let test_chunked_and_file_feeds () =
     Alcotest.(pair string string)
     "chunked == whole" whole
     (Ingest.consensus_digests (Ingest.finalize chunked));
-  (* Through trace files and the chunked streaming reader. *)
+  (* Through trace files and the chunked streaming reader, on the staged
+     multi-walker path. *)
   let dir = Filename.temp_file "colayout_serve" "" in
   Sys.remove dir;
   Sys.mkdir dir 0o755;
@@ -125,25 +154,28 @@ let test_chunked_and_file_feeds () =
       Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
       Sys.rmdir dir)
     (fun () ->
-      let filed = Ingest.create cfg in
-      List.iteri
-        (fun i t ->
-          let path = Filename.concat dir (Printf.sprintf "u%d.trace" i) in
-          Trace_io.save ~path t;
-          Ingest.feed_file filed ~path)
-        traces;
-      check
-        Alcotest.(pair string string)
-        "file-streamed == whole" whole
-        (Ingest.consensus_digests (Ingest.finalize filed)))
+      let cfg2 =
+        Ingest.config ~num_symbols ~walkers:2 ~shards:2 ~trg_window:10 ~affinity_w:5 ()
+      in
+      U.Pool.with_pool ~jobs:2 (fun pool ->
+          let filed = Ingest.create ~pool cfg2 in
+          List.iteri
+            (fun i t ->
+              let path = Filename.concat dir (Printf.sprintf "u%d.trace" i) in
+              Trace_io.save ~path t;
+              Ingest.feed_file filed ~path)
+            traces;
+          check
+            Alcotest.(pair string string)
+            "file-streamed at walkers=2 == whole" whole
+            (Ingest.consensus_digests (Ingest.finalize filed))))
 
 (* Dead-witness pruning is exact: epochs with pruning on must not change
    the affine set (digests equal to batch), while actually pruning. *)
 let test_prune_exactness () =
   let num_symbols = 36 in
   let traces = user_traces ~seed:11 ~users:12 ~num_symbols ~len:220 in
-  let cat = concat_traces ~num_symbols traces in
-  let batch = Ingest.batch_digests ~trg_window:10 ~affinity_w:5 cat in
+  let batch = Ingest.batch_digests_parts ~trg_window:10 ~affinity_w:5 traces in
   let mk prune =
     let cfg =
       Ingest.config ~num_symbols ~shards:2 ~trg_window:10 ~affinity_w:5 ~epoch_traces:3
@@ -163,18 +195,109 @@ let test_prune_exactness () =
     (s.wits_live < (Ingest.stats (mk false)).wits_live)
     true
 
+(* Per-trace trimming: each trace trims independently; a repeat that
+   opens one trace after another trace closed on the same symbol is
+   still the new trace's first event (streams are independent). *)
+let test_per_trace_trimming () =
+  let num_symbols = 8 in
+  let mk l =
+    let t = Trace.create ~num_symbols () in
+    List.iter (Trace.push t) l;
+    t
+  in
+  let parts = [ mk [ 0; 1; 2; 2 ]; mk [ 2; 2; 3 ]; mk [ 3; 3; 3 ] ] in
+  let batch = Ingest.batch_digests_parts ~trg_window:4 ~affinity_w:3 parts in
+  let cfg = Ingest.config ~num_symbols ~trg_window:4 ~affinity_w:3 () in
+  let ing = ingest_all cfg parts in
+  check Alcotest.(pair string string) "trimmed per trace" batch
+    (Ingest.consensus_digests (Ingest.finalize ing));
+  let s = Ingest.stats ing in
+  (* [0;1;2] + [2;3] + [3]: the leading 2 and 3 survive because their
+     streams restart at the boundary. *)
+  check Alcotest.int "kept events" 6 s.kept_events;
+  check Alcotest.int "raw events" 10 s.events
+
+(* ---------------------------------------- walker stats + histograms *)
+
+(* Stats are sums over walkers and a pure function of the config: raw
+   and trimmed event counts match a direct fold over the traces, and
+   every field is identical across jobs counts and repeats. *)
+let test_walker_stats_sum () =
+  let num_symbols = 48 in
+  let traces = user_traces ~seed:13 ~users:9 ~num_symbols ~len:200 in
+  let raw = List.fold_left (fun a t -> a + Trace.length t) 0 traces in
+  let kept = List.fold_left (fun a t -> a + trimmed_len t) 0 traces in
+  let run ~walkers ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let cfg =
+          Ingest.config ~num_symbols ~walkers ~shards:2 ~trg_window:12 ~affinity_w:6 ()
+        in
+        let ing = ingest_all ~pool cfg traces in
+        ignore (Ingest.finalize ing);
+        Ingest.stats ing)
+  in
+  List.iter
+    (fun walkers ->
+      let s = run ~walkers ~jobs:1 in
+      check Alcotest.int
+        (Printf.sprintf "raw events (walkers=%d)" walkers)
+        raw s.Ingest.events;
+      check Alcotest.int
+        (Printf.sprintf "kept events (walkers=%d)" walkers)
+        kept s.Ingest.kept_events;
+      check Alcotest.int (Printf.sprintf "traces (walkers=%d)" walkers) 9 s.Ingest.traces;
+      (* The whole record — peaks, ops, flushes — must not depend on the
+         pool schedule. *)
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats identical (walkers=%d jobs=%d)" walkers jobs)
+            true
+            (run ~walkers ~jobs = s))
+        [ 2; 4 ])
+    walker_counts
+
+(* Per-walker latency histograms: with W walkers, trace i lands on
+   walker i mod W, each observation is folded from the walker's delta
+   registry into the main one at the dispatch barrier, and the shared
+   ingest.trace_ns histogram still covers every trace. *)
+let test_walker_histograms () =
+  let num_symbols = 32 in
+  let traces = user_traces ~seed:17 ~users:5 ~num_symbols ~len:80 in
+  let metrics = U.Metrics.create () in
+  U.Pool.with_pool ~jobs:2 (fun pool ->
+      let cfg =
+        Ingest.config ~num_symbols ~walkers:2 ~shards:2 ~trg_window:8 ~affinity_w:4 ()
+      in
+      let ing = Ingest.create ~pool ~metrics cfg in
+      List.iter (Ingest.ingest_trace ing) traces;
+      ignore (Ingest.finalize ing));
+  let obs name = U.Metrics.observations (U.Metrics.histogram metrics name) in
+  (* Round-robin: traces 0,2,4 -> walker 0; traces 1,3 -> walker 1. *)
+  check Alcotest.int "walker 0 observations" 3 (obs "ingest.walker.0.trace_ns");
+  check Alcotest.int "walker 1 observations" 2 (obs "ingest.walker.1.trace_ns");
+  check Alcotest.int "shared trace histogram covers all" 5 (obs "ingest.trace_ns");
+  List.iter
+    (fun name ->
+      let h = U.Metrics.histogram metrics name in
+      Alcotest.(check bool)
+        (name ^ " has positive total")
+        true
+        (U.Metrics.hist_total h > 0))
+    [ "ingest.walker.0.trace_ns"; "ingest.walker.1.trace_ns" ]
+
 (* ---------------------------------------- bounded-memory mode *)
 
-let bounded_cfg ~num_symbols ~shards =
-  Ingest.config ~num_symbols ~shards ~trg_window:12 ~affinity_w:6 ~trg_cap:64 ~wits_cap:96
-    ~decay_shift:1 ~epoch_traces:4 ~flush_ops:256 ()
+let bounded_cfg ~num_symbols ~walkers ~shards =
+  Ingest.config ~num_symbols ~walkers ~shards ~trg_window:12 ~affinity_w:6 ~trg_cap:64
+    ~wits_cap:96 ~decay_shift:1 ~epoch_traces:4 ~flush_ops:256 ()
 
 let test_bounded_caps_and_determinism () =
   let num_symbols = 64 in
   let traces = user_traces ~seed:23 ~users:16 ~num_symbols ~len:400 in
   let run ~shards ~jobs =
     U.Pool.with_pool ~jobs (fun pool ->
-        let ing = ingest_all ~pool (bounded_cfg ~num_symbols ~shards) traces in
+        let ing = ingest_all ~pool (bounded_cfg ~num_symbols ~walkers:1 ~shards) traces in
         let d = Ingest.consensus_digests (Ingest.finalize ing) in
         (d, Ingest.stats ing))
   in
@@ -198,6 +321,49 @@ let test_bounded_caps_and_determinism () =
     jobs_counts;
   let again, _ = run ~shards:2 ~jobs:2 in
   check Alcotest.(pair string string) "repeated run identical" reference again
+
+(* Bounded mode with several walkers: the walker count, like the shard
+   count, is part of the config — each count gives its own
+   approximation, but that approximation (digests AND the full stats
+   record: evictions, prunes, peaks, flushes) is identical at every
+   jobs count and across repeats. *)
+let test_bounded_walker_determinism () =
+  let num_symbols = 64 in
+  let traces = user_traces ~seed:29 ~users:16 ~num_symbols ~len:400 in
+  let run ~walkers ~jobs =
+    U.Pool.with_pool ~jobs (fun pool ->
+        let ing = ingest_all ~pool (bounded_cfg ~num_symbols ~walkers ~shards:2) traces in
+        let d = Ingest.consensus_digests (Ingest.finalize ing) in
+        (d, Ingest.stats ing))
+  in
+  List.iter
+    (fun walkers ->
+      let ref_d, ref_s = run ~walkers ~jobs:1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "caps hold (walkers=%d)" walkers)
+        true
+        (ref_s.Ingest.trg_peak_shard <= 64 && ref_s.Ingest.wits_peak_shard <= 96);
+      List.iter
+        (fun jobs ->
+          let d, s = run ~walkers ~jobs in
+          check
+            Alcotest.(pair string string)
+            (Printf.sprintf "digests deterministic (walkers=%d jobs=%d)" walkers jobs)
+            ref_d d;
+          Alcotest.(check bool)
+            (Printf.sprintf "stats deterministic (walkers=%d jobs=%d)" walkers jobs)
+            true (s = ref_s))
+        [ 2; 4 ];
+      let again_d, again_s = run ~walkers ~jobs:2 in
+      check
+        Alcotest.(pair string string)
+        (Printf.sprintf "repeat identical (walkers=%d)" walkers)
+        ref_d again_d;
+      Alcotest.(check bool)
+        (Printf.sprintf "repeat stats identical (walkers=%d)" walkers)
+        true
+        (again_s = ref_s))
+    [ 1; 2; 4 ]
 
 (* Decay arithmetic on a hand-checked example: one epoch of shift-1 decay
    halves (floor) every TRG weight and forgets weight-1 edges. *)
@@ -224,27 +390,6 @@ let test_decay_example () =
   Ingest.ingest_trace ing (mk_trace [ 2; 3 ]);
   let c2 = Ingest.finalize ing in
   check Alcotest.int "edge forgotten" 0 (Trg.weight c2.trg 0 1)
-
-(* Cross-boundary trimming: a trace ending in [s] followed by one
-   starting with [s] contributes a single kept event, exactly like
-   trimming the concatenation. *)
-let test_cross_trace_trimming () =
-  let num_symbols = 8 in
-  let mk l =
-    let t = Trace.create ~num_symbols () in
-    List.iter (Trace.push t) l;
-    t
-  in
-  let parts = [ mk [ 0; 1; 2; 2 ]; mk [ 2; 2; 3 ]; mk [ 3; 3; 3 ] ] in
-  let cat = concat_traces ~num_symbols parts in
-  let batch = Ingest.batch_digests ~trg_window:4 ~affinity_w:3 cat in
-  let cfg = Ingest.config ~num_symbols ~trg_window:4 ~affinity_w:3 () in
-  let ing = ingest_all cfg parts in
-  check Alcotest.(pair string string) "trimmed across boundaries" batch
-    (Ingest.consensus_digests (Ingest.finalize ing));
-  let s = Ingest.stats ing in
-  check Alcotest.int "kept events" 4 s.kept_events;
-  check Alcotest.int "raw events" 10 s.events
 
 (* ---------------------------------------- the service driver *)
 
@@ -300,25 +445,94 @@ let test_flush_on_exit () =
   check Alcotest.int "aligned run snapshots" (List.length s2.H.Serve.epoch_rows)
     (U.Obs.recorded obs2)
 
+(* The multi-walker service end to end: at walkers=2 the driver's own
+   batch verification must pass and the summary must equal the
+   single-walker run's digests (exact mode is walker-invariant). *)
+let test_serve_multi_walker () =
+  let run walkers =
+    let cfg =
+      H.Serve.config ~users:6 ~seed:5 ~fuel:500 ~walkers ~shards:2 ~epoch_traces:3
+        ~verify:true ~program:"429.mcf" ()
+    in
+    U.Pool.with_pool ~jobs:2 (fun pool -> H.Serve.run ~pool cfg)
+  in
+  let s1 = run 1 and s2 = run 2 in
+  Alcotest.(check (option bool)) "walkers=1 verified" (Some true) s1.H.Serve.digests_match;
+  Alcotest.(check (option bool)) "walkers=2 verified" (Some true) s2.H.Serve.digests_match;
+  check Alcotest.string "trg digest walker-invariant" s1.H.Serve.trg_digest
+    s2.H.Serve.trg_digest;
+  check Alcotest.string "affine digest walker-invariant" s1.H.Serve.affine_digest
+    s2.H.Serve.affine_digest
+
+(* Spool watching: a file present before the watch and one landing
+   mid-watch are both ingested after their stats stabilize; a file from
+   a different symbol universe is skipped permanently; the loop returns
+   cleanly at its deadline with the digests of a direct ingest. *)
+let test_watch_spool () =
+  let num_symbols = 32 in
+  let traces = user_traces ~seed:31 ~users:2 ~num_symbols ~len:120 in
+  let t0 = List.nth traces 0 and t1 = List.nth traces 1 in
+  let dir = Filename.temp_file "colayout_spool" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Trace_io.save ~path:(Filename.concat dir "a.trc") t0;
+      (* A trace from another universe: permanently skipped, not retried. *)
+      let alien = Trace.create ~num_symbols:(num_symbols + 5) () in
+      Trace.push alien 0;
+      Trace_io.save ~path:(Filename.concat dir "alien.trc") alien;
+      let cfg =
+        Ingest.config ~num_symbols ~walkers:2 ~shards:2 ~trg_window:10 ~affinity_w:5 ()
+      in
+      let ing = Ingest.create cfg in
+      let on_poll i =
+        (* Lands mid-watch; needs two further stable sightings. *)
+        if i = 2 then Trace_io.save ~path:(Filename.concat dir "b.trace") t1
+      in
+      let r = H.Serve.watch_spool ~ing ~dirs:[ dir ] ~poll_ms:20 ~on_poll ~timeout_s:0.5 () in
+      check Alcotest.int "both trace files ingested" 2 r.H.Serve.sp_ingested;
+      check Alcotest.int "alien universe skipped" 1 r.H.Serve.sp_skipped;
+      check (Alcotest.list Alcotest.string) "nothing pending" [] r.H.Serve.sp_pending;
+      Alcotest.(check bool) "polled at least twice" true (r.H.Serve.sp_polls >= 2);
+      let watched = Ingest.consensus_digests (Ingest.finalize ing) in
+      let direct =
+        Ingest.consensus_digests (Ingest.finalize (ingest_all cfg [ t0; t1 ]))
+      in
+      check Alcotest.(pair string string) "watched == direct ingest" direct watched)
+
 let () =
   Alcotest.run "serve"
     [
       ( "ingest",
         [
-          Alcotest.test_case "sharded online == batch across shards x jobs" `Quick
-            test_sharded_equals_batch;
-          QCheck_alcotest.to_alcotest prop_sharded_equals_batch;
+          Alcotest.test_case "multi-walker online == batch across walkers x shards x jobs"
+            `Quick test_walkers_equal_batch;
+          QCheck_alcotest.to_alcotest prop_walker_partition;
           Alcotest.test_case "chunked and file feeds equivalent" `Quick
             test_chunked_and_file_feeds;
           Alcotest.test_case "dead-witness pruning exact" `Quick test_prune_exactness;
-          Alcotest.test_case "cross-trace trimming" `Quick test_cross_trace_trimming;
+          Alcotest.test_case "per-trace trimming" `Quick test_per_trace_trimming;
+          Alcotest.test_case "walker stats sum + schedule-invariance" `Quick
+            test_walker_stats_sum;
+          Alcotest.test_case "per-walker latency histograms fold" `Quick
+            test_walker_histograms;
         ] );
       ( "bounded",
         [
           Alcotest.test_case "caps + determinism under pressure" `Quick
             test_bounded_caps_and_determinism;
+          Alcotest.test_case "per-walker-count determinism" `Quick
+            test_bounded_walker_determinism;
           Alcotest.test_case "decay example" `Quick test_decay_example;
         ] );
       ( "service",
-        [ Alcotest.test_case "flush-on-exit partial epoch" `Slow test_flush_on_exit ] );
+        [
+          Alcotest.test_case "flush-on-exit partial epoch" `Slow test_flush_on_exit;
+          Alcotest.test_case "multi-walker serve verified" `Slow test_serve_multi_walker;
+          Alcotest.test_case "spool watch loop" `Quick test_watch_spool;
+        ] );
     ]
